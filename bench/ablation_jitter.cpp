@@ -1,0 +1,56 @@
+// Ablation: MRAI jitter.
+//
+// RFC 1771 suggests jittering the MRAI to 0.75-1.0 of its base value to
+// desynchronize routers. The paper runs "30 seconds with a random jitter".
+// This ablation compares jitter windows, including none at all: with zero
+// jitter all timers expire in lockstep, synchronizing update waves.
+#include "common.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace bgpsim;
+  using namespace bgpsim::bench;
+
+  print_header("Ablation: MRAI jitter",
+               "jitter desynchronizes MRAI rounds (RFC 1771 suggestion)");
+
+  const std::size_t n_trials = trials(3);
+  struct Window {
+    const char* name;
+    double lo, hi;
+  };
+  const std::vector<Window> windows{
+      {"none (1.00)", 1.0, 1.0},
+      {"narrow (0.95-1.00)", 0.95, 1.0},
+      {"rfc (0.75-1.00)", 0.75, 1.0},
+      {"wide (0.50-1.00)", 0.5, 1.0},
+  };
+
+  core::Table table{{"jitter", "convergence (s)", "looping duration (s)",
+                     "TTL exhaustions", "looping ratio"}};
+  std::vector<double> convs;
+  for (const auto& w : windows) {
+    core::Scenario s;
+    s.topology.kind = core::TopologyKind::kClique;
+    s.topology.size = 15;
+    s.event = core::EventKind::kTdown;
+    s.bgp.jitter_lo = w.lo;
+    s.bgp.jitter_hi = w.hi;
+    s.seed = 13;
+    const auto set = core::run_trials(s, n_trials);
+    convs.push_back(set.convergence_time_s.mean);
+    table.add_row({w.name, metrics::mean_pm(set.convergence_time_s),
+                   metrics::mean_pm(set.looping_duration_s),
+                   core::fmt(set.ttl_exhaustions.mean, 0),
+                   core::fmt_pct(set.looping_ratio.mean)});
+  }
+  table.print(std::cout);
+  maybe_csv(table);
+
+  std::printf("\nshape checks:\n");
+  // Jitter shortens the *average* effective MRAI (E[U(lo,hi)]·M), so wider
+  // windows trend toward faster convergence; all variants still loop.
+  check(convs.back() < convs.front() * 1.05,
+        "wider jitter does not slow convergence");
+  return 0;
+}

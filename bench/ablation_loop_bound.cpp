@@ -1,0 +1,76 @@
+// Ablation A1 (§3.2 analysis): the worst-case duration of an m-node loop is
+// (m-1) × M. We measure, per MRAI value, the longest individual loop the
+// detector records in Clique Tdown runs, normalized by (m-1) so the series
+// should scale ~linearly with M and never exceed the bound (plus nodal
+// slack).
+#include <algorithm>
+
+#include "common.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace bgpsim;
+  using namespace bgpsim::bench;
+
+  print_header("Ablation: loop-duration bound",
+               "single m-node loop lasts at most (m-1) x MRAI");
+
+  const std::size_t n_trials = trials(2);
+  std::vector<double> mrais{5, 10, 20, 30};
+  if (full_run()) mrais.push_back(45);
+
+  core::Table table{{"MRAI (s)", "loops observed", "max size m",
+                     "max duration (s)", "max duration/(m-1) (s)",
+                     "bound respected"}};
+  std::vector<double> xs, normalized;
+  bool all_respected = true;
+  for (const double m : mrais) {
+    double worst_norm = 0;
+    double worst_duration = 0;
+    std::size_t worst_size = 0;
+    std::size_t loop_count = 0;
+    bool respected = true;
+    for (std::size_t t = 0; t < n_trials; ++t) {
+      core::Scenario s;
+      s.topology.kind = core::TopologyKind::kClique;
+      s.topology.size = 12;
+      s.event = core::EventKind::kTdown;
+      s.bgp.mrai = sim::SimTime::seconds(m);
+      s.seed = 21 + t;
+      const auto out = core::run_experiment(s);
+      loop_count += out.metrics.loops.size();
+      for (const auto& loop : out.metrics.loops) {
+        const double d =
+            loop.duration_seconds(out.metrics.last_update_at);
+        const double denom = static_cast<double>(loop.size()) - 1.0;
+        worst_norm = std::max(worst_norm, d / denom);
+        if (d > worst_duration) {
+          worst_duration = d;
+          worst_size = loop.size();
+        }
+        // Nodal slack: processing can add ~0.5 s per traversed hop plus
+        // queueing; allow 3 s per member.
+        if (d > denom * m + 3.0 * static_cast<double>(loop.size()) + 2.0) {
+          respected = false;
+        }
+      }
+    }
+    all_respected = all_respected && respected;
+    xs.push_back(m);
+    normalized.push_back(worst_norm);
+    table.add_row({core::fmt(m, 0), std::to_string(loop_count),
+                   std::to_string(worst_size), core::fmt(worst_duration, 1),
+                   core::fmt(worst_norm, 1), respected ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  maybe_csv(table);
+
+  std::printf("\nshape checks vs the paper:\n");
+  check(all_respected,
+        "every observed loop within (m-1)*M plus nodal slack");
+  const auto f = metrics::fit_line(xs, normalized);
+  check(f.slope > 0,
+        "worst per-hop loop duration grows with MRAI (slope " +
+            core::fmt(f.slope, 2) + ")");
+  return 0;
+}

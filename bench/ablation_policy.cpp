@@ -1,0 +1,52 @@
+// Ablation: shortest-path policy (the paper's setting) vs Gao-Rexford
+// policy routing on the same Internet-derived graphs.
+//
+// The paper frames looping as a consequence of "topology (or policy)
+// changes"; this ablation quantifies how much the policy model itself
+// changes the transient-loop picture. Expected: loops persist under policy
+// routing (the mechanism is protocol-inherent), with convergence shaped by
+// the restricted route choice set.
+#include "common.hpp"
+
+int main() {
+  using namespace bgpsim;
+  using namespace bgpsim::bench;
+
+  print_header("Ablation: routing policy",
+               "shortest-path (paper) vs Gao-Rexford policy routing");
+
+  std::vector<std::size_t> sizes{29, 48};
+  if (full_run()) sizes.push_back(75);
+  const std::size_t n_trials = trials(2);
+
+  core::Table table{{"nodes", "policy", "convergence (s)",
+                     "looping duration (s)", "TTL exhaustions",
+                     "looping ratio"}};
+  double policy_loops = 0;
+  for (const std::size_t n : sizes) {
+    for (const bool policy : {false, true}) {
+      core::Scenario s;
+      s.topology.kind = core::TopologyKind::kInternet;
+      s.topology.size = n;
+      s.topology.topo_seed = 3;
+      s.event = core::EventKind::kTdown;
+      s.policy_routing = policy;
+      s.seed = 3;
+      const auto set = core::run_trials(s, n_trials);
+      if (policy) policy_loops += set.ttl_exhaustions.mean;
+      table.add_row({std::to_string(n), policy ? "Gao-Rexford" : "shortest",
+                     metrics::mean_pm(set.convergence_time_s),
+                     metrics::mean_pm(set.looping_duration_s),
+                     core::fmt(set.ttl_exhaustions.mean, 0),
+                     core::fmt_pct(set.looping_ratio.mean)});
+    }
+  }
+  table.print(std::cout);
+  maybe_csv(table);
+
+  std::printf("\nshape checks:\n");
+  check(policy_loops > 0,
+        "transient loops persist under Gao-Rexford policy routing "
+        "(the paper's mechanism is policy-independent)");
+  return 0;
+}

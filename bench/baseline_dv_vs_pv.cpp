@@ -1,0 +1,145 @@
+// Baseline: link state vs distance vector vs path vector (paper §2 / §6).
+//
+// "For distance vector protocols, poison-reverse can be used to detect
+//  two-node loops but fails to detect longer loops. A path vector routing
+//  protocol extends the effectiveness of poison-reverse to the entire
+//  path..." — and, unlike DV, its transient looping is bounded by path
+// propagation rather than by counting to infinity.
+//
+// Table 1: clique Tdown under RIP-like DV (periodic refresh) with varying
+// `infinity`, next to standard BGP (MRAI 30 s) on the same topology.
+// Table 2: the same under a doubled refresh/damping interval — DV scales
+// with *both* knobs multiplied, PV only with MRAI.
+#include "common.hpp"
+#include "core/dv_experiment.hpp"
+#include "core/ls_experiment.hpp"
+
+int main() {
+  using namespace bgpsim;
+  using namespace bgpsim::bench;
+
+  print_header("Baseline: DV (RIP-like) vs PV (BGP)",
+               "counting-to-infinity vs bounded path exploration");
+
+  const std::size_t n_trials = trials(2);
+  const std::size_t size = 10;
+
+  const auto run_dv = [&](int infinity, double periodic_s,
+                          std::uint64_t seed) {
+    core::DvScenario s;
+    s.topology.kind = core::TopologyKind::kClique;
+    s.topology.size = size;
+    s.event = core::EventKind::kTdown;
+    s.dv.triggered = false;  // textbook periodic-refresh counting setting
+    s.dv.periodic = sim::SimTime::seconds(periodic_s);
+    s.dv.infinity = infinity;
+    s.seed = seed;
+    return core::run_dv_experiment(s).metrics;
+  };
+
+  core::Table table{{"protocol", "damping", "convergence (s)",
+                     "looping duration (s)", "TTL exhaustions",
+                     "loops formed"}};
+
+  std::vector<double> dv_convs;
+  for (const int infinity : {8, 16, 32}) {
+    double conv = 0, loopdur = 0, exh = 0, loops = 0;
+    for (std::size_t t = 0; t < n_trials; ++t) {
+      const auto m = run_dv(infinity, 10.0, 1 + t);
+      conv += m.convergence_time_s;
+      loopdur += m.looping_duration_s;
+      exh += static_cast<double>(m.ttl_exhaustions);
+      loops += static_cast<double>(m.loops_formed);
+    }
+    const auto nt = static_cast<double>(n_trials);
+    dv_convs.push_back(conv / nt);
+    table.add_row({"DV inf=" + std::to_string(infinity),
+                   "periodic 10s", core::fmt(conv / nt, 1),
+                   core::fmt(loopdur / nt, 1), core::fmt(exh / nt, 0),
+                   core::fmt(loops / nt, 1)});
+  }
+
+  const auto pv = run_point(core::TopologyKind::kClique, size,
+                            core::EventKind::kTdown,
+                            bgp::Enhancement::kStandard, 30.0, n_trials);
+  table.add_row({"PV (BGP)", "MRAI 30s",
+                 core::fmt(pv.convergence_time_s.mean, 1),
+                 core::fmt(pv.looping_duration_s.mean, 1),
+                 core::fmt(pv.ttl_exhaustions.mean, 0),
+                 core::fmt(pv.loops_formed.mean, 1)});
+  table.print(std::cout);
+  maybe_csv(table);
+
+  // ---- Table 2: the protocol trio on one Tlong event ------------------
+  core::banner(std::cout,
+               "Tlong on B-Clique-8: link state vs distance vector vs BGP");
+  core::Table t2{{"protocol", "convergence (s)", "max loop duration (s)",
+                  "loops", "TTL exhaustions"}};
+
+  double ls_conv = 0, ls_maxloop = 0, ls_loops = 0, ls_exh = 0;
+  for (std::size_t t = 0; t < n_trials; ++t) {
+    core::LsScenario s;
+    s.topology.kind = core::TopologyKind::kBClique;
+    s.topology.size = 8;
+    s.event = core::EventKind::kTlong;
+    s.seed = 1 + t;
+    const auto m = core::run_ls_experiment(s).metrics;
+    ls_conv += m.convergence_time_s;
+    ls_maxloop = std::max(ls_maxloop, m.max_loop_duration_s);
+    ls_loops += static_cast<double>(m.loops_formed);
+    ls_exh += static_cast<double>(m.ttl_exhaustions);
+  }
+  const auto nt = static_cast<double>(n_trials);
+  t2.add_row({"LS (OSPF-like)", core::fmt(ls_conv / nt, 2),
+              core::fmt(ls_maxloop, 2), core::fmt(ls_loops / nt, 1),
+              core::fmt(ls_exh / nt, 0)});
+
+  double dvt_conv = 0, dvt_maxloop = 0, dvt_loops = 0, dvt_exh = 0;
+  for (std::size_t t = 0; t < n_trials; ++t) {
+    core::DvScenario s;
+    s.topology.kind = core::TopologyKind::kBClique;
+    s.topology.size = 8;
+    s.event = core::EventKind::kTlong;
+    s.dv.periodic = sim::SimTime::zero();  // triggered-only, RIP timers
+    s.seed = 1 + t;
+    const auto m = core::run_dv_experiment(s).metrics;
+    dvt_conv += m.convergence_time_s;
+    dvt_maxloop = std::max(dvt_maxloop, m.max_loop_duration_s);
+    dvt_loops += static_cast<double>(m.loops_formed);
+    dvt_exh += static_cast<double>(m.ttl_exhaustions);
+  }
+  t2.add_row({"DV (RIP-like)", core::fmt(dvt_conv / nt, 2),
+              core::fmt(dvt_maxloop, 2), core::fmt(dvt_loops / nt, 1),
+              core::fmt(dvt_exh / nt, 0)});
+
+  const auto pvt = run_point(core::TopologyKind::kBClique, 8,
+                             core::EventKind::kTlong,
+                             bgp::Enhancement::kStandard, 30.0, n_trials);
+  double pv_maxloop = 0;
+  for (const auto& r : pvt.runs) {
+    pv_maxloop = std::max(pv_maxloop, r.metrics.max_loop_duration_s);
+  }
+  t2.add_row({"PV (BGP)", core::fmt(pvt.convergence_time_s.mean, 2),
+              core::fmt(pv_maxloop, 2),
+              core::fmt(pvt.loops_formed.mean, 1),
+              core::fmt(pvt.ttl_exhaustions.mean, 0)});
+  t2.print(std::cout);
+  maybe_csv(t2);
+
+  std::printf("\nshape checks vs the paper (§2/§6):\n");
+  check(dv_convs[2] > 1.5 * dv_convs[1] && dv_convs[1] > 1.2 * dv_convs[0],
+        "DV convergence scales with `infinity` (counting to infinity)");
+  check(pv.loops_formed.mean > 0,
+        "PV still loops transiently (full paths do not prevent loops)");
+  check(ls_maxloop < 1.0,
+        "LS micro-loops (if any) last < flooding + SPF time "
+        "(Hengartner et al.'s 'rare and short')");
+  check(pv_maxloop > 5.0 * std::max(ls_maxloop, 0.2),
+        "BGP loops outlive LS micro-loops by an order of magnitude "
+        "(Sridharan et al.: packet loops correlate with BGP)");
+  std::printf(
+      "  note: PV loop durations are bounded by (m-1) x MRAI — see\n"
+      "  ablation_loop_bound — while DV loop durations scale with the\n"
+      "  counting horizon. None of the three is transient-loop-free.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Environment knobs:
+//   BGPSIM_TRIALS : trials per data point (default per bench, usually 2-3)
+//   BGPSIM_FULL=1 : run the paper's full size range (slower)
+//   BGPSIM_CSV=1  : append CSV dumps after each table
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "core/sweep.hpp"
+#include "metrics/stats.hpp"
+
+namespace bgpsim::bench {
+
+inline std::size_t trials(std::size_t fallback) {
+  return core::env_or("BGPSIM_TRIALS", fallback);
+}
+
+inline bool full_run() { return core::env_or("BGPSIM_FULL", 0) != 0; }
+
+inline bool csv_output() { return core::env_or("BGPSIM_CSV", 0) != 0; }
+
+/// Build and run one aggregated data point.
+inline core::TrialSet run_point(core::TopologyKind kind, std::size_t size,
+                                core::EventKind event, bgp::Enhancement proto,
+                                double mrai_s, std::size_t n_trials,
+                                std::uint64_t seed = 1) {
+  core::Scenario s;
+  s.topology.kind = kind;
+  s.topology.size = size;
+  s.topology.topo_seed = seed;
+  s.event = event;
+  s.bgp = s.bgp.with(proto);
+  s.bgp.mrai = sim::SimTime::seconds(mrai_s);
+  s.seed = seed;
+  return core::run_trials(s, n_trials);
+}
+
+/// Print a shape-expectation check line ("the paper's claim held / didn't").
+inline bool check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "WARN", what.c_str());
+  return ok;
+}
+
+inline void maybe_csv(const core::Table& table) {
+  if (!csv_output()) return;
+  std::printf("-- csv --\n");
+  table.write_csv(std::cout);
+}
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, what);
+  std::printf("(shape reproduction: trends/orderings matter, absolute\n");
+  std::printf(" seconds depend on the substituted topologies; see\n");
+  std::printf(" EXPERIMENTS.md)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bgpsim::bench

@@ -1,0 +1,48 @@
+// Figure 4(a): overall looping duration and convergence time vs Clique
+// size, Tdown, MRAI 30 s.
+//
+// Paper expectation: looping duration tracks convergence time to within a
+// few seconds, and both grow with network size.
+#include "common.hpp"
+
+int main() {
+  using namespace bgpsim;
+  using namespace bgpsim::bench;
+
+  print_header("Figure 4(a)", "Tdown in Clique: looping vs convergence");
+
+  std::vector<std::size_t> sizes{5, 10, 15, 20, 25};
+  if (full_run()) sizes.push_back(30);
+  const std::size_t n_trials = trials(2);
+
+  core::Table table{{"clique n", "convergence (s)", "looping duration (s)",
+                     "gap (s)", "TTL exhaustions"}};
+  std::vector<double> xs, conv, loop;
+  double max_gap = 0;
+  for (const std::size_t n : sizes) {
+    const auto set = run_point(core::TopologyKind::kClique, n,
+                               core::EventKind::kTdown,
+                               bgp::Enhancement::kStandard, 30.0, n_trials);
+    const double gap = set.convergence_time_s.mean - set.looping_duration_s.mean;
+    max_gap = std::max(max_gap, gap);
+    xs.push_back(static_cast<double>(n));
+    conv.push_back(set.convergence_time_s.mean);
+    loop.push_back(set.looping_duration_s.mean);
+    table.add_row({std::to_string(n),
+                   metrics::mean_pm(set.convergence_time_s),
+                   metrics::mean_pm(set.looping_duration_s), core::fmt(gap, 1),
+                   core::fmt(set.ttl_exhaustions.mean, 0)});
+  }
+  table.print(std::cout);
+  maybe_csv(table);
+
+  std::printf("\nshape checks vs the paper:\n");
+  check(max_gap < 15.0,
+        "looping duration within a few seconds of convergence time");
+  check(conv.back() > conv.front() && loop.back() > loop.front(),
+        "both metrics grow with clique size");
+  const auto f = metrics::fit_line(xs, conv);
+  check(f.r2 > 0.9, "convergence grows steadily with n (R2=" +
+                        core::fmt(f.r2, 3) + ")");
+  return 0;
+}

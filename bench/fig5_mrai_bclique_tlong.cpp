@@ -1,0 +1,46 @@
+// Figure 5(b): overall looping duration and convergence time vs MRAI value,
+// B-Clique of 15 (30 nodes), Tlong.
+//
+// Paper expectation: B-Clique Tlong convergence is also linearly
+// proportional to MRAI, and so is looping duration.
+#include "common.hpp"
+
+int main() {
+  using namespace bgpsim;
+  using namespace bgpsim::bench;
+
+  print_header("Figure 5(b)", "Tlong in B-Clique-15: metrics vs MRAI");
+
+  std::vector<double> mrais{5, 10, 20, 30, 45};
+  if (full_run()) mrais.push_back(60);
+  const std::size_t n_trials = trials(2);
+
+  core::Table table{{"MRAI (s)", "convergence (s)", "looping duration (s)",
+                     "gap (s)"}};
+  std::vector<double> xs, conv, loop;
+  for (const double m : mrais) {
+    const auto set = run_point(core::TopologyKind::kBClique, 15,
+                               core::EventKind::kTlong,
+                               bgp::Enhancement::kStandard, m, n_trials);
+    xs.push_back(m);
+    conv.push_back(set.convergence_time_s.mean);
+    loop.push_back(set.looping_duration_s.mean);
+    table.add_row({core::fmt(m, 0), metrics::mean_pm(set.convergence_time_s),
+                   metrics::mean_pm(set.looping_duration_s),
+                   core::fmt(set.convergence_time_s.mean -
+                                 set.looping_duration_s.mean,
+                             1)});
+  }
+  table.print(std::cout);
+  maybe_csv(table);
+
+  const auto fc = metrics::fit_line(xs, conv);
+  const auto fl = metrics::fit_line(xs, loop);
+  std::printf("\nlinear fits: convergence = %.1f + %.2f*M (R2=%.3f); "
+              "looping = %.1f + %.2f*M (R2=%.3f)\n",
+              fc.intercept, fc.slope, fc.r2, fl.intercept, fl.slope, fl.r2);
+  std::printf("\nshape checks vs the paper:\n");
+  check(fc.r2 > 0.9, "convergence time linear in MRAI");
+  check(fl.r2 > 0.9, "looping duration linear in MRAI");
+  return 0;
+}

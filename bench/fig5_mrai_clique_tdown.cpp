@@ -1,0 +1,48 @@
+// Figure 5(a): overall looping duration and convergence time vs MRAI value,
+// Clique of 15, Tdown.
+//
+// Paper expectation (Observation 1): both metrics are linearly proportional
+// to the MRAI value (above the topology-specific minimum, per Griffin &
+// Premore).
+#include "common.hpp"
+
+int main() {
+  using namespace bgpsim;
+  using namespace bgpsim::bench;
+
+  print_header("Figure 5(a)", "Tdown in Clique-15: metrics vs MRAI");
+
+  std::vector<double> mrais{5, 10, 20, 30, 45};
+  if (full_run()) mrais.push_back(60);
+  const std::size_t n_trials = trials(2);
+
+  core::Table table{{"MRAI (s)", "convergence (s)", "looping duration (s)",
+                     "gap (s)"}};
+  std::vector<double> xs, conv, loop;
+  for (const double m : mrais) {
+    const auto set = run_point(core::TopologyKind::kClique, 15,
+                               core::EventKind::kTdown,
+                               bgp::Enhancement::kStandard, m, n_trials);
+    xs.push_back(m);
+    conv.push_back(set.convergence_time_s.mean);
+    loop.push_back(set.looping_duration_s.mean);
+    table.add_row({core::fmt(m, 0), metrics::mean_pm(set.convergence_time_s),
+                   metrics::mean_pm(set.looping_duration_s),
+                   core::fmt(set.convergence_time_s.mean -
+                                 set.looping_duration_s.mean,
+                             1)});
+  }
+  table.print(std::cout);
+  maybe_csv(table);
+
+  const auto fc = metrics::fit_line(xs, conv);
+  const auto fl = metrics::fit_line(xs, loop);
+  std::printf("\nlinear fits: convergence = %.1f + %.2f*M (R2=%.3f); "
+              "looping = %.1f + %.2f*M (R2=%.3f)\n",
+              fc.intercept, fc.slope, fc.r2, fl.intercept, fl.slope, fl.r2);
+  std::printf("\nshape checks vs the paper:\n");
+  check(fc.r2 > 0.95, "convergence time linear in MRAI");
+  check(fl.r2 > 0.95, "looping duration linear in MRAI");
+  check(fc.slope > 0 && fl.slope > 0, "positive slopes");
+  return 0;
+}

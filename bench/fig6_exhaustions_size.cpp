@@ -1,0 +1,82 @@
+// Figure 6: number of TTL exhaustions (left axis) and looping ratio (right
+// axis) vs network size. Panel (a): Tdown in Clique; panel (b): Tlong in
+// B-Clique.
+//
+// Paper expectation: looping ratio >65% for Clique Tdown at n >= 15 and
+// >35% for B-Clique Tlong at n >= 15; exhaustion counts grow with size.
+#include "common.hpp"
+
+int main() {
+  using namespace bgpsim;
+  using namespace bgpsim::bench;
+
+  print_header("Figure 6", "TTL exhaustions & looping ratio vs size");
+  const std::size_t n_trials = trials(2);
+
+  // ---- Panel (a): Tdown, Clique ----
+  core::banner(std::cout, "Figure 6(a): Tdown in Clique");
+  std::vector<std::size_t> clique_sizes{5, 10, 15, 20, 25};
+  if (full_run()) clique_sizes.push_back(30);
+  core::Table ta{{"clique n", "TTL exhaustions", "looping ratio",
+                  "pkts in window"}};
+  double ratio_at_15_plus = 1.0;
+  std::vector<double> xs_a, exh_a;
+  for (const std::size_t n : clique_sizes) {
+    const auto set = run_point(core::TopologyKind::kClique, n,
+                               core::EventKind::kTdown,
+                               bgp::Enhancement::kStandard, 30.0, n_trials);
+    if (n >= 15) {
+      ratio_at_15_plus = std::min(ratio_at_15_plus, set.looping_ratio.mean);
+    }
+    xs_a.push_back(static_cast<double>(n));
+    exh_a.push_back(set.ttl_exhaustions.mean);
+    double pkts = 0;
+    for (const auto& r : set.runs) {
+      pkts += static_cast<double>(r.metrics.packets_sent_during_convergence);
+    }
+    ta.add_row({std::to_string(n), core::fmt(set.ttl_exhaustions.mean, 0),
+                core::fmt_pct(set.looping_ratio.mean),
+                core::fmt(pkts / static_cast<double>(set.runs.size()), 0)});
+  }
+  ta.print(std::cout);
+  maybe_csv(ta);
+
+  // ---- Panel (b): Tlong, B-Clique ----
+  core::banner(std::cout, "Figure 6(b): Tlong in B-Clique");
+  std::vector<std::size_t> b_sizes{5, 10, 15, 20};
+  if (full_run()) b_sizes.push_back(25);
+  core::Table tb{{"b-clique n", "TTL exhaustions", "looping ratio",
+                  "pkts in window"}};
+  double b_ratio_at_15_plus = 1.0;
+  std::vector<double> xs_b, exh_b;
+  for (const std::size_t n : b_sizes) {
+    const auto set = run_point(core::TopologyKind::kBClique, n,
+                               core::EventKind::kTlong,
+                               bgp::Enhancement::kStandard, 30.0, n_trials);
+    if (n >= 15) {
+      b_ratio_at_15_plus = std::min(b_ratio_at_15_plus, set.looping_ratio.mean);
+    }
+    xs_b.push_back(static_cast<double>(n));
+    exh_b.push_back(set.ttl_exhaustions.mean);
+    double pkts = 0;
+    for (const auto& r : set.runs) {
+      pkts += static_cast<double>(r.metrics.packets_sent_during_convergence);
+    }
+    tb.add_row({std::to_string(n), core::fmt(set.ttl_exhaustions.mean, 0),
+                core::fmt_pct(set.looping_ratio.mean),
+                core::fmt(pkts / static_cast<double>(set.runs.size()), 0)});
+  }
+  tb.print(std::cout);
+  maybe_csv(tb);
+
+  std::printf("\nshape checks vs the paper:\n");
+  check(ratio_at_15_plus > 0.65,
+        "Clique Tdown looping ratio > 65% for n >= 15 (got " +
+            core::fmt_pct(ratio_at_15_plus) + ")");
+  check(b_ratio_at_15_plus > 0.35,
+        "B-Clique Tlong looping ratio > 35% for n >= 15 (got " +
+            core::fmt_pct(b_ratio_at_15_plus) + ")");
+  check(exh_a.back() > exh_a.front() && exh_b.back() > exh_b.front(),
+        "TTL exhaustion counts grow with size");
+  return 0;
+}

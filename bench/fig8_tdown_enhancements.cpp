@@ -1,0 +1,125 @@
+// Figure 8: the four convergence enhancements under Tdown.
+//   (a) TTL exhaustions normalized by standard BGP, Clique sizes
+//   (b) convergence time, Clique sizes
+//   (c) TTL exhaustions, Internet-derived sizes
+//   (d) convergence time, Internet-derived sizes
+//
+// Paper expectations: Assertion converges Cliques near-instantly (best
+// there); Ghost Flushing cuts looping by >=80% and is best on
+// Internet-derived graphs; SSLD helps modestly; WRATE is mixed.
+#include "common.hpp"
+
+int main() {
+  using namespace bgpsim;
+  using namespace bgpsim::bench;
+
+  print_header("Figure 8", "Tdown with convergence enhancements");
+  const std::size_t n_trials = trials(2);
+
+  const std::vector<bgp::Enhancement> protos{
+      bgp::Enhancement::kStandard, bgp::Enhancement::kSsld,
+      bgp::Enhancement::kWrate, bgp::Enhancement::kAssertion,
+      bgp::Enhancement::kGhostFlushing};
+
+  struct Cell {
+    double exhaustions = 0;
+    double convergence = 0;
+  };
+
+  const auto sweep = [&](core::TopologyKind kind,
+                         const std::vector<std::size_t>& sizes,
+                         const char* what)
+      -> std::vector<std::vector<Cell>> {  // [size][proto]
+    std::vector<std::vector<Cell>> grid;
+    for (const std::size_t n : sizes) {
+      std::vector<Cell> row;
+      for (const auto proto : protos) {
+        const auto set = run_point(kind, n, core::EventKind::kTdown, proto,
+                                   30.0, n_trials, /*seed=*/3);
+        row.push_back(
+            Cell{set.ttl_exhaustions.mean, set.convergence_time_s.mean});
+      }
+      grid.push_back(std::move(row));
+      std::printf("  ... %s n=%zu done\n", what, n);
+    }
+    return grid;
+  };
+
+  const auto print_panels = [&](const char* label_a, const char* label_b,
+                                const std::vector<std::size_t>& sizes,
+                                const std::vector<std::vector<Cell>>& grid) {
+    core::banner(std::cout, label_a);
+    core::Table ta{{"size", "BGP", "SSLD", "WRATE", "Assertion", "GhostFlush"}};
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const double base = std::max(grid[i][0].exhaustions, 1.0);
+      std::vector<std::string> row{std::to_string(sizes[i])};
+      for (std::size_t p = 0; p < protos.size(); ++p) {
+        row.push_back(core::fmt(grid[i][p].exhaustions / base, 2));
+      }
+      ta.add_row(std::move(row));
+    }
+    ta.print(std::cout);
+    maybe_csv(ta);
+
+    core::banner(std::cout, label_b);
+    core::Table tb{{"size", "BGP", "SSLD", "WRATE", "Assertion", "GhostFlush"}};
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      std::vector<std::string> row{std::to_string(sizes[i])};
+      for (std::size_t p = 0; p < protos.size(); ++p) {
+        row.push_back(core::fmt(grid[i][p].convergence, 1));
+      }
+      tb.add_row(std::move(row));
+    }
+    tb.print(std::cout);
+    maybe_csv(tb);
+  };
+
+  std::vector<std::size_t> clique_sizes{5, 10, 15};
+  if (full_run()) {
+    clique_sizes.push_back(20);
+    clique_sizes.push_back(25);
+  }
+  const auto clique = sweep(core::TopologyKind::kClique, clique_sizes,
+                            "clique");
+  print_panels("Figure 8(a): TTL exhaustions normalized by standard BGP "
+               "(Clique)",
+               "Figure 8(b): convergence time in seconds (Clique)",
+               clique_sizes, clique);
+
+  std::vector<std::size_t> inet_sizes{29, 48};
+  if (full_run()) {
+    inet_sizes.push_back(75);
+    inet_sizes.push_back(110);
+  }
+  const auto inet = sweep(core::TopologyKind::kInternet, inet_sizes,
+                          "internet");
+  print_panels("Figure 8(c): TTL exhaustions normalized by standard BGP "
+               "(Internet-derived)",
+               "Figure 8(d): convergence time in seconds (Internet-derived)",
+               inet_sizes, inet);
+
+  // ---- shape checks ----
+  std::printf("\nshape checks vs the paper:\n");
+  const std::size_t last = clique_sizes.size() - 1;
+  enum { kBgp = 0, kSsld = 1, kWrate = 2, kAssert = 3, kGhost = 4 };
+  check(clique[last][kAssert].convergence < 2.0,
+        "Assertion converges Clique Tdown near-instantly");
+  check(clique[last][kAssert].exhaustions <
+            0.05 * std::max(clique[last][kBgp].exhaustions, 1.0),
+        "Assertion eliminates essentially all Clique Tdown looping");
+  check(clique[last][kGhost].convergence <
+            0.3 * clique[last][kBgp].convergence,
+        "Ghost Flushing slashes Clique Tdown convergence");
+  check(clique[last][kSsld].convergence < clique[last][kBgp].convergence,
+        "SSLD improves Clique Tdown convergence");
+
+  const std::size_t ilast = inet_sizes.size() - 1;
+  check(inet[ilast][kGhost].exhaustions <
+            0.2 * std::max(inet[ilast][kBgp].exhaustions, 1.0),
+        "Ghost Flushing cuts Internet Tdown looping by >= 80%");
+  check(inet[ilast][kGhost].convergence < inet[ilast][kBgp].convergence,
+        "Ghost Flushing gives the best Internet Tdown convergence");
+  check(inet[ilast][kWrate].convergence > inet[ilast][kBgp].convergence,
+        "WRATE worsens Internet Tdown convergence");
+  return 0;
+}

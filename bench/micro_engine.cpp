@@ -1,0 +1,119 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the simulator:
+// event-queue churn, RNG, decision process, loop detection, and packet
+// forwarding throughput.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <vector>
+
+#include "bgp/decision.hpp"
+#include "bgp/rib.hpp"
+#include "fwd/engine.hpp"
+#include "metrics/loop_detector.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/generators.hpp"
+
+namespace {
+
+using namespace bgpsim;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng{1};
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(sim::SimTime::micros(
+                 static_cast<std::int64_t>(rng.next_below(1'000'000))),
+             [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t remaining = n;
+    std::function<void()> chain = [&] {
+      if (--remaining > 0) sim.schedule_after(sim::SimTime::micros(1), chain);
+    };
+    sim.schedule_at(sim::SimTime::zero(), chain);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_SimulatorEventChain)->Arg(10000);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::Rng rng{7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform(0.1, 0.5));
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_DecisionProcess(benchmark::State& state) {
+  // Adj-RIB-In with `n` candidate routes of mixed lengths.
+  const auto n = static_cast<net::NodeId>(state.range(0));
+  bgp::AdjRibIn rib;
+  for (net::NodeId peer = 1; peer <= n; ++peer) {
+    std::vector<net::NodeId> hops{peer};
+    for (net::NodeId h = 0; h < peer % 5; ++h) hops.push_back(100 + h);
+    hops.push_back(0);
+    rib.set(0, peer, bgp::AsPath{std::move(hops)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::select_best(rib, 0, 50));
+  }
+}
+BENCHMARK(BM_DecisionProcess)->Arg(8)->Arg(64);
+
+void BM_LoopDetectorRecompute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  metrics::LoopDetector d{n};
+  // Chain everyone toward node 0.
+  for (net::NodeId v = 1; v < n; ++v) {
+    d.on_next_hop_change(v, v - 1, sim::SimTime::zero());
+  }
+  std::uint64_t flip = 0;
+  for (auto _ : state) {
+    // Flip one edge back and forth: forms/resolves a 2-node loop each time.
+    const auto t = sim::SimTime::micros(static_cast<std::int64_t>(++flip));
+    d.on_next_hop_change(0, (flip % 2) ? std::optional<net::NodeId>{1}
+                                       : std::nullopt,
+                         t);
+  }
+  benchmark::DoNotOptimize(d.records().size());
+}
+BENCHMARK(BM_LoopDetectorRecompute)->Arg(110);
+
+void BM_PacketForwardingThroughput(benchmark::State& state) {
+  // Chain of 16: measures per-hop cost of the data plane.
+  auto topo = topo::make_chain(16);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    std::vector<fwd::Fib> fibs(topo.node_count());
+    for (net::NodeId v = 1; v < topo.node_count(); ++v) {
+      fibs[v].set_next_hop(0, v - 1);
+    }
+    fwd::DataPlane plane{sim, topo, fibs, 0, 0};
+    state.ResumeTiming();
+    for (int i = 0; i < 64; ++i) plane.inject(15);
+    sim.run();
+    benchmark::DoNotOptimize(plane.counters().delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          15);
+}
+BENCHMARK(BM_PacketForwardingThroughput);
+
+}  // namespace

@@ -1,0 +1,35 @@
+#include "bgp/as_path.hpp"
+
+#include <algorithm>
+
+namespace bgpsim::bgp {
+
+bool AsPath::contains(net::NodeId node) const {
+  return std::ranges::find(hops_, node) != hops_.end();
+}
+
+AsPath AsPath::prepended(net::NodeId node) const {
+  std::vector<net::NodeId> out;
+  out.reserve(hops_.size() + 1);
+  out.push_back(node);
+  out.insert(out.end(), hops_.begin(), hops_.end());
+  return AsPath{std::move(out)};
+}
+
+AsPath AsPath::suffix_from(net::NodeId node) const {
+  auto it = std::ranges::find(hops_, node);
+  if (it == hops_.end()) return AsPath{};
+  return AsPath{std::vector<net::NodeId>(it, hops_.end())};
+}
+
+std::string AsPath::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < hops_.size(); ++i) {
+    if (i) out += ' ';
+    out += std::to_string(hops_[i]);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace bgpsim::bgp

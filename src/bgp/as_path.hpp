@@ -1,0 +1,64 @@
+// AS-path value type.
+//
+// Convention (matching the paper's notation): a node's path to a destination
+// *includes itself at the front* and ends at the origin AS. Node 6 reaching
+// the destination at node 0 through node 4 holds path (6 4 0). Paths are
+// advertised verbatim — the receiver sees a path whose first hop is the
+// sender — and a receiver adopting a neighbor's path P stores (self)·P.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace bgpsim::bgp {
+
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<net::NodeId> hops) : hops_{std::move(hops)} {}
+  AsPath(std::initializer_list<net::NodeId> hops) : hops_{hops} {}
+
+  [[nodiscard]] std::size_t length() const { return hops_.size(); }
+  [[nodiscard]] bool empty() const { return hops_.empty(); }
+
+  /// True if `node` appears anywhere in the path — the path-based
+  /// poison-reverse test.
+  [[nodiscard]] bool contains(net::NodeId node) const;
+
+  /// The advertising AS (front of the path). Requires !empty().
+  [[nodiscard]] net::NodeId first_hop() const { return hops_.front(); }
+
+  /// The origin AS (back of the path). Requires !empty().
+  [[nodiscard]] net::NodeId origin() const { return hops_.back(); }
+
+  /// A copy with `node` prepended: (node)·this.
+  [[nodiscard]] AsPath prepended(net::NodeId node) const;
+
+  /// The sub-path starting at the first occurrence of `node` (inclusive),
+  /// or an empty path if `node` is absent. Used by the Assertion check to
+  /// compare what another route claims about `node`'s route.
+  [[nodiscard]] AsPath suffix_from(net::NodeId node) const;
+
+  [[nodiscard]] std::span<const net::NodeId> hops() const { return hops_; }
+
+  /// "(6 4 0)" — the paper's notation.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+  /// Lexicographic order on the hop sequence (not a preference order; see
+  /// decision.hpp for route preference).
+  friend auto operator<=>(const AsPath& a, const AsPath& b) {
+    return a.hops_ <=> b.hops_;
+  }
+
+ private:
+  std::vector<net::NodeId> hops_;
+};
+
+}  // namespace bgpsim::bgp

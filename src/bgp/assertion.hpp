@@ -1,0 +1,39 @@
+// The Assertion enhancement [Pei et al., INFOCOM 2002].
+//
+// Assertion keeps the Adj-RIB-In *mutually consistent* using only locally
+// available information:
+//
+//  - When peer u announces path(u,new): any stored route (from a different
+//    peer) whose path traverses u but disagrees with path(u,new) about the
+//    route u uses — i.e. its suffix starting at u differs from path(u,new)
+//    — is provably obsolete and is removed.
+//
+//  - When peer u withdraws (or the session to u drops): any stored route
+//    whose path traverses u relied on u's now-withdrawn route and is
+//    removed. (This is why, in a Clique Tdown, the origin's withdrawal
+//    immediately invalidates every (j 0) backup: they all traverse the
+//    origin.)
+//
+// Removing these entries prevents a node from selecting an obsolete backup
+// path — the loop-formation mechanism identified in §3 of the paper.
+#pragma once
+
+#include <cstddef>
+
+#include "bgp/as_path.hpp"
+#include "bgp/rib.hpp"
+#include "net/types.hpp"
+
+namespace bgpsim::bgp {
+
+/// Apply the announce-side assertion after storing path(u,new). Returns the
+/// number of Adj-RIB-In entries removed.
+std::size_t assert_on_announce(AdjRibIn& rib, net::Prefix prefix,
+                               net::NodeId from_peer, const AsPath& new_path);
+
+/// Apply the withdraw-side assertion after removing u's route (explicit
+/// withdrawal or session loss). Returns the number of entries removed.
+std::size_t assert_on_withdraw(AdjRibIn& rib, net::Prefix prefix,
+                               net::NodeId from_peer);
+
+}  // namespace bgpsim::bgp

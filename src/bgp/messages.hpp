@@ -1,0 +1,34 @@
+// BGP UPDATE wire messages.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "bgp/as_path.hpp"
+#include "net/types.hpp"
+
+namespace bgpsim::bgp {
+
+/// A BGP UPDATE for one prefix: either an announcement carrying the
+/// sender's full AS path, or an explicit withdrawal.
+struct UpdateMsg {
+  net::Prefix prefix = 0;
+  /// Engaged: announcement with this path. Empty: withdrawal.
+  std::optional<AsPath> path;
+
+  [[nodiscard]] bool is_withdrawal() const { return !path.has_value(); }
+
+  [[nodiscard]] static UpdateMsg announce(net::Prefix p, AsPath path) {
+    return UpdateMsg{p, std::move(path)};
+  }
+  [[nodiscard]] static UpdateMsg withdraw(net::Prefix p) {
+    return UpdateMsg{p, std::nullopt};
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_withdrawal()) return "withdraw p" + std::to_string(prefix);
+    return "announce p" + std::to_string(prefix) + " " + path->to_string();
+  }
+};
+
+}  // namespace bgpsim::bgp

@@ -1,0 +1,55 @@
+#include "bgp/mrai.hpp"
+
+#include <cassert>
+
+namespace bgpsim::bgp {
+
+bool MraiTimers::running(net::NodeId peer, net::Prefix prefix) const {
+  return timers_.contains(Key{peer, prefix});
+}
+
+bool MraiTimers::pending(net::NodeId peer, net::Prefix prefix) const {
+  auto it = timers_.find(Key{peer, prefix});
+  return it != timers_.end() && it->second.pending;
+}
+
+void MraiTimers::set_pending(net::NodeId peer, net::Prefix prefix,
+                             bool pending) {
+  auto it = timers_.find(Key{peer, prefix});
+  if (it != timers_.end()) it->second.pending = pending;
+}
+
+void MraiTimers::start(net::NodeId peer, net::Prefix prefix,
+                       sim::SimTime duration, sim::Simulator& simulator) {
+  assert(!running(peer, prefix));
+  const Key key{peer, prefix};
+  State st;
+  st.ev = simulator.schedule_after(duration, [this, key] {
+    auto it = timers_.find(key);
+    assert(it != timers_.end());
+    const bool was_pending = it->second.pending;
+    timers_.erase(it);
+    if (on_expiry_) on_expiry_(key.first, key.second, was_pending);
+  });
+  timers_.emplace(key, st);
+}
+
+void MraiTimers::cancel_peer(net::NodeId peer, sim::Simulator& simulator) {
+  for (auto it = timers_.begin(); it != timers_.end();) {
+    if (it->first.first == peer) {
+      simulator.cancel(it->second.ev);
+      it = timers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool MraiTimers::any_pending() const {
+  for (const auto& [key, st] : timers_) {
+    if (st.pending) return true;
+  }
+  return false;
+}
+
+}  // namespace bgpsim::bgp

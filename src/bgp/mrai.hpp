@@ -1,0 +1,59 @@
+// Per-(peer, prefix) Minimum Route Advertisement Interval timers.
+//
+// RFC 1771 §9.2.1.1: a route to a given destination may be advertised to a
+// given peer at most once per MRAI. The timer starts when an advertisement
+// is sent; while it runs, newer decisions are *held* (pending) and the most
+// current one is sent at expiry — intermediate flaps are never sent at all.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "net/types.hpp"
+#include "sim/scheduler.hpp"
+
+namespace bgpsim::bgp {
+
+class MraiTimers {
+ public:
+  /// Callback at timer expiry; `was_pending` says whether a held decision
+  /// accumulated while the timer ran.
+  using ExpiryHandler =
+      std::function<void(net::NodeId peer, net::Prefix prefix, bool was_pending)>;
+
+  void set_expiry_handler(ExpiryHandler h) { on_expiry_ = std::move(h); }
+
+  [[nodiscard]] bool running(net::NodeId peer, net::Prefix prefix) const;
+  [[nodiscard]] bool pending(net::NodeId peer, net::Prefix prefix) const;
+
+  /// Overwrite the pending flag for a *running* timer. No-op when the timer
+  /// is not running.
+  void set_pending(net::NodeId peer, net::Prefix prefix, bool pending);
+
+  /// Start the timer (must not be running) to expire after `duration`.
+  void start(net::NodeId peer, net::Prefix prefix, sim::SimTime duration,
+             sim::Simulator& simulator);
+
+  /// Cancel all timers toward `peer` (session down).
+  void cancel_peer(net::NodeId peer, sim::Simulator& simulator);
+
+  /// True if any running timer holds a pending decision — i.e. protocol
+  /// work is still queued behind MRAI.
+  [[nodiscard]] bool any_pending() const;
+
+  [[nodiscard]] std::size_t running_count() const { return timers_.size(); }
+
+ private:
+  struct State {
+    bool pending = false;
+    sim::EventId ev{};
+  };
+  using Key = std::pair<net::NodeId, net::Prefix>;
+
+  // std::map keeps iteration deterministic for cancel_peer / any_pending.
+  std::map<Key, State> timers_;
+  ExpiryHandler on_expiry_;
+};
+
+}  // namespace bgpsim::bgp

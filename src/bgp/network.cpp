@@ -1,0 +1,94 @@
+#include "bgp/network.hpp"
+
+#include <any>
+
+#include "bgp/messages.hpp"
+
+namespace bgpsim::bgp {
+
+BgpNetwork::BgpNetwork(sim::Simulator& simulator, net::Topology& topology,
+                       const BgpConfig& config,
+                       const net::ProcessingDelay& processing,
+                       const sim::Rng& root_rng)
+    : sim_{simulator}, topo_{topology}, transport_{simulator, topology} {
+  const std::size_t n = topo_.node_count();
+  fibs_.resize(n);
+  queues_.reserve(n);
+  speakers_.reserve(n);
+
+  for (net::NodeId node = 0; node < n; ++node) {
+    queues_.push_back(std::make_unique<net::ProcessingQueue>(
+        simulator, root_rng.child("proc", node), processing));
+    speakers_.push_back(std::make_unique<Speaker>(
+        node, config, simulator, transport_, fibs_[node],
+        root_rng.child("bgp", node)));
+    speakers_.back()->set_peers(topo_.up_neighbors(node));
+  }
+
+  // Wire: transport delivery -> receiver's processing queue -> speaker.
+  transport_.set_delivery_handler([this](const net::Envelope& env) {
+    queues_[env.to]->accept(env);
+  });
+  transport_.set_session_handler(
+      [this](net::NodeId self, net::NodeId peer, bool up) {
+        queues_[self]->accept_session_event(
+            net::ProcessingQueue::SessionEvent{peer, up});
+      });
+
+  for (net::NodeId node = 0; node < n; ++node) {
+    queues_[node]->set_message_handler([this, node](const net::Envelope& env) {
+      speakers_[node]->handle_update(
+          env.from, std::any_cast<const UpdateMsg&>(env.payload));
+    });
+    queues_[node]->set_session_handler(
+        [this, node](const net::ProcessingQueue::SessionEvent& ev) {
+          speakers_[node]->handle_session(ev.peer, ev.up);
+        });
+  }
+}
+
+void BgpNetwork::set_hooks(const Speaker::Hooks& hooks) {
+  for (auto& s : speakers_) s->set_hooks(hooks);
+}
+
+std::uint64_t BgpNetwork::control_messages_in_flight() const {
+  return transport_.messages_sent() - transport_.messages_delivered() -
+         transport_.messages_lost();
+}
+
+bool BgpNetwork::busy() const {
+  if (control_messages_in_flight() > 0) return true;
+  for (const auto& q : queues_) {
+    if (q->busy() || q->backlog() > 0) return true;
+  }
+  for (const auto& s : speakers_) {
+    if (!s->quiescent()) return true;
+  }
+  return false;
+}
+
+bool BgpNetwork::timers_running() const {
+  for (const auto& s : speakers_) {
+    if (s->timers_running()) return true;
+  }
+  return false;
+}
+
+Speaker::Counters BgpNetwork::total_counters() const {
+  Speaker::Counters total;
+  for (const auto& s : speakers_) {
+    const auto& c = s->counters();
+    total.announcements_sent += c.announcements_sent;
+    total.withdrawals_sent += c.withdrawals_sent;
+    total.updates_received += c.updates_received;
+    total.poison_reverse_discards += c.poison_reverse_discards;
+    total.assertion_removals += c.assertion_removals;
+    total.ghost_flushes += c.ghost_flushes;
+    total.ssld_conversions += c.ssld_conversions;
+    total.best_path_changes += c.best_path_changes;
+    total.caution_holds += c.caution_holds;
+  }
+  return total;
+}
+
+}  // namespace bgpsim::bgp

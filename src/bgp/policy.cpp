@@ -1,0 +1,48 @@
+#include "bgp/policy.hpp"
+
+namespace bgpsim::bgp {
+
+int policy_local_pref(const net::RelationshipTable& rel, net::NodeId self,
+                      net::NodeId peer) {
+  const auto r = rel.relationship(self, peer);
+  if (!r) return net::RelationshipTable::local_pref(net::Relationship::kPeer);
+  return net::RelationshipTable::local_pref(*r);
+}
+
+bool policy_exportable(const net::RelationshipTable& rel, net::NodeId self,
+                       const AsPath& loc, net::NodeId to) {
+  // Self-originated: advertise to everyone.
+  if (loc.length() <= 1) return true;
+  const net::NodeId learned_from = loc.hops()[1];
+  const auto from_rel = rel.relationship(self, learned_from);
+  // Customer-learned routes are revenue: export to everyone.
+  if (from_rel == net::Relationship::kCustomer) return true;
+  // Peer-/provider-learned: only to customers (no free transit).
+  return rel.relationship(self, to) == net::Relationship::kCustomer;
+}
+
+bool valley_free(const net::RelationshipTable& rel, const AsPath& path) {
+  // Phase 0: climbing (to providers). Phase 1: one peer step.
+  // Phase 2: descending (to customers). Any regression is a valley.
+  int phase = 0;
+  const auto hops = path.hops();
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    const auto r = rel.relationship(hops[i], hops[i + 1]);
+    const net::Relationship step = r.value_or(net::Relationship::kPeer);
+    switch (step) {
+      case net::Relationship::kProvider:  // climbing
+        if (phase != 0) return false;
+        break;
+      case net::Relationship::kPeer:
+        if (phase >= 1) return false;
+        phase = 1;
+        break;
+      case net::Relationship::kCustomer:  // descending
+        phase = 2;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace bgpsim::bgp

@@ -1,0 +1,38 @@
+// Gao-Rexford routing policy over a RelationshipTable.
+//
+// Import: prefer customer-learned routes over peer-learned over
+// provider-learned (local preference), before path length.
+// Export ("no valley, no free transit"):
+//   - self-originated and customer-learned routes go to everyone;
+//   - peer- and provider-learned routes go to customers only.
+// With a relationship-annotated hierarchy that is acyclic in its
+// provider-customer digraph (our Internet generator guarantees this),
+// these rules are the classic sufficient condition for BGP convergence.
+#pragma once
+
+#include "bgp/as_path.hpp"
+#include "net/relationships.hpp"
+#include "net/types.hpp"
+
+namespace bgpsim::bgp {
+
+/// Local preference of a route learned from `peer` at `self`.
+/// Unclassified adjacencies count as peers (middle preference).
+[[nodiscard]] int policy_local_pref(const net::RelationshipTable& rel,
+                                    net::NodeId self, net::NodeId peer);
+
+/// May `self` export its current best route `loc` (paper notation: starts
+/// with self; hops()[1] is the neighbor it was learned from, absent when
+/// self-originated) to neighbor `to`?
+[[nodiscard]] bool policy_exportable(const net::RelationshipTable& rel,
+                                     net::NodeId self, const AsPath& loc,
+                                     net::NodeId to);
+
+/// Valley-free check for a full forwarding path (first hop = the source
+/// node, last = origin): the relationship sequence along the traffic
+/// direction must match up* peer? down*. Used by tests to validate
+/// converged states under policy routing.
+[[nodiscard]] bool valley_free(const net::RelationshipTable& rel,
+                               const AsPath& path);
+
+}  // namespace bgpsim::bgp

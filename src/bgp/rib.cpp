@@ -1,0 +1,72 @@
+#include "bgp/rib.hpp"
+
+namespace bgpsim::bgp {
+
+const std::map<net::NodeId, AsPath> AdjRibIn::kEmpty{};
+
+void AdjRibIn::set(net::Prefix prefix, net::NodeId peer, AsPath path) {
+  table_[prefix][peer] = std::move(path);
+}
+
+bool AdjRibIn::withdraw(net::Prefix prefix, net::NodeId peer) {
+  auto it = table_.find(prefix);
+  if (it == table_.end()) return false;
+  return it->second.erase(peer) > 0;
+}
+
+std::vector<net::Prefix> AdjRibIn::drop_peer(net::NodeId peer) {
+  std::vector<net::Prefix> affected;
+  for (auto& [prefix, per_peer] : table_) {
+    if (per_peer.erase(peer) > 0) affected.push_back(prefix);
+  }
+  return affected;
+}
+
+const AsPath* AdjRibIn::get(net::Prefix prefix, net::NodeId peer) const {
+  auto it = table_.find(prefix);
+  if (it == table_.end()) return nullptr;
+  auto e = it->second.find(peer);
+  if (e == it->second.end()) return nullptr;
+  return &e->second;
+}
+
+const std::map<net::NodeId, AsPath>& AdjRibIn::entries(
+    net::Prefix prefix) const {
+  auto it = table_.find(prefix);
+  return it == table_.end() ? kEmpty : it->second;
+}
+
+std::vector<net::Prefix> AdjRibIn::prefixes() const {
+  std::vector<net::Prefix> out;
+  out.reserve(table_.size());
+  for (const auto& [prefix, per_peer] : table_) {
+    if (!per_peer.empty()) out.push_back(prefix);
+  }
+  return out;
+}
+
+bool LocRib::set(net::Prefix prefix, std::optional<AsPath> path) {
+  auto it = best_.find(prefix);
+  if (!path) {
+    if (it == best_.end()) return false;
+    best_.erase(it);
+    return true;
+  }
+  if (it != best_.end() && it->second == *path) return false;
+  best_[prefix] = std::move(*path);
+  return true;
+}
+
+const AsPath* LocRib::get(net::Prefix prefix) const {
+  auto it = best_.find(prefix);
+  return it == best_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::Prefix> LocRib::prefixes() const {
+  std::vector<net::Prefix> out;
+  out.reserve(best_.size());
+  for (const auto& [prefix, path] : best_) out.push_back(prefix);
+  return out;
+}
+
+}  // namespace bgpsim::bgp

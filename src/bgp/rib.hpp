@@ -1,0 +1,84 @@
+// Routing Information Bases.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "net/types.hpp"
+
+namespace bgpsim::bgp {
+
+/// Adj-RIB-In: the most recent route learned from each neighbor, per prefix.
+///
+/// Entries persist until replaced, withdrawn, or the peer session drops —
+/// which is exactly why obsolete entries exist to be picked as backup paths
+/// (the root cause of the paper's transient loops). The Assertion
+/// enhancement additionally erases entries it proves obsolete.
+class AdjRibIn {
+ public:
+  /// Record an announcement from `peer`. Replaces any previous entry.
+  void set(net::Prefix prefix, net::NodeId peer, AsPath path);
+
+  /// Remove `peer`'s route for `prefix` (withdrawal or poison-reverse
+  /// discard). Returns true if an entry existed.
+  bool withdraw(net::Prefix prefix, net::NodeId peer);
+
+  /// Remove everything learned from `peer` (session down). Returns the
+  /// prefixes that lost an entry.
+  std::vector<net::Prefix> drop_peer(net::NodeId peer);
+
+  /// The stored route from `peer` for `prefix`, if any.
+  [[nodiscard]] const AsPath* get(net::Prefix prefix, net::NodeId peer) const;
+
+  /// All (peer, path) entries for `prefix`, in ascending peer order
+  /// (deterministic iteration keeps runs reproducible).
+  [[nodiscard]] const std::map<net::NodeId, AsPath>& entries(
+      net::Prefix prefix) const;
+
+  /// All prefixes with at least one entry.
+  [[nodiscard]] std::vector<net::Prefix> prefixes() const;
+
+  /// Erase entries for `prefix` that satisfy `pred(peer, path)`; returns
+  /// the number erased. Used by the Assertion enhancement.
+  template <typename Pred>
+  std::size_t erase_if(net::Prefix prefix, Pred pred) {
+    auto it = table_.find(prefix);
+    if (it == table_.end()) return 0;
+    std::size_t erased = 0;
+    for (auto e = it->second.begin(); e != it->second.end();) {
+      if (pred(e->first, e->second)) {
+        e = it->second.erase(e);
+        ++erased;
+      } else {
+        ++e;
+      }
+    }
+    return erased;
+  }
+
+ private:
+  // prefix -> (peer -> path); std::map for deterministic order.
+  std::unordered_map<net::Prefix, std::map<net::NodeId, AsPath>> table_;
+  static const std::map<net::NodeId, AsPath> kEmpty;
+};
+
+/// Loc-RIB: the node's currently selected best path per prefix. A node's
+/// own path includes itself at the front (paper notation).
+class LocRib {
+ public:
+  /// Install the selected path (or disengage on nullopt). Returns true if
+  /// the stored value changed.
+  bool set(net::Prefix prefix, std::optional<AsPath> path);
+
+  [[nodiscard]] const AsPath* get(net::Prefix prefix) const;
+
+  [[nodiscard]] std::vector<net::Prefix> prefixes() const;
+
+ private:
+  std::unordered_map<net::Prefix, AsPath> best_;
+};
+
+}  // namespace bgpsim::bgp

@@ -1,0 +1,274 @@
+#include "bgp/speaker.hpp"
+
+#include <any>
+
+#include "bgp/assertion.hpp"
+#include "bgp/policy.hpp"
+#include "sim/logging.hpp"
+
+namespace bgpsim::bgp {
+
+Speaker::Speaker(net::NodeId self, BgpConfig config, sim::Simulator& simulator,
+                 net::Transport& transport, fwd::Fib& fib, sim::Rng rng)
+    : self_{self},
+      config_{config},
+      sim_{simulator},
+      transport_{transport},
+      fib_{fib},
+      rng_{std::move(rng)} {
+  mrai_.set_expiry_handler(
+      [this](net::NodeId peer, net::Prefix prefix, bool was_pending) {
+        on_mrai_expired(peer, prefix, was_pending);
+      });
+}
+
+void Speaker::set_peers(const std::vector<net::NodeId>& peers) {
+  peers_ = std::set<net::NodeId>(peers.begin(), peers.end());
+}
+
+void Speaker::originate(net::Prefix prefix) {
+  originated_.insert(prefix);
+  run_decision(prefix);
+}
+
+void Speaker::withdraw_origin(net::Prefix prefix) {
+  if (originated_.erase(prefix) == 0) return;
+  run_decision(prefix);
+}
+
+void Speaker::handle_update(net::NodeId from, const UpdateMsg& update) {
+  ++counters_.updates_received;
+  // A message can race a session drop (in-flight when the link died is
+  // already lost, but a restore/re-drop can interleave); ignore strays.
+  if (!peers_.contains(from)) return;
+
+  const net::Prefix prefix = update.prefix;
+  if (update.is_withdrawal()) {
+    adj_rib_in_.withdraw(prefix, from);
+    if (config_.assertion) {
+      counters_.assertion_removals +=
+          assert_on_withdraw(adj_rib_in_, prefix, from);
+    }
+  } else {
+    if (update.path->contains(self_)) {
+      // Path-based poison reverse: the route is unusable here, and it
+      // *replaces* whatever this peer previously advertised.
+      ++counters_.poison_reverse_discards;
+      adj_rib_in_.withdraw(prefix, from);
+    } else {
+      adj_rib_in_.set(prefix, from, *update.path);
+    }
+    // Assertion uses the announcement as ground truth about `from`'s own
+    // route regardless of whether we can use the path ourselves.
+    if (config_.assertion) {
+      counters_.assertion_removals +=
+          assert_on_announce(adj_rib_in_, prefix, from, *update.path);
+    }
+  }
+  sim::LogLine{sim::LogLevel::kTrace, "bgp", sim_.now()}
+      << "node " << self_ << " recv from " << from << ": "
+      << update.to_string();
+  run_decision(prefix);
+}
+
+void Speaker::handle_session(net::NodeId peer, bool up) {
+  if (up) {
+    peers_.insert(peer);
+    // Session (re-)established: offer our current table to the new peer.
+    for (net::Prefix prefix : loc_rib_.prefixes()) consider_send(peer, prefix);
+    return;
+  }
+
+  peers_.erase(peer);
+  mrai_.cancel_peer(peer, sim_);
+  for (auto it = advertised_.begin(); it != advertised_.end();) {
+    if (it->first.first == peer) {
+      it = advertised_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Gather every prefix that might be affected before mutating the RIB.
+  std::set<net::Prefix> prefixes;
+  for (net::Prefix p : adj_rib_in_.prefixes()) prefixes.insert(p);
+  for (net::Prefix p : loc_rib_.prefixes()) prefixes.insert(p);
+
+  adj_rib_in_.drop_peer(peer);
+  if (config_.assertion) {
+    // A session loss is an implicit withdrawal of everything `peer`
+    // advertised; the withdraw-side assertion applies to each prefix.
+    for (net::Prefix p : prefixes) {
+      counters_.assertion_removals += assert_on_withdraw(adj_rib_in_, p, peer);
+    }
+  }
+  for (net::Prefix p : prefixes) run_decision(p);
+}
+
+void Speaker::run_decision(net::Prefix prefix) {
+  std::optional<AsPath> new_loc;
+  if (originated_.contains(prefix)) {
+    new_loc = AsPath{self_};
+  } else if (auto best =
+                 select_best(adj_rib_in_, prefix, self_, config_.policy)) {
+    new_loc = best->prepended(self_);
+  }
+
+  // Backup caution (§3.3 future work): don't jump onto a *worse* backup
+  // the instant the good path dies — it is exactly the obsolete-state pick
+  // that forms loops. Behave as unreachable for the caution window; any
+  // equal-or-better route arriving meanwhile is adopted immediately.
+  if (config_.backup_caution > sim::SimTime::zero()) {
+    const AsPath* current = loc_rib_.get(prefix);
+    auto held = caution_lost_length_.find(prefix);
+    if (held != caution_lost_length_.end()) {
+      if (new_loc && new_loc->length() <= held->second) {
+        caution_lost_length_.erase(held);  // genuine replacement: accept
+      } else {
+        new_loc = std::nullopt;  // still verifying: stay down
+      }
+    } else if (current && new_loc && new_loc->length() > current->length()) {
+      ++counters_.caution_holds;
+      caution_lost_length_.emplace(prefix, current->length());
+      new_loc = std::nullopt;
+      sim_.schedule_after(config_.backup_caution, [this, prefix] {
+        if (caution_lost_length_.erase(prefix) > 0) run_decision(prefix);
+      });
+    }
+  }
+
+  const AsPath* old = loc_rib_.get(prefix);
+  const std::optional<AsPath> old_loc =
+      old ? std::optional{*old} : std::nullopt;
+  if (!loc_rib_.set(prefix, new_loc)) return;  // decision unchanged
+  ++counters_.best_path_changes;
+
+  if (new_loc && new_loc->length() >= 2) {
+    fib_.set_next_hop(prefix, new_loc->hops()[1]);
+  } else {
+    fib_.clear_route(prefix);
+  }
+  sim::LogLine{sim::LogLevel::kDebug, "bgp", sim_.now()}
+      << "node " << self_ << " best path p" << prefix << " -> "
+      << (new_loc ? new_loc->to_string() : "(unreachable)");
+  if (hooks_.on_best_changed) hooks_.on_best_changed(self_, prefix, new_loc);
+
+  // Ghost Flushing: the path just got *worse*; peers still holding our old
+  // (better, now ghost) path whose refresh is stuck behind MRAI get an
+  // immediate withdrawal so the stale information stops spreading.
+  if (config_.ghost_flushing && old_loc && new_loc &&
+      new_loc->length() > old_loc->length()) {
+    ghost_flush(prefix);
+  }
+
+  advertise_to_all(prefix);
+}
+
+void Speaker::advertise_to_all(net::Prefix prefix) {
+  for (net::NodeId peer : peers_) consider_send(peer, prefix);
+}
+
+UpdateMsg Speaker::desired_update(net::NodeId peer, net::Prefix prefix) {
+  const AsPath* loc = loc_rib_.get(prefix);
+  if (!loc) return UpdateMsg::withdraw(prefix);
+  if (config_.policy && !policy_exportable(*config_.policy, self_, *loc, peer)) {
+    // No-valley export rule: this peer must not receive the route (and any
+    // earlier advertisement of a now-unexportable route is retracted).
+    return UpdateMsg::withdraw(prefix);
+  }
+  if (config_.ssld && loc->contains(peer)) {
+    // Sender-side loop detection: the receiver would discard this path
+    // anyway; send the (MRAI-exempt) withdrawal instead so the implicit
+    // poison-reverse information arrives sooner.
+    return UpdateMsg::withdraw(prefix);
+  }
+  return UpdateMsg::announce(prefix, *loc);
+}
+
+bool Speaker::already_advertised(net::NodeId peer, net::Prefix prefix,
+                                 const UpdateMsg& desired) const {
+  auto it = advertised_.find({peer, prefix});
+  const Advertised::Kind kind =
+      it == advertised_.end() ? Advertised::Kind::kNotSent : it->second.kind;
+  if (desired.is_withdrawal()) {
+    // Nothing to retract if the peer never heard an announcement from us.
+    return kind != Advertised::Kind::kAnnounced;
+  }
+  return kind == Advertised::Kind::kAnnounced && it->second.path == *desired.path;
+}
+
+void Speaker::consider_send(net::NodeId peer, net::Prefix prefix) {
+  const UpdateMsg desired = desired_update(peer, prefix);
+  const bool same = already_advertised(peer, prefix, desired);
+  const bool rate_limited = !desired.is_withdrawal() || config_.wrate;
+  if (rate_limited && mrai_.running(peer, prefix)) {
+    // Hold the decision; the expiry handler re-derives the then-current
+    // desired update (intermediate flaps are never transmitted).
+    mrai_.set_pending(peer, prefix, !same);
+    return;
+  }
+  if (same) return;
+  if (config_.ssld && desired.is_withdrawal()) {
+    const AsPath* loc = loc_rib_.get(prefix);
+    if (loc && loc->contains(peer)) ++counters_.ssld_conversions;
+  }
+  send_update(peer, prefix, desired);
+}
+
+void Speaker::send_update(net::NodeId peer, net::Prefix prefix,
+                          UpdateMsg update) {
+  auto& adv = advertised_[{peer, prefix}];
+  if (update.is_withdrawal()) {
+    adv.kind = Advertised::Kind::kWithdrawn;
+    adv.path = AsPath{};
+    ++counters_.withdrawals_sent;
+  } else {
+    adv.kind = Advertised::Kind::kAnnounced;
+    adv.path = *update.path;
+    ++counters_.announcements_sent;
+  }
+
+  sim::LogLine{sim::LogLevel::kTrace, "bgp", sim_.now()}
+      << "node " << self_ << " send to " << peer << ": " << update.to_string();
+
+  const bool start_timer =
+      (!update.is_withdrawal() || config_.wrate) && !mrai_.running(peer, prefix);
+  // A bypassing withdrawal supersedes any decision held behind the timer.
+  mrai_.set_pending(peer, prefix, false);
+
+  transport_.send(self_, peer, std::any{update});
+  if (hooks_.on_update_sent) hooks_.on_update_sent(self_, peer, update);
+
+  if (start_timer) mrai_.start(peer, prefix, jittered_mrai(), sim_);
+}
+
+void Speaker::on_mrai_expired(net::NodeId peer, net::Prefix prefix,
+                              bool was_pending) {
+  if (was_pending) consider_send(peer, prefix);
+}
+
+void Speaker::ghost_flush(net::Prefix prefix) {
+  for (net::NodeId peer : peers_) {
+    if (!mrai_.running(peer, prefix)) continue;  // announce not delayed
+    auto it = advertised_.find({peer, prefix});
+    if (it == advertised_.end() ||
+        it->second.kind != Advertised::Kind::kAnnounced) {
+      continue;
+    }
+    ++counters_.ghost_flushes;
+    send_update(peer, prefix, UpdateMsg::withdraw(prefix));
+    // The (longer) replacement path follows at MRAI expiry.
+    mrai_.set_pending(peer, prefix, true);
+  }
+}
+
+sim::SimTime Speaker::jittered_mrai() {
+  if (config_.jitter_lo == config_.jitter_hi) {
+    return sim::SimTime::seconds(config_.mrai.as_seconds() * config_.jitter_lo);
+  }
+  return sim::SimTime::seconds(
+      config_.mrai.as_seconds() *
+      rng_.uniform(config_.jitter_lo, config_.jitter_hi));
+}
+
+}  // namespace bgpsim::bgp

@@ -1,0 +1,223 @@
+#include "core/dv_experiment.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/selection.hpp"
+#include "dv/network.hpp"
+#include "fwd/engine.hpp"
+#include "fwd/traffic.hpp"
+#include "metrics/collector.hpp"
+#include "metrics/loop_detector.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace bgpsim::core {
+namespace {
+
+constexpr net::Prefix kPrefix = 0;
+
+}  // namespace
+
+ExperimentOutcome run_dv_experiment(const DvScenario& scenario) {
+  if (scenario.settle_margin <= scenario.traffic_lead) {
+    throw std::invalid_argument{
+        "DvScenario: settle_margin must exceed traffic_lead"};
+  }
+  if (scenario.dv.periodic == sim::SimTime::zero() && !scenario.dv.triggered) {
+    throw std::invalid_argument{
+        "DvScenario: need triggered updates, periodic refresh, or both"};
+  }
+
+  net::Topology topo = scenario.topology.build();
+  sim::Rng root{scenario.seed};
+  sim::Rng scenario_rng = root.child("scenario");
+
+  const net::NodeId destination =
+      choose_destination(scenario.topology.kind, scenario.event,
+                         scenario.destination, topo, scenario_rng);
+  std::optional<net::LinkId> failed_link;
+  if (scenario.event == EventKind::kTlong) {
+    failed_link =
+        choose_tlong_link(scenario.topology.kind, scenario.topology.size,
+                          scenario.tlong_link, topo, destination,
+                          scenario_rng);
+  }
+
+  sim::Simulator simulator;
+  dv::DvNetwork network{simulator, topo, scenario.dv, scenario.processing,
+                        root};
+  metrics::Collector collector;
+  // Stability clock: the last time any route table changed anywhere.
+  sim::SimTime last_change = sim::SimTime::zero();
+  network.set_hooks(dv::DvSpeaker::Hooks{
+      .on_update_sent =
+          [&](net::NodeId, net::NodeId, const dv::DvUpdate&) {
+            collector.note_update_sent(simulator.now(), false);
+          },
+      .on_route_changed =
+          [&](net::NodeId, net::Prefix, std::optional<int>) {
+            last_change = simulator.now();
+          },
+  });
+
+  // With periodic refresh the network is "stable" once two whole refresh
+  // cycles (plus triggered/processing slack) pass without a table change.
+  const sim::SimTime stability_window =
+      scenario.dv.periodic > sim::SimTime::zero()
+          ? 2 * scenario.dv.periodic + sim::SimTime::seconds(10)
+          : scenario.dv.triggered_delay_hi + sim::SimTime::seconds(10);
+  const bool has_periodic = scenario.dv.periodic > sim::SimTime::zero();
+  const auto stable = [&] {
+    if (!has_periodic) return !network.busy();  // triggered-only: drains
+    return simulator.now() - last_change > stability_window;
+  };
+
+  fwd::DataPlane plane{simulator, topo, network.fibs(), destination, kPrefix};
+  plane.set_fate_handler([&](const fwd::Packet& p, fwd::PacketFate fate,
+                             net::NodeId where, sim::SimTime when) {
+    collector.note_fate(p, fate, where, when);
+  });
+
+  metrics::LoopDetector detector{topo.node_count()};
+  detector.attach(simulator, network.fibs(), kPrefix);
+
+  fwd::TrafficGenerator traffic{simulator, plane, scenario.traffic,
+                                root.child("traffic")};
+  traffic.set_send_hook([&](net::NodeId, sim::SimTime when) {
+    collector.note_packet_sent(when);
+  });
+
+  // ---- Phase 1: cold-start convergence --------------------------------
+  if (scenario.event != EventKind::kTup) {
+    simulator.schedule_at(sim::SimTime::zero(),
+                          [&] { network.originate(destination, kPrefix); });
+  }
+  // Run until the tables stabilize (bounded by max_sim_time).
+  {
+    sim::SimTime horizon = stability_window + sim::SimTime::seconds(30);
+    while (horizon < scenario.max_sim_time) {
+      simulator.run_until(horizon);
+      if (stable()) break;
+      horizon += stability_window;
+    }
+    if (!stable()) {
+      throw std::runtime_error{"dv initial convergence exceeded max_sim_time"};
+    }
+  }
+  const double initial_convergence_s = last_change.as_seconds();
+
+  // ---- Phase 2: traffic + event + convergence -------------------------
+  const sim::SimTime t_event = simulator.now() + scenario.settle_margin;
+  const sim::SimTime t_traffic = t_event - scenario.traffic_lead;
+
+  std::vector<net::NodeId> sources;
+  for (net::NodeId n = 0; n < topo.node_count(); ++n) {
+    if (n != destination) sources.push_back(n);
+  }
+  traffic.start(sources, t_traffic);
+
+  simulator.schedule_at(t_event, [&] {
+    detector.clear_history();
+    last_change = simulator.now();
+    switch (scenario.event) {
+      case EventKind::kTdown:
+        network.inject_tdown(destination, kPrefix);
+        break;
+      case EventKind::kTlong:
+        network.inject_link_failure(*failed_link);
+        break;
+      case EventKind::kTup:
+        network.originate(destination, kPrefix);
+        break;
+    }
+  });
+
+  bool timed_out = false;
+  bool done = false;
+  const auto drain = sim::SimTime::seconds(2);
+  std::function<void()> poll = [&] {
+    if (stable()) {
+      done = true;
+      traffic.stop();
+      simulator.schedule_after(drain, [&] { simulator.clear_pending(); });
+      return;
+    }
+    if (simulator.now() >= scenario.max_sim_time) {
+      timed_out = true;
+      simulator.clear_pending();
+      return;
+    }
+    simulator.schedule_after(sim::SimTime::seconds(2), poll);
+  };
+  simulator.schedule_at(t_event + sim::SimTime::seconds(2), poll);
+
+  simulator.run_until(scenario.max_sim_time + sim::SimTime::seconds(10));
+  if (timed_out || !done) {
+    throw std::runtime_error{"dv scenario did not converge in max_sim_time"};
+  }
+
+  const sim::SimTime end = simulator.now();
+  detector.finalize(end);
+
+  // ---- Metrics (same definitions; DV clock = last table change) --------
+  ExperimentOutcome out;
+  out.destination = destination;
+  out.failed_link = failed_link;
+  out.initial_convergence_s = initial_convergence_s;
+  out.events_fired = simulator.events_fired();
+
+  metrics::RunMetrics& m = out.metrics;
+  m.event_at = t_event;
+  m.last_update_at = std::max(last_change, t_event);
+  m.convergence_time_s = (m.last_update_at - t_event).as_seconds();
+
+  const auto first_exh = collector.first_exhaustion(t_event);
+  const auto last_exh = collector.last_exhaustion(t_event);
+  m.first_exhaustion_at = first_exh.value_or(t_event);
+  m.last_exhaustion_at = last_exh.value_or(t_event);
+  m.looping_duration_s =
+      first_exh ? (m.last_exhaustion_at - m.first_exhaustion_at).as_seconds()
+                : 0.0;
+
+  m.ttl_exhaustions = collector.exhaustions_since(t_event);
+  m.packets_sent_during_convergence =
+      collector.packets_sent_in(t_event, m.last_update_at);
+  m.looping_ratio =
+      m.packets_sent_during_convergence == 0
+          ? 0.0
+          : static_cast<double>(m.ttl_exhaustions) /
+                static_cast<double>(m.packets_sent_during_convergence);
+
+  m.packets_sent_total = collector.packets_sent_total();
+  m.packets_delivered = collector.delivered_total();
+  m.packets_no_route = collector.no_route_total();
+  m.packets_link_down = collector.link_down_total();
+  m.updates_sent = collector.updates_sent_since(t_event);
+  m.updates_sent_total = collector.updates_sent_total();
+
+  const auto profile_end = m.last_update_at + sim::SimTime::seconds(1);
+  m.update_activity_1s =
+      collector.update_activity(t_event, profile_end, sim::SimTime::seconds(1));
+  m.exhaustion_activity_1s = collector.exhaustion_activity(
+      t_event, profile_end, sim::SimTime::seconds(1));
+
+  m.loops = detector.records();
+  m.loops_formed = m.loops.size();
+  m.loop_stats = metrics::analyze_loops(m.loops, end);
+  if (!m.loops.empty()) {
+    double size_sum = 0;
+    for (const auto& loop : m.loops) {
+      size_sum += static_cast<double>(loop.size());
+      m.max_loop_size = std::max(m.max_loop_size, loop.size());
+      m.max_loop_duration_s =
+          std::max(m.max_loop_duration_s, loop.duration_seconds(end));
+    }
+    m.mean_loop_size = size_sum / static_cast<double>(m.loops.size());
+  }
+  return out;
+}
+
+}  // namespace bgpsim::core

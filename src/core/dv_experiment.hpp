@@ -1,0 +1,43 @@
+// Experiment driver for the distance-vector baseline (same flow and
+// metrics as run_experiment, with a DvNetwork in place of BgpNetwork).
+//
+// Because periodic refresh keeps the event queue non-empty forever, the
+// DV driver detects convergence by *route-table stability* (no table
+// change anywhere for two refresh cycles) rather than queue drain, and its
+// convergence clock is "event -> last route-table change" (for the BGP
+// driver the clock is "event -> last update sent"; for triggered updates
+// the two differ by at most one triggered delay).
+#pragma once
+
+#include <optional>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "dv/config.hpp"
+
+namespace bgpsim::core {
+
+struct DvScenario {
+  TopologySpec topology;
+  EventKind event = EventKind::kTdown;
+
+  dv::DvConfig dv;                  // RIP defaults: periodic 30 s, triggered
+  net::ProcessingDelay processing;  // U[0.1 s, 0.5 s] as in the study
+  fwd::TrafficConfig traffic;
+
+  std::uint64_t seed = 1;
+  std::optional<net::NodeId> destination;
+  std::optional<net::LinkId> tlong_link;
+
+  sim::SimTime traffic_lead = sim::SimTime::seconds(2);
+  sim::SimTime settle_margin = sim::SimTime::seconds(5);
+  sim::SimTime max_sim_time = sim::SimTime::seconds(50000);
+};
+
+/// Run the distance-vector baseline end to end; the returned metrics use
+/// the same definitions and substrate (data plane, loop detector) as
+/// run_experiment, so they are directly comparable. The BGP-specific
+/// counter block is left empty.
+[[nodiscard]] ExperimentOutcome run_dv_experiment(const DvScenario& scenario);
+
+}  // namespace bgpsim::core

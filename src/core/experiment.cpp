@@ -1,0 +1,254 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "bgp/network.hpp"
+#include "fwd/engine.hpp"
+#include "fwd/traffic.hpp"
+#include "metrics/collector.hpp"
+#include "metrics/loop_detector.hpp"
+#include "core/selection.hpp"
+#include "net/relationships.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "topo/generators.hpp"
+#include "topo/internet.hpp"
+
+namespace bgpsim::core {
+namespace {
+
+constexpr net::Prefix kPrefix = 0;
+
+}  // namespace
+
+ExperimentOutcome run_experiment(const Scenario& scenario) {
+  if (scenario.settle_margin <= scenario.traffic_lead) {
+    throw std::invalid_argument{
+        "Scenario: settle_margin must exceed traffic_lead"};
+  }
+
+  net::Topology topo;
+  net::RelationshipTable relationships;
+  if (scenario.policy_routing) {
+    if (scenario.topology.kind != TopologyKind::kInternet) {
+      throw std::invalid_argument{
+          "Scenario: policy_routing requires an Internet topology"};
+    }
+    topo::InternetParams params;
+    params.nodes = scenario.topology.size;
+    params.seed = scenario.topology.topo_seed;
+    auto annotated = topo::make_internet_annotated(params);
+    topo = std::move(annotated.topology);
+    relationships = std::move(annotated.relationships);
+  } else {
+    topo = scenario.topology.build();
+  }
+  sim::Rng root{scenario.seed};
+  sim::Rng scenario_rng = root.child("scenario");
+
+  const net::NodeId destination =
+      choose_destination(scenario.topology.kind, scenario.event,
+                         scenario.destination, topo, scenario_rng);
+  std::optional<net::LinkId> failed_link;
+  if (scenario.event == EventKind::kTlong) {
+    failed_link =
+        choose_tlong_link(scenario.topology.kind, scenario.topology.size,
+                          scenario.tlong_link, topo, destination,
+                          scenario_rng);
+  }
+
+  sim::Simulator simulator;
+  bgp::BgpConfig bgp_config = scenario.bgp;
+  if (scenario.policy_routing) bgp_config.policy = &relationships;
+  bgp::BgpNetwork network{simulator, topo, bgp_config, scenario.processing,
+                          root};
+  metrics::Collector collector;
+  metrics::TraceRecorder* trace = scenario.trace;
+  bgp::Speaker::Hooks hooks;
+  hooks.on_update_sent = [&collector, &simulator, trace](
+                             net::NodeId from, net::NodeId to,
+                             const bgp::UpdateMsg& msg) {
+    collector.note_update_sent(simulator.now(), msg.is_withdrawal());
+    if (trace) {
+      trace->record(metrics::TraceEvent{
+          simulator.now(), metrics::TraceEventKind::kUpdateSent, from, to,
+          msg.prefix, msg.to_string()});
+    }
+  };
+  if (trace) {
+    hooks.on_best_changed = [trace, &simulator](
+                                net::NodeId node, net::Prefix prefix,
+                                const std::optional<bgp::AsPath>& best) {
+      trace->record(metrics::TraceEvent{
+          simulator.now(), metrics::TraceEventKind::kBestChanged, node,
+          net::kInvalidNode, prefix,
+          best ? best->to_string() : "(unreachable)"});
+    };
+  }
+  network.set_hooks(hooks);
+
+  fwd::DataPlane plane{simulator, topo, network.fibs(), destination, kPrefix};
+  plane.set_fate_handler([&](const fwd::Packet& p, fwd::PacketFate fate,
+                             net::NodeId where, sim::SimTime when) {
+    collector.note_fate(p, fate, where, when);
+  });
+
+  metrics::LoopDetector detector{topo.node_count()};
+  detector.attach(simulator, network.fibs(), kPrefix);
+  if (trace) {
+    detector.set_observer([trace](const metrics::LoopRecord& r, bool formed) {
+      std::string members = "{";
+      for (std::size_t i = 0; i < r.members.size(); ++i) {
+        if (i) members += ' ';
+        members += std::to_string(r.members[i]);
+      }
+      members += '}';
+      trace->record(metrics::TraceEvent{
+          formed ? r.formed_at : r.resolved_at.value_or(r.formed_at),
+          formed ? metrics::TraceEventKind::kLoopFormed
+                 : metrics::TraceEventKind::kLoopResolved,
+          net::kInvalidNode, net::kInvalidNode, kPrefix, members});
+    });
+  }
+
+  fwd::TrafficGenerator traffic{simulator, plane, scenario.traffic,
+                                root.child("traffic")};
+  traffic.set_send_hook([&](net::NodeId, sim::SimTime when) {
+    collector.note_packet_sent(when);
+  });
+
+  // ---- Phase 1: cold-start convergence --------------------------------
+  // (For Tup the network starts empty — the origination *is* the event.)
+  if (scenario.event != EventKind::kTup) {
+    simulator.schedule_at(sim::SimTime::zero(),
+                          [&] { network.originate(destination, kPrefix); });
+  }
+  simulator.run_until(scenario.max_sim_time);
+  if (simulator.pending() > 0 || network.busy()) {
+    throw std::runtime_error{"initial convergence exceeded max_sim_time"};
+  }
+  const double initial_convergence_s = simulator.now().as_seconds();
+
+  // ---- Phase 2: traffic + event + convergence -------------------------
+  const sim::SimTime t_event = simulator.now() + scenario.settle_margin;
+  const sim::SimTime t_traffic = t_event - scenario.traffic_lead;
+
+  std::vector<net::NodeId> sources;
+  for (net::NodeId n = 0; n < topo.node_count(); ++n) {
+    if (n != destination) sources.push_back(n);
+  }
+  traffic.start(sources, t_traffic);
+
+  simulator.schedule_at(t_event, [&] {
+    detector.clear_history();  // measure only post-event loops
+    if (trace) {
+      trace->record(metrics::TraceEvent{
+          simulator.now(), metrics::TraceEventKind::kEventInjected,
+          destination, net::kInvalidNode, kPrefix,
+          to_string(scenario.event)});
+    }
+    switch (scenario.event) {
+      case EventKind::kTdown:
+        network.inject_tdown(destination, kPrefix);
+        break;
+      case EventKind::kTlong:
+        network.inject_link_failure(*failed_link);
+        break;
+      case EventKind::kTup:
+        network.originate(destination, kPrefix);
+        break;
+    }
+  });
+
+  // Poll for control-plane quiescence once per simulated second. When the
+  // control plane settles, stop traffic, let in-flight packets die out
+  // (TTL lifetime is 256 ms), then cancel leftover silent timers.
+  bool timed_out = false;
+  const auto drain = sim::SimTime::seconds(2);
+  std::function<void()> poll = [&] {
+    if (!network.busy()) {
+      traffic.stop();
+      simulator.schedule_after(drain, [&] { simulator.clear_pending(); });
+      return;
+    }
+    if (simulator.now() >= scenario.max_sim_time) {
+      timed_out = true;
+      simulator.clear_pending();
+      return;
+    }
+    simulator.schedule_after(sim::SimTime::seconds(1), poll);
+  };
+  simulator.schedule_at(t_event + sim::SimTime::seconds(1), poll);
+
+  simulator.run_until(scenario.max_sim_time + sim::SimTime::seconds(10));
+  if (timed_out || simulator.pending() > 0) {
+    throw std::runtime_error{"scenario did not converge within max_sim_time"};
+  }
+
+  const sim::SimTime end = simulator.now();
+  detector.finalize(end);
+
+  // ---- Metrics ---------------------------------------------------------
+  ExperimentOutcome out;
+  out.destination = destination;
+  out.failed_link = failed_link;
+  out.initial_convergence_s = initial_convergence_s;
+  out.events_fired = simulator.events_fired();
+
+  metrics::RunMetrics& m = out.metrics;
+  m.event_at = t_event;
+
+  const auto last_update = collector.last_update_at(t_event);
+  m.last_update_at = last_update.value_or(t_event);
+  m.convergence_time_s = (m.last_update_at - t_event).as_seconds();
+
+  const auto first_exh = collector.first_exhaustion(t_event);
+  const auto last_exh = collector.last_exhaustion(t_event);
+  m.first_exhaustion_at = first_exh.value_or(t_event);
+  m.last_exhaustion_at = last_exh.value_or(t_event);
+  m.looping_duration_s =
+      first_exh ? (m.last_exhaustion_at - m.first_exhaustion_at).as_seconds()
+                : 0.0;
+
+  m.ttl_exhaustions = collector.exhaustions_since(t_event);
+  m.packets_sent_during_convergence =
+      collector.packets_sent_in(t_event, m.last_update_at);
+  m.looping_ratio =
+      m.packets_sent_during_convergence == 0
+          ? 0.0
+          : static_cast<double>(m.ttl_exhaustions) /
+                static_cast<double>(m.packets_sent_during_convergence);
+
+  m.packets_sent_total = collector.packets_sent_total();
+  m.packets_delivered = collector.delivered_total();
+  m.packets_no_route = collector.no_route_total();
+  m.packets_link_down = collector.link_down_total();
+  m.updates_sent = collector.updates_sent_since(t_event);
+  m.updates_sent_total = collector.updates_sent_total();
+  m.bgp = network.total_counters();
+
+  const auto profile_end = m.last_update_at + sim::SimTime::seconds(1);
+  m.update_activity_1s =
+      collector.update_activity(t_event, profile_end, sim::SimTime::seconds(1));
+  m.exhaustion_activity_1s = collector.exhaustion_activity(
+      t_event, profile_end, sim::SimTime::seconds(1));
+
+  m.loops = detector.records();
+  m.loops_formed = m.loops.size();
+  m.loop_stats = metrics::analyze_loops(m.loops, end);
+  if (!m.loops.empty()) {
+    double size_sum = 0;
+    for (const auto& loop : m.loops) {
+      size_sum += static_cast<double>(loop.size());
+      m.max_loop_size = std::max(m.max_loop_size, loop.size());
+      m.max_loop_duration_s =
+          std::max(m.max_loop_duration_s, loop.duration_seconds(end));
+    }
+    m.mean_loop_size = size_sum / static_cast<double>(m.loops.size());
+  }
+  return out;
+}
+
+}  // namespace bgpsim::core

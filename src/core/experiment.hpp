@@ -1,0 +1,27 @@
+// Runs one scenario end to end and extracts the paper's metrics.
+#pragma once
+
+#include <optional>
+
+#include "core/scenario.hpp"
+#include "metrics/results.hpp"
+#include "net/types.hpp"
+
+namespace bgpsim::core {
+
+struct ExperimentOutcome {
+  metrics::RunMetrics metrics;
+  net::NodeId destination = net::kInvalidNode;
+  std::optional<net::LinkId> failed_link;  // engaged for Tlong
+  double initial_convergence_s = 0;        // cold-start convergence
+  std::uint64_t events_fired = 0;          // simulator events, whole run
+};
+
+/// Execute: build topology -> cold-start convergence -> start traffic ->
+/// inject the event -> run to quiescence -> drain packets -> measure.
+///
+/// Throws std::runtime_error if the network fails to converge within
+/// scenario.max_sim_time.
+[[nodiscard]] ExperimentOutcome run_experiment(const Scenario& scenario);
+
+}  // namespace bgpsim::core

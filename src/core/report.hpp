@@ -1,0 +1,41 @@
+// Fixed-width tables and CSV output for the bench harness.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bgpsim::core {
+
+/// A simple aligned-text table: define columns, add rows, print. Used by
+/// every bench binary to print a figure's series the way the paper tabulates
+/// them.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header underline.
+  void print(std::ostream& out) const;
+
+  /// Comma-separated form (headers + rows) for downstream plotting.
+  void write_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+[[nodiscard]] std::string fmt(double v, int decimals = 1);
+[[nodiscard]] std::string fmt_pct(double ratio, int decimals = 0);
+
+/// Section banner used between panels of one figure.
+void banner(std::ostream& out, const std::string& title);
+
+}  // namespace bgpsim::core

@@ -1,0 +1,43 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+
+#include "topo/generators.hpp"
+#include "topo/internet.hpp"
+
+namespace bgpsim::core {
+
+net::Topology TopologySpec::build() const {
+  switch (kind) {
+    case TopologyKind::kClique:
+      return topo::make_clique(size);
+    case TopologyKind::kBClique:
+      return topo::make_bclique(size);
+    case TopologyKind::kChain:
+      return topo::make_chain(size);
+    case TopologyKind::kRing:
+      return topo::make_ring(size);
+    case TopologyKind::kInternet:
+      return topo::make_internet_preset(size, topo_seed);
+  }
+  throw std::logic_error{"TopologySpec::build: unknown kind"};
+}
+
+std::string TopologySpec::label() const {
+  return std::string{to_string(kind)} + "-" + std::to_string(size);
+}
+
+std::string Scenario::label() const {
+  std::string label = topology.label() + " " + to_string(event) + " " +
+                      [this] {
+                        if (bgp.ssld) return "SSLD";
+                        if (bgp.wrate) return "WRATE";
+                        if (bgp.assertion) return "Assertion";
+                        if (bgp.ghost_flushing) return "GhostFlush";
+                        return "BGP";
+                      }();
+  if (policy_routing) label += " (policy)";
+  return label;
+}
+
+}  // namespace bgpsim::core

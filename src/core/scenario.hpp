@@ -1,0 +1,126 @@
+// Scenario description: what to build, what to break, what to measure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "bgp/config.hpp"
+#include "fwd/traffic.hpp"
+#include "metrics/trace.hpp"
+#include "net/node.hpp"
+#include "net/topology.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::core {
+
+/// Topology families from the paper's evaluation (§4.1).
+enum class TopologyKind {
+  kClique,    // Figure 3(a); size = node count
+  kBClique,   // Figure 3(b); size = n, node count = 2n
+  kChain,     // used in unit/analysis scenarios
+  kRing,
+  kInternet,  // Internet-like generator; size = node count
+};
+
+[[nodiscard]] constexpr const char* to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kClique:
+      return "Clique";
+    case TopologyKind::kBClique:
+      return "B-Clique";
+    case TopologyKind::kChain:
+      return "Chain";
+    case TopologyKind::kRing:
+      return "Ring";
+    case TopologyKind::kInternet:
+      return "Internet";
+  }
+  return "?";
+}
+
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::kClique;
+  std::size_t size = 10;
+  /// Seed for generated (Internet) topologies; ignored by regular families.
+  std::uint64_t topo_seed = 1;
+
+  [[nodiscard]] net::Topology build() const;
+  [[nodiscard]] std::string label() const;
+};
+
+/// The two topology-change events of §4.1, plus the Tup recovery event
+/// from the Griffin/Premore methodology the paper builds on (used by the
+/// ablation benches: route *announcement* carries no obsolete state, so it
+/// should not loop — the paper's loop mechanism is failure-asymmetric).
+enum class EventKind {
+  /// The destination AS withdraws the prefix; the rest of the network
+  /// converges to "unreachable". (Links stay up — the origin's withdrawal
+  /// is a routing event, exactly as in the Griffin/Premore methodology the
+  /// paper follows.)
+  kTdown,
+  /// A physical link fails without disconnecting the destination; the
+  /// network converges to longer paths.
+  kTlong,
+  /// The destination AS announces a fresh prefix into a quiet network.
+  kTup,
+};
+
+[[nodiscard]] constexpr const char* to_string(EventKind e) {
+  switch (e) {
+    case EventKind::kTdown:
+      return "Tdown";
+    case EventKind::kTlong:
+      return "Tlong";
+    case EventKind::kTup:
+      return "Tup";
+  }
+  return "?";
+}
+
+struct Scenario {
+  TopologySpec topology;
+  EventKind event = EventKind::kTdown;
+
+  bgp::BgpConfig bgp;              // MRAI, jitter, enhancement flags
+  net::ProcessingDelay processing; // default U[0.1 s, 0.5 s] (§4.2)
+  fwd::TrafficConfig traffic;      // default 10 pkt/s, TTL 128 (§4.2)
+
+  /// Run with Gao-Rexford policy routing (prefer-customer import,
+  /// no-valley export) instead of the paper's shortest-path policy.
+  /// Requires an Internet topology (the generator supplies the business
+  /// relationships). See bench/ablation_policy.
+  bool policy_routing = false;
+
+  /// Root seed: drives jitter, processing delays, traffic stagger, and the
+  /// destination / failed-link choice on Internet topologies.
+  std::uint64_t seed = 1;
+
+  /// Destination AS. Default: node 0 for Clique/B-Clique/Chain/Ring (the
+  /// paper's convention); a random lowest-degree node for Internet.
+  std::optional<net::NodeId> destination;
+
+  /// The link Tlong fails. Default: B-Clique's [0, n] link; for Internet, a
+  /// random link of the destination that does not disconnect it.
+  std::optional<net::LinkId> tlong_link;
+
+  /// Traffic begins this long before the event so loops forming at the
+  /// event instant already see packets.
+  sim::SimTime traffic_lead = sim::SimTime::seconds(2);
+
+  /// Idle gap between initial convergence (fully drained) and the event.
+  sim::SimTime settle_margin = sim::SimTime::seconds(5);
+
+  /// Safety cap on total simulated time; exceeded => runtime_error.
+  sim::SimTime max_sim_time = sim::SimTime::seconds(50000);
+
+  /// Optional caller-owned route-change trace sink. When set, the run
+  /// records update transmissions, best-path changes, loop formation /
+  /// resolution, and the event injection itself (see metrics/trace.hpp).
+  metrics::TraceRecorder* trace = nullptr;
+
+  [[nodiscard]] std::string label() const;
+};
+
+}  // namespace bgpsim::core

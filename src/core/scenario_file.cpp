@@ -1,0 +1,211 @@
+#include "core/scenario_file.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace bgpsim::core {
+namespace {
+
+std::string trimmed(const std::string& raw) {
+  const auto begin = raw.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = raw.find_last_not_of(" \t\r");
+  return raw.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error{"scenario file line " + std::to_string(line) +
+                           ": " + what};
+}
+
+double to_double(std::size_t line, const std::string& key,
+                 const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument{""};
+    return v;
+  } catch (...) {
+    fail(line, "bad numeric value for '" + key + "': " + value);
+  }
+}
+
+std::uint64_t to_u64(std::size_t line, const std::string& key,
+                     const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const auto v = std::stoull(value, &used);
+    if (used != value.size()) throw std::invalid_argument{""};
+    return v;
+  } catch (...) {
+    fail(line, "bad integer value for '" + key + "': " + value);
+  }
+}
+
+bool to_bool(std::size_t line, const std::string& key,
+             const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes") return true;
+  if (value == "false" || value == "0" || value == "no") return false;
+  fail(line, "bad boolean value for '" + key + "': " + value);
+}
+
+}  // namespace
+
+Scenario parse_scenario(std::istream& in) {
+  Scenario s;
+  bool saw_topology = false;
+  bool saw_size = false;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments, then whitespace.
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::string line = trimmed(raw);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected 'key = value'");
+    const std::string key = trimmed(line.substr(0, eq));
+    const std::string value = trimmed(line.substr(eq + 1));
+    if (key.empty() || value.empty()) fail(line_no, "empty key or value");
+
+    if (key == "topology") {
+      saw_topology = true;
+      if (value == "clique") s.topology.kind = TopologyKind::kClique;
+      else if (value == "bclique") s.topology.kind = TopologyKind::kBClique;
+      else if (value == "chain") s.topology.kind = TopologyKind::kChain;
+      else if (value == "ring") s.topology.kind = TopologyKind::kRing;
+      else if (value == "internet") s.topology.kind = TopologyKind::kInternet;
+      else fail(line_no, "unknown topology: " + value);
+    } else if (key == "size") {
+      saw_size = true;
+      s.topology.size = static_cast<std::size_t>(to_u64(line_no, key, value));
+    } else if (key == "topo_seed") {
+      s.topology.topo_seed = to_u64(line_no, key, value);
+    } else if (key == "event") {
+      if (value == "tdown") s.event = EventKind::kTdown;
+      else if (value == "tlong") s.event = EventKind::kTlong;
+      else if (value == "tup") s.event = EventKind::kTup;
+      else fail(line_no, "unknown event: " + value);
+    } else if (key == "protocol") {
+      if (value == "bgp") s.bgp = s.bgp.with(bgp::Enhancement::kStandard);
+      else if (value == "ssld") s.bgp = s.bgp.with(bgp::Enhancement::kSsld);
+      else if (value == "wrate") s.bgp = s.bgp.with(bgp::Enhancement::kWrate);
+      else if (value == "assertion")
+        s.bgp = s.bgp.with(bgp::Enhancement::kAssertion);
+      else if (value == "ghost")
+        s.bgp = s.bgp.with(bgp::Enhancement::kGhostFlushing);
+      else fail(line_no, "unknown protocol: " + value);
+    } else if (key == "mrai") {
+      s.bgp.mrai = sim::SimTime::seconds(to_double(line_no, key, value));
+    } else if (key == "jitter_lo") {
+      s.bgp.jitter_lo = to_double(line_no, key, value);
+    } else if (key == "jitter_hi") {
+      s.bgp.jitter_hi = to_double(line_no, key, value);
+    } else if (key == "seed") {
+      s.seed = to_u64(line_no, key, value);
+    } else if (key == "policy") {
+      s.policy_routing = to_bool(line_no, key, value);
+    } else if (key == "destination") {
+      s.destination = static_cast<net::NodeId>(to_u64(line_no, key, value));
+    } else if (key == "tlong_link") {
+      s.tlong_link = static_cast<net::LinkId>(to_u64(line_no, key, value));
+    } else if (key == "processing_min_ms") {
+      s.processing.min = sim::SimTime::seconds(
+          to_double(line_no, key, value) / 1000.0);
+    } else if (key == "processing_max_ms") {
+      s.processing.max = sim::SimTime::seconds(
+          to_double(line_no, key, value) / 1000.0);
+    } else if (key == "traffic_pps") {
+      const double pps = to_double(line_no, key, value);
+      if (pps <= 0) fail(line_no, "traffic_pps must be positive");
+      s.traffic.interval = sim::SimTime::seconds(1.0 / pps);
+    } else if (key == "ttl") {
+      s.traffic.ttl = static_cast<int>(to_u64(line_no, key, value));
+    } else if (key == "caution") {
+      s.bgp.backup_caution =
+          sim::SimTime::seconds(to_double(line_no, key, value));
+    } else {
+      fail(line_no, "unknown key: " + key);
+    }
+  }
+
+  if (!saw_topology) throw std::runtime_error{"scenario file: missing 'topology'"};
+  if (!saw_size) throw std::runtime_error{"scenario file: missing 'size'"};
+  if (s.bgp.jitter_lo > s.bgp.jitter_hi) {
+    throw std::runtime_error{"scenario file: jitter_lo > jitter_hi"};
+  }
+  if (s.processing.min > s.processing.max) {
+    throw std::runtime_error{
+        "scenario file: processing_min_ms > processing_max_ms"};
+  }
+  return s;
+}
+
+Scenario parse_scenario_string(const std::string& text) {
+  std::istringstream in{text};
+  return parse_scenario(in);
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"cannot open scenario file: " + path};
+  return parse_scenario(in);
+}
+
+std::string to_scenario_text(const Scenario& s) {
+  std::ostringstream out;
+  const auto topology_name = [&] {
+    switch (s.topology.kind) {
+      case TopologyKind::kClique:
+        return "clique";
+      case TopologyKind::kBClique:
+        return "bclique";
+      case TopologyKind::kChain:
+        return "chain";
+      case TopologyKind::kRing:
+        return "ring";
+      case TopologyKind::kInternet:
+        return "internet";
+    }
+    return "?";
+  }();
+  out << "topology = " << topology_name << "\n";
+  out << "size = " << s.topology.size << "\n";
+  out << "topo_seed = " << s.topology.topo_seed << "\n";
+  out << "event = "
+      << (s.event == EventKind::kTdown
+              ? "tdown"
+              : s.event == EventKind::kTlong ? "tlong" : "tup")
+      << "\n";
+  out << "protocol = "
+      << (s.bgp.ssld ? "ssld"
+                     : s.bgp.wrate ? "wrate"
+                                   : s.bgp.assertion
+                                         ? "assertion"
+                                         : s.bgp.ghost_flushing ? "ghost"
+                                                                : "bgp")
+      << "\n";
+  out << "mrai = " << s.bgp.mrai.as_seconds() << "\n";
+  out << "jitter_lo = " << s.bgp.jitter_lo << "\n";
+  out << "jitter_hi = " << s.bgp.jitter_hi << "\n";
+  out << "seed = " << s.seed << "\n";
+  out << "policy = " << (s.policy_routing ? "true" : "false") << "\n";
+  if (s.destination) out << "destination = " << *s.destination << "\n";
+  if (s.tlong_link) out << "tlong_link = " << *s.tlong_link << "\n";
+  out << "processing_min_ms = " << s.processing.min.as_millis() << "\n";
+  out << "processing_max_ms = " << s.processing.max.as_millis() << "\n";
+  out << "traffic_pps = " << 1.0 / s.traffic.interval.as_seconds() << "\n";
+  out << "ttl = " << s.traffic.ttl << "\n";
+  out << "caution = " << s.bgp.backup_caution.as_seconds() << "\n";
+  return out.str();
+}
+
+}  // namespace bgpsim::core

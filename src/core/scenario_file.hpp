@@ -1,0 +1,37 @@
+// Text scenario files: archive and replay experiment configurations.
+//
+// Format: one `key = value` per line; `#` starts a comment. Keys:
+//
+//   topology   clique|bclique|chain|ring|internet   (required)
+//   size       node count / B-Clique n              (required)
+//   event      tdown|tlong|tup                      (default tdown)
+//   protocol   bgp|ssld|wrate|assertion|ghost       (default bgp)
+//   mrai       seconds                              (default 30)
+//   jitter_lo / jitter_hi   MRAI jitter factors     (default 0.75 / 1.0)
+//   seed / topo_seed        integers                (default 1 / 1)
+//   policy     true|false (Gao-Rexford routing)     (default false)
+//   destination / tlong_link   integers             (optional overrides)
+//   processing_min_ms / processing_max_ms           (default 100 / 500)
+//   traffic_pps   packets per second per source     (default 10)
+//   ttl           initial packet TTL                (default 128)
+//   caution       backup-caution seconds (§3.3)     (default 0)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace bgpsim::core {
+
+/// Parse a scenario description. Throws std::runtime_error with a
+/// line-numbered message on malformed input, unknown keys, or bad values.
+[[nodiscard]] Scenario parse_scenario(std::istream& in);
+[[nodiscard]] Scenario parse_scenario_string(const std::string& text);
+[[nodiscard]] Scenario load_scenario_file(const std::string& path);
+
+/// Serialize a Scenario back into the file format (round-trips through
+/// parse_scenario for all file-expressible fields).
+[[nodiscard]] std::string to_scenario_text(const Scenario& scenario);
+
+}  // namespace bgpsim::core

@@ -1,0 +1,99 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "topo/generators.hpp"
+#include "topo/internet.hpp"
+
+namespace bgpsim::core {
+
+/// Does removing `link` keep the graph connected?
+bool removal_keeps_connected(net::Topology& topo, net::LinkId link) {
+  topo.set_link_state(link, false);
+  const bool ok = topo.connected();
+  topo.set_link_state(link, true);
+  return ok;
+}
+
+net::NodeId choose_destination(TopologyKind kind, EventKind event,
+                               std::optional<net::NodeId> fixed,
+                               net::Topology& topo, sim::Rng& rng) {
+  if (fixed) return *fixed;
+  if (kind != TopologyKind::kInternet) return 0;
+
+  // Paper: destination "randomly chosen among the nodes with the lowest
+  // degrees". For Tlong the chosen node must survive losing one link.
+  std::vector<net::NodeId> candidates = topo::lowest_degree_nodes(topo);
+  if (event == EventKind::kTlong) {
+    std::erase_if(candidates, [&](net::NodeId n) {
+      if (topo.degree(n) < 2) return true;
+      for (net::LinkId l : topo.links_of(n)) {
+        if (removal_keeps_connected(topo, l)) return false;
+      }
+      return true;
+    });
+    if (candidates.empty()) {
+      // No lowest-degree node qualifies; widen to any qualifying node,
+      // preferring low degree.
+      std::vector<net::NodeId> all;
+      for (net::NodeId n = 0; n < topo.node_count(); ++n) {
+        if (topo.degree(n) < 2) continue;
+        for (net::LinkId l : topo.links_of(n)) {
+          if (removal_keeps_connected(topo, l)) {
+            all.push_back(n);
+            break;
+          }
+        }
+      }
+      if (all.empty()) {
+        throw std::runtime_error{"no Tlong-capable destination in topology"};
+      }
+      std::ranges::sort(all, [&](net::NodeId a, net::NodeId b) {
+        return topo.degree(a) < topo.degree(b);
+      });
+      const std::size_t lowest = topo.degree(all.front());
+      std::erase_if(all,
+                    [&](net::NodeId n) { return topo.degree(n) != lowest; });
+      candidates = std::move(all);
+    }
+  }
+  return candidates[rng.next_below(candidates.size())];
+}
+
+net::LinkId choose_tlong_link(TopologyKind kind, std::size_t size,
+                              std::optional<net::LinkId> fixed,
+                              net::Topology& topo, net::NodeId destination,
+                              sim::Rng& rng) {
+  if (fixed) return *fixed;
+  if (kind == TopologyKind::kBClique) {
+    return topo::bclique_tlong_link(topo, size);
+  }
+  // Paper (Internet topologies): "one of its links is randomly chosen to
+  // fail" — restricted to links whose removal keeps the graph connected.
+  // We bias toward the destination's *primary* provider (highest degree):
+  // failing a pure backup link triggers no reconvergence at all, and the
+  // paper's averages are dominated by the failures that do.
+  std::vector<net::LinkId> usable;
+  for (net::LinkId l : topo.links_of(destination)) {
+    if (removal_keeps_connected(topo, l)) usable.push_back(l);
+  }
+  if (usable.empty()) {
+    throw std::runtime_error{"destination has no failable link for Tlong"};
+  }
+  std::ranges::stable_sort(usable, [&](net::LinkId a, net::LinkId b) {
+    return topo.degree(topo.link(a).other(destination)) >
+           topo.degree(topo.link(b).other(destination));
+  });
+  // Random among the top-degree ties.
+  const std::size_t top_degree =
+      topo.degree(topo.link(usable.front()).other(destination));
+  std::erase_if(usable, [&](net::LinkId l) {
+    return topo.degree(topo.link(l).other(destination)) != top_degree;
+  });
+  return usable[rng.next_below(usable.size())];
+}
+
+
+}  // namespace bgpsim::core

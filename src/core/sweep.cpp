@@ -1,0 +1,57 @@
+#include "core/sweep.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace bgpsim::core {
+namespace {
+
+template <typename Get>
+metrics::Summary collect(const std::vector<ExperimentOutcome>& runs, Get get) {
+  std::vector<double> values;
+  values.reserve(runs.size());
+  for (const auto& r : runs) values.push_back(get(r.metrics));
+  return metrics::summarize(values);
+}
+
+}  // namespace
+
+TrialSet run_trials(Scenario base, std::size_t trials) {
+  TrialSet set;
+  set.scenario = base;
+  set.runs.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    Scenario s = base;
+    s.seed = base.seed + i;
+    if (s.topology.kind == TopologyKind::kInternet) {
+      s.topology.topo_seed = base.topology.topo_seed + i;
+    }
+    set.runs.push_back(run_experiment(s));
+  }
+
+  using M = metrics::RunMetrics;
+  set.convergence_time_s =
+      collect(set.runs, [](const M& m) { return m.convergence_time_s; });
+  set.looping_duration_s =
+      collect(set.runs, [](const M& m) { return m.looping_duration_s; });
+  set.ttl_exhaustions = collect(
+      set.runs, [](const M& m) { return static_cast<double>(m.ttl_exhaustions); });
+  set.looping_ratio =
+      collect(set.runs, [](const M& m) { return m.looping_ratio; });
+  set.loops_formed = collect(
+      set.runs, [](const M& m) { return static_cast<double>(m.loops_formed); });
+  set.max_loop_duration_s =
+      collect(set.runs, [](const M& m) { return m.max_loop_duration_s; });
+  return set;
+}
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (!raw || !*raw) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace bgpsim::core

@@ -1,0 +1,37 @@
+// Multi-trial execution and aggregation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "metrics/stats.hpp"
+
+namespace bgpsim::core {
+
+/// Aggregated results of repeated runs of one scenario with varied seeds
+/// (the paper: "the simulation were repeated for a number of times with
+/// different destination ASes and failed links").
+struct TrialSet {
+  Scenario scenario;                    // base scenario (seed of trial 0)
+  std::vector<ExperimentOutcome> runs;  // one per trial
+
+  metrics::Summary convergence_time_s;
+  metrics::Summary looping_duration_s;
+  metrics::Summary ttl_exhaustions;
+  metrics::Summary looping_ratio;
+  metrics::Summary loops_formed;
+  metrics::Summary max_loop_duration_s;
+};
+
+/// Run `trials` independent repetitions. Trial i uses seed base.seed + i;
+/// for Internet topologies the topology seed also advances so each trial
+/// draws a fresh graph, destination, and failed link (as in the paper).
+[[nodiscard]] TrialSet run_trials(Scenario base, std::size_t trials);
+
+/// Environment-variable override for bench scaling (e.g. BGPSIM_TRIALS).
+/// Returns `fallback` when unset or unparsable.
+[[nodiscard]] std::size_t env_or(const char* name, std::size_t fallback);
+
+}  // namespace bgpsim::core

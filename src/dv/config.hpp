@@ -1,0 +1,46 @@
+// Distance-vector (RIP-like) baseline configuration.
+//
+// The paper's §2 contrasts path-vector loop handling with distance-vector
+// protocols: "poison-reverse can be used to detect two-node loops but
+// fails to detect longer loops" (§6). This module implements that baseline
+// so the contrast is measurable on the same substrate (same topologies,
+// same data plane, same loop detector).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace bgpsim::dv {
+
+struct DvConfig {
+  /// Metric value meaning "unreachable" (RIP uses 16).
+  int infinity = 16;
+
+  /// Split horizon: never advertise a route back to the neighbor it was
+  /// learned from.
+  bool split_horizon = true;
+
+  /// Poison reverse: instead of omitting (split horizon), advertise the
+  /// route back to its next hop with an infinite metric. Detects exactly
+  /// the 2-node loops (the paper's point of comparison with path vector).
+  bool poison_reverse = true;
+
+  /// Send triggered updates on route changes (RIP RFC 2453 §3.10.1).
+  /// Without them, all propagation rides the periodic refresh — the
+  /// classic textbook setting where counting-to-infinity is easiest to see.
+  bool triggered = true;
+
+  /// Triggered updates are delayed by a uniform draw from this window (RIP
+  /// RFC 2453 suggests 1-5 s to damp storms); further changes within the
+  /// window batch into one update.
+  sim::SimTime triggered_delay_lo = sim::SimTime::seconds(1);
+  sim::SimTime triggered_delay_hi = sim::SimTime::seconds(5);
+
+  /// Periodic full-table advertisement interval (RIP: 30 s, randomized
+  /// phase per router). Zero disables the refresh; note that *without*
+  /// periodic refresh a node that lost its route never re-hears a
+  /// neighbor's stale route, so counting-to-infinity cannot occur —
+  /// staleness needs a carrier.
+  sim::SimTime periodic = sim::SimTime::seconds(30);
+};
+
+}  // namespace bgpsim::dv

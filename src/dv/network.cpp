@@ -1,0 +1,74 @@
+#include "dv/network.hpp"
+
+#include <any>
+
+namespace bgpsim::dv {
+
+DvNetwork::DvNetwork(sim::Simulator& simulator, net::Topology& topology,
+                     const DvConfig& config,
+                     const net::ProcessingDelay& processing,
+                     const sim::Rng& root_rng)
+    : sim_{simulator}, topo_{topology}, transport_{simulator, topology} {
+  const std::size_t n = topo_.node_count();
+  fibs_.resize(n);
+  queues_.reserve(n);
+  speakers_.reserve(n);
+
+  for (net::NodeId node = 0; node < n; ++node) {
+    queues_.push_back(std::make_unique<net::ProcessingQueue>(
+        simulator, root_rng.child("proc", node), processing));
+    speakers_.push_back(std::make_unique<DvSpeaker>(
+        node, config, simulator, transport_, fibs_[node],
+        root_rng.child("dv", node)));
+    speakers_.back()->set_peers(topo_.up_neighbors(node));
+  }
+
+  transport_.set_delivery_handler([this](const net::Envelope& env) {
+    queues_[env.to]->accept(env);
+  });
+  transport_.set_session_handler(
+      [this](net::NodeId self, net::NodeId peer, bool up) {
+        queues_[self]->accept_session_event(
+            net::ProcessingQueue::SessionEvent{peer, up});
+      });
+
+  for (net::NodeId node = 0; node < n; ++node) {
+    queues_[node]->set_message_handler([this, node](const net::Envelope& env) {
+      speakers_[node]->handle_update(env.from,
+                                     std::any_cast<const DvUpdate&>(env.payload));
+    });
+    queues_[node]->set_session_handler(
+        [this, node](const net::ProcessingQueue::SessionEvent& ev) {
+          speakers_[node]->handle_session(ev.peer, ev.up);
+        });
+  }
+}
+
+void DvNetwork::set_hooks(const DvSpeaker::Hooks& hooks) {
+  for (auto& s : speakers_) s->set_hooks(hooks);
+}
+
+bool DvNetwork::busy() const {
+  if (control_messages_in_flight() > 0) return true;
+  for (const auto& q : queues_) {
+    if (q->busy() || q->backlog() > 0) return true;
+  }
+  for (const auto& s : speakers_) {
+    if (s->trigger_pending()) return true;
+  }
+  return false;
+}
+
+DvSpeaker::Counters DvNetwork::total_counters() const {
+  DvSpeaker::Counters total;
+  for (const auto& s : speakers_) {
+    const auto& c = s->counters();
+    total.updates_sent += c.updates_sent;
+    total.routes_advertised += c.routes_advertised;
+    total.poisoned_advertisements += c.poisoned_advertisements;
+    total.route_changes += c.route_changes;
+  }
+  return total;
+}
+
+}  // namespace bgpsim::dv

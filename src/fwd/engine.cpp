@@ -1,0 +1,120 @@
+#include "fwd/engine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace bgpsim::fwd {
+
+DataPlane::DataPlane(sim::Simulator& simulator, const net::Topology& topology,
+                     std::vector<Fib>& fibs, net::NodeId destination,
+                     net::Prefix prefix)
+    : sim_{simulator},
+      topo_{topology},
+      fibs_{fibs},
+      primary_prefix_{prefix} {
+  assert(fibs_.size() == topo_.node_count());
+  destinations_.emplace(prefix, destination);
+}
+
+void DataPlane::add_destination(net::Prefix prefix, net::NodeId node) {
+  destinations_[prefix] = node;
+}
+
+std::uint64_t DataPlane::inject(net::NodeId source, int ttl) {
+  return inject_for(primary_prefix_, source, ttl);
+}
+
+std::uint64_t DataPlane::inject_for(net::Prefix prefix, net::NodeId source,
+                                    int ttl) {
+  assert(destinations_.contains(prefix));
+  Packet p;
+  p.id = next_packet_id_++;
+  p.source = source;
+  p.prefix = prefix;
+  p.ttl = ttl;
+  p.sent_at = sim_.now();
+  ++counters_.injected;
+  ++in_flight_;
+  // The packet "arrives" at its own source with no delay.
+  arrive(source, p);
+  return p.id;
+}
+
+void DataPlane::arrive(net::NodeId node, Packet packet) {
+  auto dest = destinations_.find(packet.prefix);
+  if (dest != destinations_.end() && node == dest->second) {
+    finish(packet, PacketFate::kDelivered, node);
+    return;
+  }
+  const std::optional<net::NodeId> nh = fibs_[node].next_hop(packet.prefix);
+  if (!nh) {
+    finish(packet, PacketFate::kNoRoute, node);
+    return;
+  }
+  const auto link = topo_.link_between(node, *nh);
+  if (!link || !topo_.link(*link).up) {
+    finish(packet, PacketFate::kLinkDown, node);
+    return;
+  }
+  // One TTL decrement per AS hop (the study's loop indicator).
+  if (--packet.ttl <= 0) {
+    finish(packet, PacketFate::kTtlExhausted, node);
+    return;
+  }
+  ++packet.hops_taken;
+  ++counters_.hops;
+  push_hop(sim_.now() + topo_.link(*link).delay, *nh, std::move(packet));
+}
+
+void DataPlane::finish(const Packet& p, PacketFate fate, net::NodeId where) {
+  assert(in_flight_ > 0);
+  --in_flight_;
+  switch (fate) {
+    case PacketFate::kDelivered:
+      ++counters_.delivered;
+      break;
+    case PacketFate::kTtlExhausted:
+      ++counters_.ttl_exhausted;
+      break;
+    case PacketFate::kNoRoute:
+      ++counters_.no_route;
+      break;
+    case PacketFate::kLinkDown:
+      ++counters_.link_down;
+      break;
+  }
+  if (on_fate_) on_fate_(p, fate, where, sim_.now());
+}
+
+void DataPlane::push_hop(sim::SimTime at, net::NodeId node, Packet packet) {
+  heap_.push(HopEvent{at, next_seq_++, node, std::move(packet)});
+  rearm();
+}
+
+void DataPlane::rearm() {
+  if (heap_.empty()) return;
+  const sim::SimTime next = heap_.top().at;
+  if (bridge_armed_) {
+    if (bridge_time_ <= next) return;  // already armed early enough
+    sim_.cancel(bridge_id_);
+  }
+  bridge_armed_ = true;
+  bridge_time_ = next;
+  bridge_id_ = sim_.schedule_at(next, [this] {
+    bridge_armed_ = false;
+    drain_due();
+    rearm();
+  });
+}
+
+void DataPlane::drain_due() {
+  const sim::SimTime now = sim_.now();
+  while (!heap_.empty() && heap_.top().at <= now) {
+    // Copy out before pop; arrive() may push new hops.
+    HopEvent ev = heap_.top();
+    heap_.pop();
+    arrive(ev.node, std::move(ev.packet));
+  }
+}
+
+}  // namespace bgpsim::fwd

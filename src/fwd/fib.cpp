@@ -1,0 +1,30 @@
+#include "fwd/fib.hpp"
+
+namespace bgpsim::fwd {
+
+bool Fib::set_next_hop(net::Prefix prefix, net::NodeId next_hop) {
+  auto [it, inserted] = routes_.try_emplace(prefix, next_hop);
+  if (!inserted && it->second == next_hop) return false;
+  const std::optional<net::NodeId> previous =
+      inserted ? std::nullopt : std::optional{it->second};
+  it->second = next_hop;
+  if (observer_) observer_(prefix, previous, next_hop);
+  return true;
+}
+
+bool Fib::clear_route(net::Prefix prefix) {
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return false;
+  const net::NodeId previous = it->second;
+  routes_.erase(it);
+  if (observer_) observer_(prefix, previous, std::nullopt);
+  return true;
+}
+
+std::optional<net::NodeId> Fib::next_hop(net::Prefix prefix) const {
+  auto it = routes_.find(prefix);
+  if (it == routes_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace bgpsim::fwd

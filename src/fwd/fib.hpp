@@ -1,0 +1,41 @@
+// Forwarding Information Base: per-node next-hop table.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "net/types.hpp"
+
+namespace bgpsim::fwd {
+
+/// One node's next-hop table, written by the routing protocol and read by
+/// the data plane on every packet hop.
+///
+/// An observer hook reports changes; the metrics loop detector uses it to
+/// maintain the global next-hop graph.
+class Fib {
+ public:
+  using Observer = std::function<void(net::Prefix prefix,
+                                      std::optional<net::NodeId> previous,
+                                      std::optional<net::NodeId> current)>;
+
+  /// Install (or replace) the next hop for `prefix`. Returns true if the
+  /// entry changed.
+  bool set_next_hop(net::Prefix prefix, net::NodeId next_hop);
+
+  /// Remove the route for `prefix`. Returns true if an entry was removed.
+  bool clear_route(net::Prefix prefix);
+
+  [[nodiscard]] std::optional<net::NodeId> next_hop(net::Prefix prefix) const;
+
+  [[nodiscard]] std::size_t route_count() const { return routes_.size(); }
+
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+ private:
+  std::unordered_map<net::Prefix, net::NodeId> routes_;
+  Observer observer_;
+};
+
+}  // namespace bgpsim::fwd

@@ -1,0 +1,48 @@
+// Data-plane packet and fate types.
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::fwd {
+
+/// The study's initial TTL: 128 hops, i.e. a 256 ms lifetime at 2 ms/hop —
+/// chosen so packets caught in a loop exhaust their TTL well within any
+/// loop that lasts longer than a fraction of a second.
+inline constexpr int kDefaultTtl = 128;
+
+/// One IP packet abstracted to what the study measures.
+struct Packet {
+  std::uint64_t id = 0;
+  net::NodeId source = net::kInvalidNode;
+  net::Prefix prefix = 0;
+  int ttl = kDefaultTtl;
+  sim::SimTime sent_at;
+  int hops_taken = 0;
+};
+
+/// Terminal outcome of a packet.
+enum class PacketFate : std::uint8_t {
+  kDelivered,      // reached the destination AS
+  kTtlExhausted,   // dropped with TTL zero — the study's loop indicator
+  kNoRoute,        // dropped at a node with no FIB entry
+  kLinkDown,       // FIB pointed over a failed link
+};
+
+[[nodiscard]] constexpr const char* to_string(PacketFate f) {
+  switch (f) {
+    case PacketFate::kDelivered:
+      return "delivered";
+    case PacketFate::kTtlExhausted:
+      return "ttl_exhausted";
+    case PacketFate::kNoRoute:
+      return "no_route";
+    case PacketFate::kLinkDown:
+      return "link_down";
+  }
+  return "?";
+}
+
+}  // namespace bgpsim::fwd

@@ -1,0 +1,25 @@
+#include "fwd/traffic.hpp"
+
+namespace bgpsim::fwd {
+
+void TrafficGenerator::start(const std::vector<net::NodeId>& sources,
+                             sim::SimTime start) {
+  running_ = true;
+  for (net::NodeId src : sources) {
+    sim::SimTime first = start;
+    if (config_.stagger) {
+      first += rng_.uniform_time(sim::SimTime::zero(), config_.interval);
+    }
+    sim_.schedule_at(first, [this, src] { tick(src); });
+  }
+}
+
+void TrafficGenerator::tick(net::NodeId source) {
+  if (!running_) return;
+  ++sent_;
+  if (on_send_) on_send_(source, sim_.now());
+  plane_.inject(source, config_.ttl);
+  sim_.schedule_after(config_.interval, [this, source] { tick(source); });
+}
+
+}  // namespace bgpsim::fwd

@@ -1,0 +1,63 @@
+// Constant-rate traffic sources.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fwd/engine.hpp"
+#include "net/types.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::fwd {
+
+/// Per the study (§4.2): every non-destination AS hosts one source sending
+/// a constant 10 packets/s stream toward the destination — slow enough that
+/// queueing is negligible, fast enough that any loop outliving 256 ms
+/// catches packets.
+struct TrafficConfig {
+  sim::SimTime interval = sim::SimTime::millis(100);  // 10 pkt/s
+  int ttl = kDefaultTtl;
+  /// Desynchronize sources: each source's first packet is offset by a
+  /// uniform fraction of the interval (so all sources don't fire the same
+  /// microsecond).
+  bool stagger = true;
+};
+
+/// Drives a set of CBR sources injecting into a DataPlane.
+class TrafficGenerator {
+ public:
+  /// Reports every injection (time-stamped packet-sent record).
+  using SendHook = std::function<void(net::NodeId source, sim::SimTime when)>;
+
+  TrafficGenerator(sim::Simulator& simulator, DataPlane& plane,
+                   TrafficConfig config, sim::Rng rng)
+      : sim_{simulator}, plane_{plane}, config_{config}, rng_{std::move(rng)} {}
+
+  void set_send_hook(SendHook h) { on_send_ = std::move(h); }
+
+  /// Begin sending from every node in `sources` at time `start`.
+  void start(const std::vector<net::NodeId>& sources, sim::SimTime start);
+
+  /// Stop all sources (takes effect at the current simulation time; already
+  /// scheduled next-injections are suppressed).
+  void stop() { running_ = false; }
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+
+ private:
+  void tick(net::NodeId source);
+
+  sim::Simulator& sim_;
+  DataPlane& plane_;
+  TrafficConfig config_;
+  sim::Rng rng_;
+  SendHook on_send_;
+  bool running_ = false;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace bgpsim::fwd

@@ -1,0 +1,22 @@
+// Link-state (OSPF/IS-IS-like) baseline configuration.
+//
+// The paper's §2 cites Hengartner et al.: transient loops form in link
+// state protocols too, but they are short (bounded by flooding + SPF
+// delay), and Sridharan et al. found packet loops correlate with BGP — not
+// IS-IS — events. This module provides the link-state side of that
+// comparison on the same substrate.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace bgpsim::ls {
+
+struct LsConfig {
+  /// Delay between an LSDB change and the SPF run it schedules (routers
+  /// batch changes; IS-IS spf-interval is typically tens of ms to
+  /// seconds). Drawn uniformly per run.
+  sim::SimTime spf_delay_lo = sim::SimTime::millis(50);
+  sim::SimTime spf_delay_hi = sim::SimTime::millis(200);
+};
+
+}  // namespace bgpsim::ls

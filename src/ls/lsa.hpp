@@ -1,0 +1,35 @@
+// Link-State Advertisements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace bgpsim::ls {
+
+/// One router's self-description: its live adjacencies and the prefixes it
+/// hosts. Freshness is a per-origin sequence number.
+struct Lsa {
+  net::NodeId origin = net::kInvalidNode;
+  std::uint64_t seq = 0;
+  std::vector<net::NodeId> neighbors;  // up adjacencies, ascending
+  std::vector<net::Prefix> prefixes;   // hosted prefixes, ascending
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "LSA(origin " + std::to_string(origin) + " seq " +
+                      std::to_string(seq) + " nbrs";
+    for (const auto n : neighbors) out += " " + std::to_string(n);
+    out += ")";
+    return out;
+  }
+};
+
+/// Flooding envelope: one LSA per message (a full LSDB exchange at session
+/// establishment is a burst of these).
+struct LsaMsg {
+  Lsa lsa;
+};
+
+}  // namespace bgpsim::ls

@@ -1,0 +1,79 @@
+#include "ls/network.hpp"
+
+#include <any>
+
+namespace bgpsim::ls {
+
+LsNetwork::LsNetwork(sim::Simulator& simulator, net::Topology& topology,
+                     const LsConfig& config,
+                     const net::ProcessingDelay& processing,
+                     const sim::Rng& root_rng)
+    : sim_{simulator}, topo_{topology}, transport_{simulator, topology} {
+  const std::size_t n = topo_.node_count();
+  fibs_.resize(n);
+  queues_.reserve(n);
+  speakers_.reserve(n);
+
+  for (net::NodeId node = 0; node < n; ++node) {
+    queues_.push_back(std::make_unique<net::ProcessingQueue>(
+        simulator, root_rng.child("proc", node), processing));
+    speakers_.push_back(std::make_unique<LsSpeaker>(
+        node, config, simulator, transport_, fibs_[node],
+        root_rng.child("ls", node)));
+    speakers_.back()->set_peers(topo_.up_neighbors(node));
+  }
+
+  transport_.set_delivery_handler([this](const net::Envelope& env) {
+    queues_[env.to]->accept(env);
+  });
+  transport_.set_session_handler(
+      [this](net::NodeId self, net::NodeId peer, bool up) {
+        queues_[self]->accept_session_event(
+            net::ProcessingQueue::SessionEvent{peer, up});
+      });
+
+  for (net::NodeId node = 0; node < n; ++node) {
+    queues_[node]->set_message_handler([this, node](const net::Envelope& env) {
+      speakers_[node]->handle_lsa(
+          env.from, std::any_cast<const LsaMsg&>(env.payload).lsa);
+    });
+    queues_[node]->set_session_handler(
+        [this, node](const net::ProcessingQueue::SessionEvent& ev) {
+          speakers_[node]->handle_session(ev.peer, ev.up);
+        });
+  }
+}
+
+void LsNetwork::set_hooks(const LsSpeaker::Hooks& hooks) {
+  for (auto& s : speakers_) s->set_hooks(hooks);
+}
+
+void LsNetwork::start_all() {
+  for (auto& s : speakers_) s->start();
+}
+
+bool LsNetwork::busy() const {
+  if (control_messages_in_flight() > 0) return true;
+  for (const auto& q : queues_) {
+    if (q->busy() || q->backlog() > 0) return true;
+  }
+  for (const auto& s : speakers_) {
+    if (s->spf_pending()) return true;
+  }
+  return false;
+}
+
+LsSpeaker::Counters LsNetwork::total_counters() const {
+  LsSpeaker::Counters total;
+  for (const auto& s : speakers_) {
+    const auto& c = s->counters();
+    total.lsas_originated += c.lsas_originated;
+    total.lsas_flooded += c.lsas_flooded;
+    total.lsas_accepted += c.lsas_accepted;
+    total.lsas_ignored += c.lsas_ignored;
+    total.spf_runs += c.spf_runs;
+  }
+  return total;
+}
+
+}  // namespace bgpsim::ls

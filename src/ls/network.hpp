@@ -1,0 +1,62 @@
+// Assembles a link-state network over a topology (the LS analogue of
+// BgpNetwork / DvNetwork, on the same substrate).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fwd/fib.hpp"
+#include "ls/config.hpp"
+#include "ls/speaker.hpp"
+#include "net/channel.hpp"
+#include "net/node.hpp"
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace bgpsim::ls {
+
+class LsNetwork {
+ public:
+  LsNetwork(sim::Simulator& simulator, net::Topology& topology,
+            const LsConfig& config, const net::ProcessingDelay& processing,
+            const sim::Rng& root_rng);
+
+  [[nodiscard]] LsSpeaker& speaker(net::NodeId n) { return *speakers_.at(n); }
+  [[nodiscard]] std::size_t size() const { return speakers_.size(); }
+  [[nodiscard]] std::vector<fwd::Fib>& fibs() { return fibs_; }
+  [[nodiscard]] net::Transport& transport() { return transport_; }
+
+  void set_hooks(const LsSpeaker::Hooks& hooks);
+
+  /// Bring every router up (initial LSA origination) — call once at t=0.
+  void start_all();
+
+  void originate(net::NodeId origin, net::Prefix prefix) {
+    speaker(origin).originate(prefix);
+  }
+  void inject_tdown(net::NodeId origin, net::Prefix prefix) {
+    speaker(origin).withdraw_origin(prefix);
+  }
+  void inject_link_failure(net::LinkId link) { transport_.fail_link(link); }
+
+  [[nodiscard]] std::uint64_t control_messages_in_flight() const {
+    return transport_.messages_sent() - transport_.messages_delivered() -
+           transport_.messages_lost();
+  }
+
+  /// True while flooding or SPF work is outstanding anywhere.
+  [[nodiscard]] bool busy() const;
+
+  [[nodiscard]] LsSpeaker::Counters total_counters() const;
+
+ private:
+  sim::Simulator& sim_;
+  net::Topology& topo_;
+  net::Transport transport_;
+  std::vector<fwd::Fib> fibs_;
+  std::vector<std::unique_ptr<net::ProcessingQueue>> queues_;
+  std::vector<std::unique_ptr<LsSpeaker>> speakers_;
+};
+
+}  // namespace bgpsim::ls

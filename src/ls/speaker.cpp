@@ -1,0 +1,181 @@
+#include "ls/speaker.hpp"
+
+#include <algorithm>
+#include <any>
+#include <deque>
+#include <limits>
+
+namespace bgpsim::ls {
+
+LsSpeaker::LsSpeaker(net::NodeId self, LsConfig config,
+                     sim::Simulator& simulator, net::Transport& transport,
+                     fwd::Fib& fib, sim::Rng rng)
+    : self_{self},
+      config_{config},
+      sim_{simulator},
+      transport_{transport},
+      fib_{fib},
+      rng_{std::move(rng)} {}
+
+void LsSpeaker::set_peers(const std::vector<net::NodeId>& peers) {
+  peers_ = std::set<net::NodeId>(peers.begin(), peers.end());
+}
+
+void LsSpeaker::start() { originate_self_lsa(); }
+
+void LsSpeaker::originate(net::Prefix prefix) {
+  hosted_.insert(prefix);
+  originate_self_lsa();
+}
+
+void LsSpeaker::withdraw_origin(net::Prefix prefix) {
+  if (hosted_.erase(prefix) == 0) return;
+  originate_self_lsa();
+}
+
+void LsSpeaker::originate_self_lsa() {
+  Lsa lsa;
+  lsa.origin = self_;
+  lsa.seq = ++my_seq_;
+  lsa.neighbors.assign(peers_.begin(), peers_.end());
+  lsa.prefixes.assign(hosted_.begin(), hosted_.end());
+  ++counters_.lsas_originated;
+  lsdb_[self_] = lsa;
+  schedule_spf();
+  flood(lsa, std::nullopt);
+}
+
+void LsSpeaker::flood(const Lsa& lsa, std::optional<net::NodeId> except) {
+  for (const net::NodeId peer : peers_) {
+    if (except && peer == *except) continue;
+    ++counters_.lsas_flooded;
+    transport_.send(self_, peer, std::any{LsaMsg{lsa}});
+    if (hooks_.on_lsa_sent) hooks_.on_lsa_sent(self_, peer, lsa);
+  }
+}
+
+void LsSpeaker::handle_lsa(net::NodeId from, const Lsa& lsa) {
+  auto it = lsdb_.find(lsa.origin);
+  if (it != lsdb_.end() && it->second.seq >= lsa.seq) {
+    ++counters_.lsas_ignored;  // stale or duplicate: flood stops here
+    return;
+  }
+  ++counters_.lsas_accepted;
+  lsdb_[lsa.origin] = lsa;
+  schedule_spf();
+  flood(lsa, from);
+}
+
+void LsSpeaker::handle_session(net::NodeId peer, bool up) {
+  if (up) {
+    peers_.insert(peer);
+    // Database exchange: offer everything we know to the new neighbor.
+    for (const auto& [origin, lsa] : lsdb_) {
+      ++counters_.lsas_flooded;
+      transport_.send(self_, peer, std::any{LsaMsg{lsa}});
+      if (hooks_.on_lsa_sent) hooks_.on_lsa_sent(self_, peer, lsa);
+    }
+  } else {
+    peers_.erase(peer);
+  }
+  originate_self_lsa();  // our adjacency set changed
+}
+
+void LsSpeaker::schedule_spf() {
+  if (spf_pending_) return;  // LSDB changes batch into the pending run
+  spf_pending_ = true;
+  const sim::SimTime delay =
+      config_.spf_delay_lo == config_.spf_delay_hi
+          ? config_.spf_delay_lo
+          : rng_.uniform_time(config_.spf_delay_lo, config_.spf_delay_hi);
+  sim_.schedule_after(delay, [this] {
+    spf_pending_ = false;
+    run_spf();
+  });
+}
+
+void LsSpeaker::run_spf() {
+  ++counters_.spf_runs;
+
+  // Two-way-checked adjacency from the LSDB: a link exists iff both
+  // endpoints' LSAs list each other.
+  const auto linked = [&](net::NodeId a, net::NodeId b) {
+    auto ia = lsdb_.find(a);
+    auto ib = lsdb_.find(b);
+    if (ia == lsdb_.end() || ib == lsdb_.end()) return false;
+    return std::ranges::binary_search(ia->second.neighbors, b) &&
+           std::ranges::binary_search(ib->second.neighbors, a);
+  };
+
+  // BFS (unit costs) with smaller-id tie-break: parent pointers give the
+  // first hop. Deterministic because neighbor lists are sorted.
+  std::map<net::NodeId, net::NodeId> first_hop;  // node -> next hop from us
+  std::map<net::NodeId, int> dist;
+  std::deque<net::NodeId> frontier{self_};
+  dist[self_] = 0;
+  while (!frontier.empty()) {
+    const net::NodeId u = frontier.front();
+    frontier.pop_front();
+    auto iu = lsdb_.find(u);
+    if (iu == lsdb_.end()) continue;
+    for (const net::NodeId v : iu->second.neighbors) {
+      if (!linked(u, v)) continue;
+      if (dist.contains(v)) continue;
+      dist[v] = dist[u] + 1;
+      first_hop[v] = (u == self_) ? v : first_hop[u];
+      frontier.push_back(v);
+    }
+  }
+
+  // Install routes for every hosted prefix in the LSDB. Where several
+  // nodes host a prefix (anycast), the nearest (then smallest id) wins.
+  std::map<net::Prefix, net::NodeId> best_host;
+  for (const auto& [origin, lsa] : lsdb_) {
+    if (origin != self_ && !dist.contains(origin)) continue;  // unreachable
+    for (const net::Prefix prefix : lsa.prefixes) {
+      auto it = best_host.find(prefix);
+      if (it == best_host.end()) {
+        best_host[prefix] = origin;
+        continue;
+      }
+      const int d_new = origin == self_ ? 0 : dist[origin];
+      const int d_old = it->second == self_ ? 0 : dist[it->second];
+      if (d_new < d_old || (d_new == d_old && origin < it->second)) {
+        it->second = origin;
+      }
+    }
+  }
+
+  // Track every prefix we have ever seen hosted so that routes to
+  // withdrawn / unreachable prefixes get cleared, not just left behind.
+  std::set<net::Prefix> seen;
+  for (const auto& [origin, lsa] : lsdb_) {
+    for (const net::Prefix p : lsa.prefixes) seen.insert(p);
+  }
+  for (const net::Prefix p : tracked_prefixes_) seen.insert(p);
+  tracked_prefixes_ = seen;
+
+  for (const net::Prefix prefix : seen) {
+    auto host = best_host.find(prefix);
+    std::optional<net::NodeId> nh;
+    if (host != best_host.end()) {
+      if (host->second == self_) {
+        nh = std::nullopt;  // local delivery
+      } else {
+        nh = first_hop.at(host->second);
+      }
+    }
+    const bool changed =
+        nh ? fib_.set_next_hop(prefix, *nh) : fib_.clear_route(prefix);
+    if (changed && hooks_.on_route_changed) {
+      hooks_.on_route_changed(self_, prefix, nh);
+    }
+  }
+}
+
+const Lsa* LsSpeaker::lsdb_entry(net::NodeId origin) const {
+  auto it = lsdb_.find(origin);
+  return it == lsdb_.end() ? nullptr : &it->second;
+}
+
+}  // namespace bgpsim::ls

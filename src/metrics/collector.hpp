@@ -1,0 +1,84 @@
+// Time-series collection of the study's raw observables.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "fwd/packet.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::metrics {
+
+/// Records update transmissions, packet sends, and packet fates with
+/// timestamps, and answers windowed queries afterwards. All recorded series
+/// are appended in nondecreasing time order (simulation time is monotone),
+/// so queries are binary searches.
+class Collector {
+ public:
+  // ---- recording hooks (wire to Speaker::Hooks / DataPlane / Traffic) ----
+
+  void note_update_sent(sim::SimTime when, bool is_withdrawal);
+  void note_packet_sent(sim::SimTime when);
+  void note_fate(const fwd::Packet& packet, fwd::PacketFate fate,
+                 net::NodeId where, sim::SimTime when);
+
+  // ---- queries ----
+
+  [[nodiscard]] std::uint64_t updates_sent_total() const {
+    return update_times_.size();
+  }
+  [[nodiscard]] std::uint64_t withdrawals_sent_total() const {
+    return withdrawals_;
+  }
+
+  /// Latest update transmission at or after `from` (nullopt if none).
+  [[nodiscard]] std::optional<sim::SimTime> last_update_at(
+      sim::SimTime from) const;
+
+  /// Count of updates sent at or after `from`.
+  [[nodiscard]] std::uint64_t updates_sent_since(sim::SimTime from) const;
+
+  /// Count of packets sent in [from, to].
+  [[nodiscard]] std::uint64_t packets_sent_in(sim::SimTime from,
+                                              sim::SimTime to) const;
+
+  /// Count of TTL exhaustions at or after `from`.
+  [[nodiscard]] std::uint64_t exhaustions_since(sim::SimTime from) const;
+
+  /// First / last TTL exhaustion at or after `from`.
+  [[nodiscard]] std::optional<sim::SimTime> first_exhaustion(
+      sim::SimTime from) const;
+  [[nodiscard]] std::optional<sim::SimTime> last_exhaustion(
+      sim::SimTime from) const;
+
+  /// Update transmissions bucketed into fixed-width time bins over
+  /// [from, to): the convergence "activity profile" (MRAI rounds show up
+  /// as periodic bursts). Bin i covers [from + i*width, from + (i+1)*width).
+  [[nodiscard]] std::vector<std::uint64_t> update_activity(
+      sim::SimTime from, sim::SimTime to, sim::SimTime bin_width) const;
+
+  /// Same bucketing for TTL exhaustions.
+  [[nodiscard]] std::vector<std::uint64_t> exhaustion_activity(
+      sim::SimTime from, sim::SimTime to, sim::SimTime bin_width) const;
+
+  [[nodiscard]] std::uint64_t delivered_total() const { return delivered_; }
+  [[nodiscard]] std::uint64_t no_route_total() const { return no_route_; }
+  [[nodiscard]] std::uint64_t link_down_total() const { return link_down_; }
+  [[nodiscard]] std::uint64_t packets_sent_total() const {
+    return send_times_.size();
+  }
+
+ private:
+  std::vector<sim::SimTime> update_times_;
+  std::vector<sim::SimTime> send_times_;
+  std::vector<sim::SimTime> exhaustion_times_;
+  std::uint64_t withdrawals_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t no_route_ = 0;
+  std::uint64_t link_down_ = 0;
+};
+
+}  // namespace bgpsim::metrics

@@ -1,0 +1,123 @@
+#include "metrics/loop_detector.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bgpsim::metrics {
+namespace {
+
+/// Rotate the cycle so its smallest node id leads; makes membership
+/// comparable across detections.
+std::vector<net::NodeId> canonicalize(std::vector<net::NodeId> cycle) {
+  assert(!cycle.empty());
+  const auto min_it = std::ranges::min_element(cycle);
+  std::ranges::rotate(cycle, min_it);
+  return cycle;
+}
+
+}  // namespace
+
+LoopDetector::LoopDetector(std::size_t node_count) : next_hop_(node_count) {}
+
+void LoopDetector::attach(sim::Simulator& simulator, std::vector<fwd::Fib>& fibs,
+                          net::Prefix prefix) {
+  for (net::NodeId node = 0; node < fibs.size(); ++node) {
+    fibs[node].set_observer(
+        [this, node, prefix, &simulator](net::Prefix p,
+                                         std::optional<net::NodeId> /*old*/,
+                                         std::optional<net::NodeId> now) {
+          if (p != prefix) return;
+          on_next_hop_change(node, now, simulator.now());
+        });
+  }
+}
+
+void LoopDetector::on_next_hop_change(net::NodeId node,
+                                      std::optional<net::NodeId> now,
+                                      sim::SimTime when) {
+  assert(node < next_hop_.size());
+  if (next_hop_[node] == now) return;
+  next_hop_[node] = now;
+  recompute(when);
+}
+
+void LoopDetector::recompute(sim::SimTime when) {
+  std::map<std::vector<net::NodeId>, bool> seen;  // canonical -> (re)found
+  for (auto& cycle : find_cycles()) {
+    seen.emplace(canonicalize(std::move(cycle)), true);
+  }
+
+  // Resolve active loops that no longer exist.
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (!seen.contains(it->first)) {
+      records_[it->second].resolved_at = when;
+      if (observer_) observer_(records_[it->second], /*formed=*/false);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Register newly formed loops.
+  for (auto& [members, unused] : seen) {
+    (void)unused;
+    if (active_.contains(members)) continue;
+    records_.push_back(LoopRecord{members, when, std::nullopt});
+    active_.emplace(members, records_.size() - 1);
+    if (observer_) observer_(records_.back(), /*formed=*/true);
+  }
+}
+
+std::vector<std::vector<net::NodeId>> LoopDetector::find_cycles() const {
+  const std::size_t n = next_hop_.size();
+  // 0 = unvisited, 1 = on current walk, 2 = finished.
+  std::vector<std::uint8_t> color(n, 0);
+  std::vector<std::uint32_t> walk_pos(n, 0);
+  std::vector<std::vector<net::NodeId>> cycles;
+
+  std::vector<net::NodeId> walk;
+  for (net::NodeId start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    walk.clear();
+    net::NodeId u = start;
+    while (true) {
+      if (color[u] == 1) {
+        // Found a cycle: the walk suffix starting at u.
+        cycles.emplace_back(walk.begin() + walk_pos[u], walk.end());
+        break;
+      }
+      if (color[u] == 2) break;  // merged into an already-explored region
+      color[u] = 1;
+      walk_pos[u] = static_cast<std::uint32_t>(walk.size());
+      walk.push_back(u);
+      const auto& nh = next_hop_[u];
+      if (!nh || *nh >= n) break;  // dead end: no route (or the destination)
+      u = *nh;
+    }
+    for (net::NodeId v : walk) color[v] = 2;
+  }
+  return cycles;
+}
+
+void LoopDetector::clear_history() {
+  if (!active_.empty()) {
+    throw std::logic_error{"LoopDetector::clear_history with active loops"};
+  }
+  records_.clear();
+}
+
+void LoopDetector::finalize(sim::SimTime end) {
+  for (auto& [members, idx] : active_) {
+    if (!records_[idx].resolved_at) records_[idx].resolved_at = end;
+  }
+  active_.clear();
+}
+
+std::vector<std::vector<net::NodeId>> LoopDetector::active_loops() const {
+  std::vector<std::vector<net::NodeId>> out;
+  out.reserve(active_.size());
+  for (const auto& [members, idx] : active_) out.push_back(members);
+  return out;
+}
+
+}  // namespace bgpsim::metrics

@@ -1,0 +1,84 @@
+// Forwarding-loop detection on the next-hop graph.
+//
+// The paper measures loops indirectly via TTL exhaustion; it names per-loop
+// statistics (size, duration) as future work. This detector implements that
+// extension exactly: it mirrors every node's FIB next hop for one prefix,
+// and after each change enumerates the cycles of the resulting functional
+// graph (each node has at most one out-edge, so cycles are disjoint and
+// enumeration is O(n)).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fwd/fib.hpp"
+#include "net/types.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::metrics {
+
+/// One transient forwarding loop, from formation to resolution.
+struct LoopRecord {
+  std::vector<net::NodeId> members;  // canonical: rotated to smallest first
+  sim::SimTime formed_at;
+  std::optional<sim::SimTime> resolved_at;  // nullopt: still active at finalize
+
+  [[nodiscard]] std::size_t size() const { return members.size(); }
+  [[nodiscard]] double duration_seconds(sim::SimTime fallback_end) const {
+    return ((resolved_at ? *resolved_at : fallback_end) - formed_at)
+        .as_seconds();
+  }
+};
+
+class LoopDetector {
+ public:
+  /// Observer for live loop events; `formed` is true at formation, false
+  /// at resolution (resolution passes the completed record).
+  using Observer = std::function<void(const LoopRecord&, bool formed)>;
+
+  explicit LoopDetector(std::size_t node_count);
+
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+  /// Install FIB observers on every node's Fib, watching `prefix`.
+  /// Replaces any observer previously installed on those FIBs.
+  void attach(sim::Simulator& simulator, std::vector<fwd::Fib>& fibs,
+              net::Prefix prefix);
+
+  /// Manual feed (for tests / custom wiring): node's next hop changed.
+  void on_next_hop_change(net::NodeId node, std::optional<net::NodeId> now,
+                          sim::SimTime when);
+
+  /// Close out loops still active at `end`.
+  void finalize(sim::SimTime end);
+
+  /// Drop accumulated records while keeping the mirrored next-hop state.
+  /// Used at event injection so only post-event loops are reported.
+  /// Requires no loop to be active (true at a converged state).
+  void clear_history();
+
+  [[nodiscard]] const std::vector<LoopRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t active_count() const { return active_.size(); }
+  [[nodiscard]] std::uint64_t loops_formed() const { return records_.size(); }
+
+  /// Membership of all currently active loops.
+  [[nodiscard]] std::vector<std::vector<net::NodeId>> active_loops() const;
+
+ private:
+  void recompute(sim::SimTime when);
+  [[nodiscard]] std::vector<std::vector<net::NodeId>> find_cycles() const;
+
+  Observer observer_;
+  std::vector<std::optional<net::NodeId>> next_hop_;
+  // canonical member list -> index into records_ (the active record)
+  std::map<std::vector<net::NodeId>, std::size_t> active_;
+  std::vector<LoopRecord> records_;
+};
+
+}  // namespace bgpsim::metrics

@@ -1,0 +1,69 @@
+#include "metrics/loop_stats.hpp"
+
+#include <algorithm>
+
+namespace bgpsim::metrics {
+
+LoopStats analyze_loops(const std::vector<LoopRecord>& loops,
+                        sim::SimTime fallback_end) {
+  LoopStats stats;
+  stats.total_loops = loops.size();
+  if (loops.empty()) return stats;
+
+  std::map<std::size_t, std::vector<double>> durations_by_size;
+  std::vector<double> all_durations;
+  double size_sum = 0;
+  std::size_t two_node = 0;
+
+  // Interval sweep for union-of-activity and concurrency.
+  std::vector<std::pair<sim::SimTime, int>> edges;  // (+1 open, -1 close)
+  for (const auto& loop : loops) {
+    const double d = loop.duration_seconds(fallback_end);
+    durations_by_size[loop.size()].push_back(d);
+    all_durations.push_back(d);
+    size_sum += static_cast<double>(loop.size());
+    stats.max_size = std::max(stats.max_size, loop.size());
+    if (loop.size() == 2) ++two_node;
+    edges.emplace_back(loop.formed_at, +1);
+    edges.emplace_back(loop.resolved_at.value_or(fallback_end), -1);
+  }
+
+  stats.mean_size = size_sum / static_cast<double>(loops.size());
+  stats.two_node_fraction =
+      static_cast<double>(two_node) / static_cast<double>(loops.size());
+  stats.duration_s = summarize(all_durations);
+  stats.distinct_sizes = durations_by_size.size();
+
+  for (const auto& [size, durations] : durations_by_size) {
+    SizeBucket bucket;
+    bucket.size = size;
+    bucket.count = durations.size();
+    bucket.duration_s = summarize(durations);
+    bucket.worst_per_hop_s =
+        bucket.duration_s.max / static_cast<double>(size - 1);
+    stats.by_size.push_back(std::move(bucket));
+  }
+
+  // Sweep: closes before opens at the same instant keeps zero-length
+  // intervals from inflating concurrency.
+  std::ranges::sort(edges, [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  });
+  int depth = 0;
+  sim::SimTime active_since;
+  for (const auto& [at, delta] : edges) {
+    if (delta > 0) {
+      if (depth == 0) active_since = at;
+      ++depth;
+      stats.max_concurrent =
+          std::max(stats.max_concurrent, static_cast<std::size_t>(depth));
+    } else {
+      --depth;
+      if (depth == 0) stats.active_time_s += (at - active_since).as_seconds();
+    }
+  }
+  return stats;
+}
+
+}  // namespace bgpsim::metrics

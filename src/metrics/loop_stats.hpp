@@ -1,0 +1,48 @@
+// Aggregate statistics over per-loop records — the paper's "next steps"
+// ("measure the statistics of individual loops such as the loop size and
+// duration") as a reusable analysis.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "metrics/loop_detector.hpp"
+#include "metrics/stats.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::metrics {
+
+/// Duration statistics for one loop size.
+struct SizeBucket {
+  std::size_t size = 0;        // m (member count)
+  std::size_t count = 0;       // loops of this size
+  Summary duration_s;          // per-loop durations
+  double worst_per_hop_s = 0;  // max duration / (m-1): cf. the (m-1)·M bound
+};
+
+/// Whole-run loop statistics.
+struct LoopStats {
+  std::size_t total_loops = 0;
+  std::size_t distinct_sizes = 0;
+  std::size_t max_size = 0;
+  double mean_size = 0;
+  /// Fraction of loops with exactly two members (Hengartner et al., cited
+  /// by the paper, observed >50% two-node loops in ISP traces).
+  double two_node_fraction = 0;
+  Summary duration_s;  // across all loops
+  std::vector<SizeBucket> by_size;  // ascending size
+
+  /// Aggregate time during which >=1 loop was active (union of intervals),
+  /// comparable against the paper's "overall looping duration".
+  double active_time_s = 0;
+  /// Maximum number of simultaneously active loops.
+  std::size_t max_concurrent = 0;
+};
+
+/// Compute statistics over `loops`. Unresolved records are closed at
+/// `fallback_end` (pass the run's end time).
+[[nodiscard]] LoopStats analyze_loops(const std::vector<LoopRecord>& loops,
+                                      sim::SimTime fallback_end);
+
+}  // namespace bgpsim::metrics

@@ -1,0 +1,60 @@
+// Per-run results: the paper's four metrics plus supporting detail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/speaker.hpp"
+#include "metrics/loop_detector.hpp"
+#include "metrics/loop_stats.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::metrics {
+
+/// Everything measured from one scenario run. The first four fields are the
+/// paper's metrics (§4.2); the rest support the analysis and the extension
+/// experiments.
+struct RunMetrics {
+  // ---- the paper's metrics ----
+  /// Event injection -> last BGP update sent (s). 0 if no update was sent.
+  double convergence_time_s = 0;
+  /// First TTL exhaustion -> last TTL exhaustion (s). 0 if none occurred.
+  double looping_duration_s = 0;
+  /// TTL exhaustions observed after the event.
+  std::uint64_t ttl_exhaustions = 0;
+  /// ttl_exhaustions / packets sent during [event, last update]; the
+  /// probability that a packet sent during convergence encounters looping.
+  double looping_ratio = 0;
+
+  // ---- supporting detail ----
+  std::uint64_t packets_sent_during_convergence = 0;
+  std::uint64_t packets_sent_total = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_no_route = 0;
+  std::uint64_t packets_link_down = 0;
+
+  std::uint64_t updates_sent = 0;  // after the event
+  std::uint64_t updates_sent_total = 0;
+
+  bgp::Speaker::Counters bgp;  // network-wide protocol counters
+
+  // ---- per-loop extension (paper's "next steps") ----
+  std::uint64_t loops_formed = 0;
+  double max_loop_duration_s = 0;
+  double mean_loop_size = 0;
+  std::size_t max_loop_size = 0;
+  std::vector<LoopRecord> loops;
+  LoopStats loop_stats;  // full per-size analysis of `loops`
+
+  // ---- activity profiles (1 s bins over [event, last update]) ----
+  std::vector<std::uint64_t> update_activity_1s;
+  std::vector<std::uint64_t> exhaustion_activity_1s;
+
+  // ---- timeline (absolute simulation times) ----
+  sim::SimTime event_at;
+  sim::SimTime last_update_at;
+  sim::SimTime first_exhaustion_at;
+  sim::SimTime last_exhaustion_at;
+};
+
+}  // namespace bgpsim::metrics

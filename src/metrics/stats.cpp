@@ -1,0 +1,87 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace bgpsim::metrics {
+
+Summary summarize(const std::vector<double>& sample) {
+  Summary s;
+  s.n = sample.size();
+  if (s.n == 0) return s;
+
+  double sum = 0;
+  s.min = sample.front();
+  s.max = sample.front();
+  for (double v : sample) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+
+  if (s.n >= 2) {
+    double ss = 0;
+    for (double v : sample) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  }
+  s.median = percentile(sample, 50.0);
+  return s;
+}
+
+double percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0;
+  if (q < 0 || q > 100) throw std::invalid_argument{"percentile: q out of range"};
+  std::ranges::sort(sample);
+  const double pos = q / 100.0 * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1 - frac) + sample[hi] * frac;
+}
+
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument{"fit_line: size mismatch"};
+  }
+  LinearFit f;
+  const auto n = static_cast<double>(x.size());
+  if (x.size() < 2) return f;
+
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0) return f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+
+  const double sst = syy - sy * sy / n;
+  if (sst == 0) {
+    f.r2 = 1.0;  // constant y: the fit is exact
+  } else {
+    double sse = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - (f.intercept + f.slope * x[i]);
+      sse += e * e;
+    }
+    f.r2 = 1.0 - sse / sst;
+  }
+  return f;
+}
+
+std::string mean_pm(const Summary& s, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f ±%.*f", decimals, s.mean, decimals,
+                s.stddev);
+  return buf;
+}
+
+}  // namespace bgpsim::metrics

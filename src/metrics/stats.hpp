@@ -1,0 +1,39 @@
+// Summary statistics across trials.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bgpsim::metrics {
+
+/// Moments and order statistics of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0;
+  double stddev = 0;  // sample standard deviation (n-1); 0 when n < 2
+  double min = 0;
+  double max = 0;
+  double median = 0;
+};
+
+/// Compute a Summary. An empty sample yields all-zero fields.
+[[nodiscard]] Summary summarize(const std::vector<double>& sample);
+
+/// Linear interpolation percentile, q in [0, 100]. Empty sample -> 0.
+[[nodiscard]] double percentile(std::vector<double> sample, double q);
+
+/// Least-squares fit y = a + b·x. Returns {a, b, r2}. Requires both vectors
+/// the same length; fewer than 2 points yields {0, 0, 0}.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r2 = 0;
+};
+[[nodiscard]] LinearFit fit_line(const std::vector<double>& x,
+                                 const std::vector<double>& y);
+
+/// "12.3 ±4.5" convenience formatting.
+[[nodiscard]] std::string mean_pm(const Summary& s, int decimals = 1);
+
+}  // namespace bgpsim::metrics

@@ -1,0 +1,70 @@
+#include "metrics/trace.hpp"
+
+#include <ostream>
+
+namespace bgpsim::metrics {
+namespace {
+
+/// Escape for a double-quoted CSV/JSON string cell.
+std::string escaped(const std::string& raw, bool json) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (char c : raw) {
+    if (json && c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += json ? "\\\"" : "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void write_id(std::ostream& out, net::NodeId id) {
+  if (id == net::kInvalidNode) {
+    out << "";
+  } else {
+    out << id;
+  }
+}
+
+}  // namespace
+
+std::vector<TraceEvent> TraceRecorder::of_kind(TraceEventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::map<TraceEventKind, std::size_t> TraceRecorder::counts() const {
+  std::map<TraceEventKind, std::size_t> out;
+  for (const auto& e : events_) ++out[e.kind];
+  return out;
+}
+
+void TraceRecorder::write_csv(std::ostream& out) const {
+  out << "time_s,kind,node,peer,prefix,detail\n";
+  for (const auto& e : events_) {
+    out << e.at.as_seconds() << ',' << to_string(e.kind) << ',';
+    write_id(out, e.node);
+    out << ',';
+    write_id(out, e.peer);
+    out << ',' << e.prefix << ",\"" << escaped(e.detail, false) << "\"\n";
+  }
+}
+
+void TraceRecorder::write_jsonl(std::ostream& out) const {
+  for (const auto& e : events_) {
+    out << "{\"t\":" << e.at.as_seconds() << ",\"kind\":\""
+        << to_string(e.kind) << "\"";
+    if (e.node != net::kInvalidNode) out << ",\"node\":" << e.node;
+    if (e.peer != net::kInvalidNode) out << ",\"peer\":" << e.peer;
+    out << ",\"prefix\":" << e.prefix << ",\"detail\":\""
+        << escaped(e.detail, true) << "\"}\n";
+  }
+}
+
+}  // namespace bgpsim::metrics

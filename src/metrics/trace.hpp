@@ -1,0 +1,86 @@
+// Route-change trace recording.
+//
+// The paper closes by planning to "examine route change traces to measure
+// the statistics of individual loops". This recorder captures a structured
+// event stream — updates on the wire, best-path changes, loop formation /
+// resolution, session changes — and serializes it as CSV or JSON lines for
+// offline analysis.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::metrics {
+
+enum class TraceEventKind : std::uint8_t {
+  kEventInjected,  // the scenario's Tdown/Tlong/Tup trigger
+  kUpdateSent,     // node -> peer UPDATE (detail: message text)
+  kBestChanged,    // node's Loc-RIB best changed (detail: new path)
+  kLoopFormed,     // detail: loop membership "{a b c}"
+  kLoopResolved,   // detail: loop membership
+  kSessionChange,  // node noticed session to peer up/down (detail)
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kEventInjected:
+      return "event_injected";
+    case TraceEventKind::kUpdateSent:
+      return "update_sent";
+    case TraceEventKind::kBestChanged:
+      return "best_changed";
+    case TraceEventKind::kLoopFormed:
+      return "loop_formed";
+    case TraceEventKind::kLoopResolved:
+      return "loop_resolved";
+    case TraceEventKind::kSessionChange:
+      return "session_change";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  sim::SimTime at;
+  TraceEventKind kind = TraceEventKind::kEventInjected;
+  net::NodeId node = net::kInvalidNode;  // subject (kInvalidNode if n/a)
+  net::NodeId peer = net::kInvalidNode;  // counterpart (kInvalidNode if n/a)
+  net::Prefix prefix = 0;
+  std::string detail;
+};
+
+/// Append-only event log with serialization. Thread-unsafe by design (the
+/// simulator is single-threaded).
+class TraceRecorder {
+ public:
+  void record(TraceEvent event) { events_.push_back(std::move(event)); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind, preserving order.
+  [[nodiscard]] std::vector<TraceEvent> of_kind(TraceEventKind kind) const;
+
+  /// Histogram by kind.
+  [[nodiscard]] std::map<TraceEventKind, std::size_t> counts() const;
+
+  /// "time,kind,node,peer,prefix,detail" rows (detail quoted).
+  void write_csv(std::ostream& out) const;
+
+  /// One JSON object per line.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace bgpsim::metrics

@@ -1,0 +1,70 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace bgpsim::net {
+
+bool Transport::send(NodeId from, NodeId to, std::any payload) {
+  const auto link_id = topo_.link_between(from, to);
+  if (!link_id || !topo_.link(*link_id).up) return false;
+
+  ++sent_;
+  const Link& link = topo_.link(*link_id);
+  auto& pending = in_flight_[*link_id];
+
+  // The event needs its own id to unregister itself from in_flight_; obtain
+  // it by scheduling first and patching the shared state afterwards.
+  Envelope env{from, to, std::move(payload)};
+  auto holder = std::make_shared<sim::EventId>();
+  const sim::EventId id = sim_.schedule_after(
+      link.delay, [this, link = *link_id, holder, env = std::move(env)]() {
+        deliver(link, *holder, env);
+      });
+  *holder = id;
+  pending.push_back(id);
+  return true;
+}
+
+void Transport::deliver(LinkId link, sim::EventId self_id, const Envelope& env) {
+  auto it = in_flight_.find(link);
+  if (it != in_flight_.end()) {
+    std::erase(it->second, self_id);
+  }
+  ++delivered_;
+  if (on_deliver_) on_deliver_(env);
+}
+
+bool Transport::fail_link(LinkId id) {
+  if (!topo_.set_link_state(id, false)) return false;
+  auto it = in_flight_.find(id);
+  if (it != in_flight_.end()) {
+    for (sim::EventId ev : it->second) {
+      if (sim_.cancel(ev)) ++lost_;
+    }
+    it->second.clear();
+  }
+  const Link& l = topo_.link(id);
+  if (on_session_) {
+    on_session_(l.a, l.b, false);
+    on_session_(l.b, l.a, false);
+  }
+  return true;
+}
+
+bool Transport::restore_link(LinkId id) {
+  if (!topo_.set_link_state(id, true)) return false;
+  const Link& l = topo_.link(id);
+  if (on_session_) {
+    on_session_(l.a, l.b, true);
+    on_session_(l.b, l.a, true);
+  }
+  return true;
+}
+
+void Transport::fail_node(NodeId n) {
+  for (LinkId id : topo_.links_of(n)) fail_link(id);
+}
+
+}  // namespace bgpsim::net

@@ -1,0 +1,38 @@
+#include "net/node.hpp"
+
+namespace bgpsim::net {
+
+void ProcessingQueue::accept(Envelope env) {
+  queue_.push_back(WorkItem{false, std::move(env), {}});
+  if (!busy_) start_next();
+}
+
+void ProcessingQueue::accept_session_event(SessionEvent ev) {
+  queue_.push_back(WorkItem{true, {}, ev});
+  if (!busy_) start_next();
+}
+
+void ProcessingQueue::start_next() {
+  busy_ = true;
+  const sim::SimTime d =
+      delay_.min == delay_.max ? delay_.min
+                               : rng_.uniform_time(delay_.min, delay_.max);
+  sim_.schedule_after(d, [this] {
+    // Pop at completion time: the item occupied the routing process for the
+    // whole interval, and anything arriving meanwhile queued behind it.
+    WorkItem item = std::move(queue_.front());
+    queue_.pop_front();
+    if (item.is_session_event) {
+      if (on_session_) on_session_(item.session);
+    } else {
+      if (on_message_) on_message_(item.env);
+    }
+    if (queue_.empty()) {
+      busy_ = false;
+    } else {
+      start_next();
+    }
+  });
+}
+
+}  // namespace bgpsim::net

@@ -1,0 +1,75 @@
+// Serialized control-plane message processing with per-message CPU delay.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "net/channel.hpp"
+#include "net/types.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::net {
+
+/// Bounds for the per-message routing-process CPU time. The study sets this
+/// uniformly in [0.1 s, 0.5 s] — two orders of magnitude above the 2 ms
+/// propagation delay — so processing, not propagation, dominates nodal delay.
+struct ProcessingDelay {
+  sim::SimTime min = sim::SimTime::millis(100);
+  sim::SimTime max = sim::SimTime::millis(500);
+};
+
+/// One node's control-plane work queue.
+///
+/// Arriving messages (and session up/down notices) queue FIFO; the node
+/// processes them one at a time, each occupying the routing process for a
+/// uniformly drawn delay before its handler runs. This serialization is what
+/// makes a flood of withdrawals delay useful path information — the effect
+/// the paper identifies as Ghost Flushing's cost in large cliques.
+class ProcessingQueue {
+ public:
+  /// An internal work item: a message, or a locally observed session event.
+  struct SessionEvent {
+    NodeId peer = kInvalidNode;
+    bool up = false;
+  };
+
+  using MessageHandler = std::function<void(const Envelope&)>;
+  using SessionEventHandler = std::function<void(const SessionEvent&)>;
+
+  ProcessingQueue(sim::Simulator& simulator, sim::Rng rng, ProcessingDelay d)
+      : sim_{simulator}, rng_{std::move(rng)}, delay_{d} {}
+
+  void set_message_handler(MessageHandler h) { on_message_ = std::move(h); }
+  void set_session_handler(SessionEventHandler h) { on_session_ = std::move(h); }
+
+  /// Enqueue an inbound message (called at its delivery time).
+  void accept(Envelope env);
+
+  /// Enqueue a locally observed session state change.
+  void accept_session_event(SessionEvent ev);
+
+  [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
+  [[nodiscard]] bool busy() const { return busy_; }
+
+ private:
+  struct WorkItem {
+    bool is_session_event;
+    Envelope env;           // valid when !is_session_event
+    SessionEvent session;   // valid when is_session_event
+  };
+
+  void start_next();
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  ProcessingDelay delay_;
+  MessageHandler on_message_;
+  SessionEventHandler on_session_;
+  std::deque<WorkItem> queue_;
+  bool busy_ = false;
+};
+
+}  // namespace bgpsim::net

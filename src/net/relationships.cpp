@@ -1,0 +1,23 @@
+#include "net/relationships.hpp"
+
+namespace bgpsim::net {
+
+void RelationshipTable::set_provider_customer(NodeId provider,
+                                              NodeId customer) {
+  rel_[{provider, customer}] = Relationship::kCustomer;  // customer to them
+  rel_[{customer, provider}] = Relationship::kProvider;
+}
+
+void RelationshipTable::set_peering(NodeId a, NodeId b) {
+  rel_[{a, b}] = Relationship::kPeer;
+  rel_[{b, a}] = Relationship::kPeer;
+}
+
+std::optional<Relationship> RelationshipTable::relationship(
+    NodeId self, NodeId other) const {
+  auto it = rel_.find({self, other});
+  if (it == rel_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace bgpsim::net

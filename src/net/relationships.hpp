@@ -1,0 +1,73 @@
+// AS business relationships (customer / provider / peer).
+//
+// The paper evaluates shortest-path routing ("for clarity of description
+// ... assume a shortest-path routing policy"), but frames the problem as
+// "topology (or policy) changes" causing inconsistent state. This table
+// lets the BGP layer optionally run the standard Gao-Rexford policy model
+// (prefer customer routes; no-valley export), so policy-induced looping
+// can be studied too (see bench/ablation_policy).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "net/types.hpp"
+
+namespace bgpsim::net {
+
+/// What the *other* AS is to me, for one adjacency.
+enum class Relationship : std::uint8_t {
+  kCustomer,  // they pay me: routes via them are revenue (most preferred)
+  kPeer,      // settlement-free: exchanged for our mutual customers only
+  kProvider,  // I pay them: least preferred, usable for everything
+};
+
+[[nodiscard]] constexpr const char* to_string(Relationship r) {
+  switch (r) {
+    case Relationship::kCustomer:
+      return "customer";
+    case Relationship::kPeer:
+      return "peer";
+    case Relationship::kProvider:
+      return "provider";
+  }
+  return "?";
+}
+
+/// Symmetric-by-construction relationship table for an AS topology.
+class RelationshipTable {
+ public:
+  /// Record a transit contract: `customer` buys from `provider`.
+  void set_provider_customer(NodeId provider, NodeId customer);
+
+  /// Record settlement-free peering between a and b.
+  void set_peering(NodeId a, NodeId b);
+
+  /// What `other` is to `self`, if the adjacency is classified.
+  [[nodiscard]] std::optional<Relationship> relationship(NodeId self,
+                                                         NodeId other) const;
+
+  [[nodiscard]] std::size_t size() const { return rel_.size() / 2; }
+  [[nodiscard]] bool empty() const { return rel_.empty(); }
+
+  /// Gao-Rexford local preference: customer(2) > peer(1) > provider(0).
+  [[nodiscard]] static int local_pref(Relationship r) {
+    switch (r) {
+      case Relationship::kCustomer:
+        return 2;
+      case Relationship::kPeer:
+        return 1;
+      case Relationship::kProvider:
+        return 0;
+    }
+    return 0;
+  }
+
+ private:
+  // (self, other) -> what `other` is to `self`. Both directions stored.
+  std::map<std::pair<NodeId, NodeId>, Relationship> rel_;
+};
+
+}  // namespace bgpsim::net

@@ -1,0 +1,107 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace bgpsim::net {
+
+NodeId Topology::add_node() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+void Topology::add_nodes(std::size_t n) {
+  adjacency_.resize(adjacency_.size() + n);
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, sim::SimTime delay) {
+  if (a == b) throw std::invalid_argument{"Topology::add_link: self-loop"};
+  if (a >= node_count() || b >= node_count()) {
+    throw std::invalid_argument{"Topology::add_link: unknown node"};
+  }
+  if (link_between(a, b)) {
+    throw std::invalid_argument{"Topology::add_link: duplicate link"};
+  }
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, delay, true});
+  adjacency_[a].push_back(Adjacency{b, id});
+  adjacency_[b].push_back(Adjacency{a, id});
+  return id;
+}
+
+std::optional<LinkId> Topology::link_between(NodeId a, NodeId b) const {
+  if (a >= node_count()) return std::nullopt;
+  for (const auto& adj : adjacency_[a]) {
+    if (adj.neighbor == b) return adj.link;
+  }
+  return std::nullopt;
+}
+
+bool Topology::link_up(NodeId a, NodeId b) const {
+  const auto id = link_between(a, b);
+  return id && links_[*id].up;
+}
+
+std::vector<NodeId> Topology::up_neighbors(NodeId n) const {
+  std::vector<NodeId> out;
+  out.reserve(adjacency_.at(n).size());
+  for (const auto& adj : adjacency_[n]) {
+    if (links_[adj.link].up) out.push_back(adj.neighbor);
+  }
+  return out;
+}
+
+bool Topology::set_link_state(LinkId id, bool up) {
+  Link& l = links_.at(id);
+  if (l.up == up) return false;
+  l.up = up;
+  return true;
+}
+
+std::vector<LinkId> Topology::links_of(NodeId n) const {
+  std::vector<LinkId> out;
+  for (const auto& adj : adjacency_.at(n)) out.push_back(adj.link);
+  return out;
+}
+
+std::vector<std::size_t> Topology::bfs_distances(NodeId src) const {
+  constexpr auto kUnreached = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> dist(node_count(), kUnreached);
+  if (src >= node_count()) return dist;
+  std::deque<NodeId> frontier{src};
+  dist[src] = 0;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const auto& adj : adjacency_[u]) {
+      if (!links_[adj.link].up) continue;
+      if (dist[adj.neighbor] == kUnreached) {
+        dist[adj.neighbor] = dist[u] + 1;
+        frontier.push_back(adj.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Topology::connected() const {
+  if (node_count() == 0) return true;
+  const auto dist = bfs_distances(0);
+  return std::ranges::none_of(dist, [](std::size_t d) {
+    return d == std::numeric_limits<std::size_t>::max();
+  });
+}
+
+std::string Topology::summary() const {
+  const auto down = static_cast<std::size_t>(
+      std::ranges::count_if(links_, [](const Link& l) { return !l.up; }));
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "n=%zu links=%zu (%zu down)", node_count(),
+                link_count(), down);
+  return buf;
+}
+
+}  // namespace bgpsim::net

@@ -1,0 +1,92 @@
+// Undirected AS-level topology with per-link state.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::net {
+
+/// One undirected link between two distinct nodes.
+struct Link {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  sim::SimTime delay = sim::SimTime::millis(2);  // one-way propagation
+  bool up = true;
+
+  [[nodiscard]] NodeId other(NodeId self) const { return self == a ? b : a; }
+  [[nodiscard]] bool attaches(NodeId n) const { return n == a || n == b; }
+};
+
+/// An undirected graph of AS nodes. Node ids are dense: 0 .. node_count()-1.
+///
+/// The topology owns link up/down state; protocol layers query `link_up`
+/// and react to failures via the Transport's notifications.
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::size_t node_count) { add_nodes(node_count); }
+
+  /// Append one node; returns its id.
+  NodeId add_node();
+  /// Append `n` nodes.
+  void add_nodes(std::size_t n);
+
+  /// Add an undirected link a—b. Throws on self-loops, unknown nodes, or
+  /// duplicate links.
+  LinkId add_link(NodeId a, NodeId b,
+                  sim::SimTime delay = sim::SimTime::millis(2));
+
+  [[nodiscard]] std::size_t node_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const Link& link(LinkId id) const { return links_.at(id); }
+
+  /// Link between a and b, if any (regardless of up/down state).
+  [[nodiscard]] std::optional<LinkId> link_between(NodeId a, NodeId b) const;
+
+  /// True if a—b exists and is up.
+  [[nodiscard]] bool link_up(NodeId a, NodeId b) const;
+
+  /// All neighbors of `n` joined by a link (up or down).
+  struct Adjacency {
+    NodeId neighbor;
+    LinkId link;
+  };
+  [[nodiscard]] const std::vector<Adjacency>& adjacent(NodeId n) const {
+    return adjacency_.at(n);
+  }
+
+  /// Neighbors of `n` whose connecting link is currently up.
+  [[nodiscard]] std::vector<NodeId> up_neighbors(NodeId n) const;
+
+  /// Degree counting all links (up or down).
+  [[nodiscard]] std::size_t degree(NodeId n) const {
+    return adjacency_.at(n).size();
+  }
+
+  /// Mark a link down / up. Returns false if it already was in that state.
+  bool set_link_state(LinkId id, bool up);
+
+  /// All links attached to `n`.
+  [[nodiscard]] std::vector<LinkId> links_of(NodeId n) const;
+
+  /// BFS hop distances over *up* links from `src`; unreachable = SIZE_MAX.
+  [[nodiscard]] std::vector<std::size_t> bfs_distances(NodeId src) const;
+
+  /// True if every node can reach every other over up links.
+  [[nodiscard]] bool connected() const;
+
+  /// Human-readable summary ("n=10 links=45 (2 down)").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+}  // namespace bgpsim::net

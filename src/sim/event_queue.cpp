@@ -1,0 +1,60 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace bgpsim::sim {
+
+EventId EventQueue::push(SimTime when, Callback cb) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  ++live_;
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  assert(live_ > 0);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_dead_prefix() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  // `drop_dead_prefix` keeps the top live after every mutation, but a
+  // cancel() can kill the top entry between calls, so scan here too.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_dead_prefix();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::next_time on empty queue"};
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead_prefix();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::pop on empty queue"};
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.seq);
+  assert(it != callbacks_.end());
+  Fired fired{top.time, std::move(it->second), EventId{top.seq}};
+  callbacks_.erase(it);
+  --live_;
+  return fired;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  callbacks_.clear();
+  live_ = 0;
+}
+
+}  // namespace bgpsim::sim

@@ -1,0 +1,76 @@
+// Pending-event set for the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace bgpsim::sim {
+
+/// Opaque handle identifying a scheduled event; usable for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+  friend constexpr bool operator==(EventId, EventId) = default;
+};
+
+/// Priority queue of (time, callback) pairs.
+///
+/// Ordering is by time, with insertion order (a monotonically increasing
+/// sequence number) breaking ties, so simultaneous events fire FIFO — a
+/// property several protocol tests rely on. Cancellation is O(1) via a
+/// tombstone set; tombstoned entries are skipped (and reclaimed) on pop.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Insert `cb` to fire at `when`. Returns a handle for cancel().
+  EventId push(SimTime when, Callback cb);
+
+  /// Cancel a pending event. Returns false if the event already fired,
+  /// was popped, or was cancelled before.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Remove and return the earliest live event's callback, along with its
+  /// firing time. Requires !empty().
+  struct Fired {
+    SimTime time;
+    Callback callback;
+    EventId id;
+  };
+  Fired pop();
+
+  /// Drop all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // doubles as the EventId value
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead_prefix();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace bgpsim::sim

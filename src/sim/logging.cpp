@@ -1,0 +1,41 @@
+#include "sim/logging.hpp"
+
+#include <cstdio>
+
+namespace bgpsim::sim {
+namespace {
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kTrace:
+      return "TRACE";
+    default:
+      return "?    ";
+  }
+}
+
+void default_sink(LogLevel at, std::string_view component, SimTime when,
+                  std::string_view message) {
+  std::fprintf(stderr, "[%s %10.4fs %-10.*s] %.*s\n", level_name(at),
+               when.as_seconds(), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace
+
+LogLevel Log::level_ = LogLevel::kOff;
+Log::Sink Log::sink_ = default_sink;
+
+void Log::set_sink(Sink sink) { sink_ = sink ? std::move(sink) : default_sink; }
+
+void Log::write(LogLevel at, std::string_view component, SimTime when,
+                std::string_view message) {
+  sink_(at, component, when, message);
+}
+
+}  // namespace bgpsim::sim

@@ -1,0 +1,68 @@
+// Leveled trace logging for simulation components.
+//
+// Logging defaults to off so benchmark runs pay nothing; examples flip it on
+// to print protocol event traces (see examples/figure1_walkthrough.cpp).
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace bgpsim::sim {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+/// Process-wide log configuration and sink.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  SimTime when, std::string_view message)>;
+
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+
+  /// Replace the sink (default writes to stderr). Passing nullptr restores
+  /// the default sink.
+  static void set_sink(Sink sink);
+
+  static bool enabled(LogLevel at) {
+    return level_ != LogLevel::kOff && at <= level_;
+  }
+
+  static void write(LogLevel at, std::string_view component, SimTime when,
+                    std::string_view message);
+
+ private:
+  static LogLevel level_;
+  static Sink sink_;
+};
+
+/// Build-a-line helper: LogLine{...} << "text" << value; emits at destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel at, std::string_view component, SimTime when)
+      : at_{at}, component_{component}, when_{when}, live_{Log::enabled(at)} {}
+  ~LogLine() {
+    if (live_) Log::write(at_, component_, when_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (live_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel at_;
+  std::string component_;
+  SimTime when_;
+  bool live_;
+  std::ostringstream stream_;
+};
+
+}  // namespace bgpsim::sim

@@ -1,0 +1,43 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bgpsim::sim {
+
+EventId Simulator::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) {
+    throw std::invalid_argument{"Simulator::schedule_at: time in the past"};
+  }
+  return queue_.push(when, std::move(cb));
+}
+
+EventId Simulator::schedule_after(SimTime delay, Callback cb) {
+  if (delay < SimTime::zero()) {
+    throw std::invalid_argument{"Simulator::schedule_after: negative delay"};
+  }
+  return queue_.push(now_ + delay, std::move(cb));
+}
+
+std::uint64_t Simulator::run_until(SimTime limit) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= limit) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    ++fired_;
+    ++n;
+    fired.callback();
+  }
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  ++fired_;
+  fired.callback();
+  return true;
+}
+
+}  // namespace bgpsim::sim

@@ -1,0 +1,61 @@
+// The discrete-event simulator core.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::sim {
+
+/// Discrete-event simulator: a virtual clock plus an event queue.
+///
+/// Components schedule callbacks at absolute times or after delays; run()
+/// drains the queue in time order, advancing the clock to each event's
+/// firing time. The engine is strictly single-threaded and deterministic:
+/// identical schedules produce identical executions.
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// Current simulation time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `when` (must be >= now()).
+  EventId schedule_at(SimTime when, Callback cb);
+
+  /// Schedule `cb` after `delay` from now (delay must be >= 0).
+  EventId schedule_after(SimTime delay, Callback cb);
+
+  /// Cancel a pending event; returns false if it already fired/cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue drains or the next event lies beyond `limit`.
+  /// Events at exactly `limit` do fire. The clock stays at the last fired
+  /// event's time (it does not jump to `limit`). Returns the number of
+  /// events fired.
+  std::uint64_t run_until(SimTime limit);
+
+  /// Run until the queue drains. Returns the number of events fired.
+  std::uint64_t run() { return run_until(SimTime::infinity()); }
+
+  /// Fire exactly one event if any is pending. Returns true if one fired.
+  bool step();
+
+  /// Number of pending (live) events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Total events fired since construction.
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+
+  /// Drop all pending events (the clock is not reset).
+  void clear_pending() { queue_.clear(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace bgpsim::sim

@@ -1,0 +1,14 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace bgpsim::sim {
+
+std::string to_string(SimTime t) {
+  if (t.is_infinite()) return "inf";
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6fs", t.as_seconds());
+  return buf;
+}
+
+}  // namespace bgpsim::sim

@@ -1,0 +1,89 @@
+#include "topo/generators.hpp"
+
+#include <stdexcept>
+
+namespace bgpsim::topo {
+
+using net::NodeId;
+using net::Topology;
+
+Topology make_clique(std::size_t n) {
+  if (n < 2) throw std::invalid_argument{"make_clique: need n >= 2"};
+  Topology t{n};
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) t.add_link(a, b, kDefaultLinkDelay);
+  }
+  return t;
+}
+
+Topology make_chain(std::size_t n) {
+  if (n < 2) throw std::invalid_argument{"make_chain: need n >= 2"};
+  Topology t{n};
+  for (NodeId a = 0; a + 1 < n; ++a) t.add_link(a, a + 1, kDefaultLinkDelay);
+  return t;
+}
+
+Topology make_ring(std::size_t n) {
+  if (n < 3) throw std::invalid_argument{"make_ring: need n >= 3"};
+  Topology t = make_chain(n);
+  t.add_link(static_cast<NodeId>(n - 1), 0, kDefaultLinkDelay);
+  return t;
+}
+
+Topology make_star(std::size_t n) {
+  if (n < 2) throw std::invalid_argument{"make_star: need n >= 2"};
+  Topology t{n};
+  for (NodeId spoke = 1; spoke < n; ++spoke) {
+    t.add_link(0, spoke, kDefaultLinkDelay);
+  }
+  return t;
+}
+
+Topology make_tree(std::size_t n) {
+  if (n < 1) throw std::invalid_argument{"make_tree: need n >= 1"};
+  Topology t{n};
+  for (NodeId child = 1; child < n; ++child) {
+    t.add_link((child - 1) / 2, child, kDefaultLinkDelay);
+  }
+  return t;
+}
+
+Topology make_grid(std::size_t rows, std::size_t cols) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument{"make_grid: empty"};
+  Topology t{rows * cols};
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) t.add_link(at(r, c), at(r, c + 1), kDefaultLinkDelay);
+      if (r + 1 < rows) t.add_link(at(r, c), at(r + 1, c), kDefaultLinkDelay);
+    }
+  }
+  return t;
+}
+
+Topology make_bclique(std::size_t n) {
+  if (n < 2) throw std::invalid_argument{"make_bclique: need n >= 2"};
+  Topology t{2 * n};
+  // Chain 0 .. n-1.
+  for (NodeId a = 0; a + 1 < n; ++a) t.add_link(a, a + 1, kDefaultLinkDelay);
+  // Clique n .. 2n-1.
+  for (NodeId a = static_cast<NodeId>(n); a < 2 * n; ++a) {
+    for (NodeId b = a + 1; b < 2 * n; ++b) t.add_link(a, b, kDefaultLinkDelay);
+  }
+  // Edge network attachment: direct link [0, n] plus the backup entry point
+  // [n-1, 2n-1] at the far end of the chain.
+  t.add_link(0, static_cast<NodeId>(n), kDefaultLinkDelay);
+  t.add_link(static_cast<NodeId>(n - 1), static_cast<NodeId>(2 * n - 1),
+             kDefaultLinkDelay);
+  return t;
+}
+
+net::LinkId bclique_tlong_link(const Topology& t, std::size_t n) {
+  const auto id = t.link_between(0, static_cast<NodeId>(n));
+  if (!id) throw std::invalid_argument{"bclique_tlong_link: no [0,n] link"};
+  return *id;
+}
+
+}  // namespace bgpsim::topo

@@ -1,0 +1,43 @@
+// Parametric topology families used by the study (Figure 3) and the tests.
+#pragma once
+
+#include <cstddef>
+
+#include "net/topology.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace bgpsim::topo {
+
+/// Default one-way link propagation delay used throughout the study (2 ms).
+inline constexpr auto kDefaultLinkDelay = bgpsim::sim::SimTime::millis(2);
+
+/// Full mesh on n nodes (Figure 3(a)). The destination AS is node 0.
+[[nodiscard]] net::Topology make_clique(std::size_t n);
+
+/// Simple path 0—1—...—n-1.
+[[nodiscard]] net::Topology make_chain(std::size_t n);
+
+/// Cycle 0—1—...—n-1—0.
+[[nodiscard]] net::Topology make_ring(std::size_t n);
+
+/// Hub node 0 with n-1 spokes.
+[[nodiscard]] net::Topology make_star(std::size_t n);
+
+/// Complete binary tree on n nodes (node k's children are 2k+1, 2k+2).
+[[nodiscard]] net::Topology make_tree(std::size_t n);
+
+/// rows × cols grid with 4-neighborhood.
+[[nodiscard]] net::Topology make_grid(std::size_t rows, std::size_t cols);
+
+/// B-Clique of size n (Figure 3(b)): 2n nodes total. Nodes 0..n-1 form a
+/// chain; nodes n..2n-1 form a clique; plus links [0, n] and [n-1, 2n-1].
+/// The destination AS is node 0; the Tlong event fails link [0, n], forcing
+/// the clique to reach node 0 over the chain.
+[[nodiscard]] net::Topology make_bclique(std::size_t n);
+
+/// The LinkId of the B-Clique's [0, n] link (the one Tlong fails).
+[[nodiscard]] net::LinkId bclique_tlong_link(const net::Topology& t,
+                                             std::size_t n);
+
+}  // namespace bgpsim::topo

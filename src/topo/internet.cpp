@@ -1,0 +1,144 @@
+#include "topo/internet.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+#include "topo/generators.hpp"
+
+namespace bgpsim::topo {
+
+using net::NodeId;
+using net::Topology;
+
+namespace {
+
+/// Pick a provider for `node` among candidate ids [0, bound) proportionally
+/// to degree+1 (preferential attachment), skipping ones already linked.
+NodeId pick_provider(const Topology& t, sim::Rng& rng, NodeId node,
+                     NodeId bound) {
+  std::size_t total = 0;
+  for (NodeId c = 0; c < bound; ++c) {
+    if (c == node || t.link_between(node, c)) continue;
+    total += t.degree(c) + 1;
+  }
+  if (total == 0) return net::kInvalidNode;
+  std::size_t pick = rng.next_below(total);
+  for (NodeId c = 0; c < bound; ++c) {
+    if (c == node || t.link_between(node, c)) continue;
+    const std::size_t w = t.degree(c) + 1;
+    if (pick < w) return c;
+    pick -= w;
+  }
+  return net::kInvalidNode;
+}
+
+}  // namespace
+
+Topology make_internet(const InternetParams& p) {
+  return make_internet_annotated(p).topology;
+}
+
+AnnotatedTopology make_internet_annotated(const InternetParams& p) {
+  if (p.nodes < 8) throw std::invalid_argument{"make_internet: need n >= 8"};
+  const auto core = std::max<std::size_t>(
+      3, static_cast<std::size_t>(p.core_fraction * p.nodes + 0.5));
+  const auto mid = static_cast<std::size_t>(p.mid_fraction * p.nodes + 0.5);
+  if (core + mid >= p.nodes) {
+    throw std::invalid_argument{"make_internet: core+mid exceed node count"};
+  }
+
+  sim::Rng rng{p.seed};
+  Topology t{p.nodes};
+  net::RelationshipTable rel;
+
+  // Node numbering deliberately places stubs at high ids and the core at
+  // low ids: real AS graphs extracted from routing tables also enumerate
+  // the well-connected core first.
+  // Core: full mesh among nodes [0, core).
+  for (NodeId a = 0; a < core; ++a) {
+    for (NodeId b = a + 1; b < core; ++b) {
+      t.add_link(a, b, kDefaultLinkDelay);
+      rel.set_peering(a, b);
+    }
+  }
+
+  // Mid tier: nodes [core, core+mid), each multi-homed into the existing
+  // graph (core + earlier mids) with degree-preferential provider choice.
+  for (NodeId node = static_cast<NodeId>(core);
+       node < static_cast<NodeId>(core + mid); ++node) {
+    const auto want = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(p.mid_providers_lo),
+        static_cast<std::int64_t>(p.mid_providers_hi)));
+    for (std::size_t k = 0; k < want; ++k) {
+      const NodeId prov = pick_provider(t, rng, node, node);
+      if (prov != net::kInvalidNode) {
+        t.add_link(node, prov, kDefaultLinkDelay);
+        rel.set_provider_customer(prov, node);
+      }
+    }
+  }
+
+  // Lateral mid-tier peering.
+  const auto providers_bound = static_cast<NodeId>(core + mid);
+  for (NodeId node = static_cast<NodeId>(core); node < providers_bound;
+       ++node) {
+    if (!rng.chance(p.mid_peer_prob)) continue;
+    // Uniform (not preferential) peer choice among the other mids.
+    std::vector<NodeId> others;
+    for (NodeId c = static_cast<NodeId>(core); c < providers_bound; ++c) {
+      if (c != node && !t.link_between(node, c)) others.push_back(c);
+    }
+    if (!others.empty()) {
+      const NodeId peer = others[rng.next_below(others.size())];
+      t.add_link(node, peer, kDefaultLinkDelay);
+      rel.set_peering(node, peer);
+    }
+  }
+
+  // Stubs: nodes [core+mid, n), homed to mid/core nodes only (stubs do not
+  // provide transit, so they never appear as providers).
+  for (NodeId node = providers_bound; node < p.nodes; ++node) {
+    const auto want = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(p.stub_providers_lo),
+        static_cast<std::int64_t>(p.stub_providers_hi)));
+    for (std::size_t k = 0; k < want; ++k) {
+      // Customer chains: occasionally home to an earlier stub instead of a
+      // transit provider (uniform choice — chains stay thin).
+      NodeId prov = net::kInvalidNode;
+      if (node > providers_bound && rng.chance(p.stub_chain_prob)) {
+        const NodeId earlier = providers_bound +
+            static_cast<NodeId>(rng.next_below(node - providers_bound));
+        if (!t.link_between(node, earlier)) prov = earlier;
+      }
+      if (prov == net::kInvalidNode) {
+        prov = pick_provider(t, rng, node, providers_bound);
+      }
+      if (prov != net::kInvalidNode) {
+        t.add_link(node, prov, kDefaultLinkDelay);
+        rel.set_provider_customer(prov, node);
+      }
+    }
+  }
+  return AnnotatedTopology{std::move(t), std::move(rel)};
+}
+
+Topology make_internet_preset(std::size_t nodes, std::uint64_t seed) {
+  InternetParams p;
+  p.nodes = nodes;
+  p.seed = seed;
+  return make_internet(p);
+}
+
+std::vector<NodeId> lowest_degree_nodes(const Topology& t) {
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (NodeId n = 0; n < t.node_count(); ++n) best = std::min(best, t.degree(n));
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < t.node_count(); ++n) {
+    if (t.degree(n) == best) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace bgpsim::topo

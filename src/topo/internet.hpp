@@ -1,0 +1,71 @@
+// Internet-like AS topologies.
+//
+// The paper used 29/48/75/110-node AS graphs extracted from real BGP routing
+// tables (Premore's SSFNET gallery), which are no longer obtainable. We
+// substitute a structural generator that reproduces the properties the
+// paper's arguments rely on (see DESIGN.md §2):
+//   - a small, densely meshed core (tier-1-like full mesh),
+//   - a mid tier multi-homed into the core and each other,
+//   - a majority of low-degree stub ASes at the edge,
+//   - destination chosen among the lowest-degree nodes, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/relationships.hpp"
+#include "net/topology.hpp"
+#include "net/types.hpp"
+
+namespace bgpsim::topo {
+
+struct InternetParams {
+  std::size_t nodes = 110;
+  /// Fraction of nodes in the fully meshed core (at least 3 nodes).
+  double core_fraction = 0.05;
+  /// Fraction of nodes in the multi-homed middle tier.
+  double mid_fraction = 0.30;
+  /// Providers per mid-tier node (uniform in [lo, hi]).
+  std::size_t mid_providers_lo = 1;
+  std::size_t mid_providers_hi = 2;
+  /// Providers per stub node (uniform in [lo, hi]).
+  std::size_t stub_providers_lo = 1;
+  std::size_t stub_providers_hi = 2;
+  /// Probability that a mid-tier node adds one lateral peer link to another
+  /// mid-tier node (AS graphs show substantial mid-tier peering; these
+  /// links create the longer alternate paths explored after a failure).
+  double mid_peer_prob = 0.5;
+  /// Probability that a stub homes to an earlier *stub* instead of a
+  /// mid/core provider. Real AS graphs contain such customer chains; they
+  /// produce the long, scarce backup paths (cf. the paper's B-Clique
+  /// motivation) that make Tlong reconvergence withdrawal-heavy.
+  double stub_chain_prob = 0.35;
+  std::uint64_t seed = 1;
+};
+
+/// Generate an Internet-like topology. Always connected.
+[[nodiscard]] net::Topology make_internet(const InternetParams& params);
+
+/// Topology plus the business relationships the generator implied while
+/// constructing it (core mesh = peering; provider picks and stub chains =
+/// provider-customer; lateral mid links = peering). The provider-customer
+/// digraph is acyclic by construction (providers always have smaller ids),
+/// so Gao-Rexford policy routing over it is guaranteed to converge.
+struct AnnotatedTopology {
+  net::Topology topology;
+  net::RelationshipTable relationships;
+};
+[[nodiscard]] AnnotatedTopology make_internet_annotated(
+    const InternetParams& params);
+
+/// Convenience: generator presets at the paper's sizes {29, 48, 75, 110}.
+[[nodiscard]] net::Topology make_internet_preset(std::size_t nodes,
+                                                 std::uint64_t seed);
+
+/// All nodes whose degree equals the topology's minimum degree — the paper
+/// picks the destination AS "randomly chosen among the nodes with the
+/// lowest degrees".
+[[nodiscard]] std::vector<net::NodeId> lowest_degree_nodes(
+    const net::Topology& t);
+
+}  // namespace bgpsim::topo

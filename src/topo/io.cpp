@@ -1,0 +1,58 @@
+#include "topo/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "topo/generators.hpp"
+
+namespace bgpsim::topo {
+
+void write_edge_list(std::ostream& out, const net::Topology& t) {
+  out << t.node_count() << ' ' << t.link_count() << '\n';
+  for (net::LinkId id = 0; id < t.link_count(); ++id) {
+    const auto& l = t.link(id);
+    out << l.a << ' ' << l.b << '\n';
+  }
+}
+
+std::string to_edge_list(const net::Topology& t) {
+  std::ostringstream out;
+  write_edge_list(out, t);
+  return out.str();
+}
+
+net::Topology read_edge_list(std::istream& in) {
+  std::string line;
+  const auto next_data_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      const auto pos = line.find_first_not_of(" \t\r");
+      if (pos == std::string::npos || line[pos] == '#') continue;
+      return true;
+    }
+    return false;
+  };
+
+  if (!next_data_line()) throw std::runtime_error{"edge list: missing header"};
+  std::istringstream header{line};
+  std::size_t nodes = 0, links = 0;
+  if (!(header >> nodes >> links)) {
+    throw std::runtime_error{"edge list: malformed header"};
+  }
+
+  net::Topology t{nodes};
+  for (std::size_t i = 0; i < links; ++i) {
+    if (!next_data_line()) throw std::runtime_error{"edge list: truncated"};
+    std::istringstream row{line};
+    net::NodeId a = 0, b = 0;
+    if (!(row >> a >> b)) throw std::runtime_error{"edge list: malformed link"};
+    t.add_link(a, b, kDefaultLinkDelay);
+  }
+  return t;
+}
+
+net::Topology from_edge_list(const std::string& text) {
+  std::istringstream in{text};
+  return read_edge_list(in);
+}
+
+}  // namespace bgpsim::topo

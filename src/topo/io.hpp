@@ -1,0 +1,25 @@
+// Plain-text edge-list serialization for reproducible topologies.
+//
+// Format:
+//   line 1:  "<node_count> <link_count>"
+//   then one "<a> <b>" pair per link (undirected).
+// Lines starting with '#' and blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/topology.hpp"
+
+namespace bgpsim::topo {
+
+/// Serialize `t` as an edge list (link delays are not stored; readers apply
+/// the study's uniform 2 ms delay).
+void write_edge_list(std::ostream& out, const net::Topology& t);
+[[nodiscard]] std::string to_edge_list(const net::Topology& t);
+
+/// Parse an edge list. Throws std::runtime_error on malformed input.
+[[nodiscard]] net::Topology read_edge_list(std::istream& in);
+[[nodiscard]] net::Topology from_edge_list(const std::string& text);
+
+}  // namespace bgpsim::topo

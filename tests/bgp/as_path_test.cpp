@@ -1,0 +1,76 @@
+#include "bgp/as_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpsim::bgp {
+namespace {
+
+TEST(AsPath, DefaultIsEmpty) {
+  AsPath p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.length(), 0u);
+}
+
+TEST(AsPath, InitializerListOrder) {
+  const AsPath p{6, 4, 0};
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_EQ(p.first_hop(), 6u);
+  EXPECT_EQ(p.origin(), 0u);
+}
+
+TEST(AsPath, Contains) {
+  const AsPath p{6, 4, 0};
+  EXPECT_TRUE(p.contains(6));
+  EXPECT_TRUE(p.contains(4));
+  EXPECT_TRUE(p.contains(0));
+  EXPECT_FALSE(p.contains(5));
+}
+
+TEST(AsPath, PrependedBuildsPaperNotation) {
+  // Node 5 adopting (6 4 0) holds (5 6 4 0).
+  const AsPath adopted = AsPath{6, 4, 0}.prepended(5);
+  EXPECT_EQ(adopted, (AsPath{5, 6, 4, 0}));
+  EXPECT_EQ(adopted.first_hop(), 5u);
+}
+
+TEST(AsPath, PrependedDoesNotMutateOriginal) {
+  const AsPath p{4, 0};
+  (void)p.prepended(5);
+  EXPECT_EQ(p, (AsPath{4, 0}));
+}
+
+TEST(AsPath, SuffixFromFindsSubPath) {
+  const AsPath p{5, 6, 4, 0};
+  EXPECT_EQ(p.suffix_from(6), (AsPath{6, 4, 0}));
+  EXPECT_EQ(p.suffix_from(5), p);
+  EXPECT_EQ(p.suffix_from(0), (AsPath{0}));
+}
+
+TEST(AsPath, SuffixFromAbsentNodeIsEmpty) {
+  const AsPath p{5, 6, 4, 0};
+  EXPECT_TRUE(p.suffix_from(9).empty());
+}
+
+TEST(AsPath, EqualityAndOrdering) {
+  EXPECT_EQ((AsPath{1, 2}), (AsPath{1, 2}));
+  EXPECT_NE((AsPath{1, 2}), (AsPath{2, 1}));
+  EXPECT_LT((AsPath{1, 2}), (AsPath{1, 3}));
+  EXPECT_LT((AsPath{1}), (AsPath{1, 0}));  // prefix orders first
+}
+
+TEST(AsPath, ToStringPaperNotation) {
+  EXPECT_EQ((AsPath{6, 4, 0}).to_string(), "(6 4 0)");
+  EXPECT_EQ(AsPath{}.to_string(), "()");
+  EXPECT_EQ((AsPath{7}).to_string(), "(7)");
+}
+
+TEST(AsPath, HopsSpanExposesSequence) {
+  const AsPath p{3, 1, 0};
+  const auto hops = p.hops();
+  ASSERT_EQ(hops.size(), 3u);
+  EXPECT_EQ(hops[0], 3u);
+  EXPECT_EQ(hops[2], 0u);
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

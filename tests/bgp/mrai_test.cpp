@@ -1,0 +1,109 @@
+#include "bgp/mrai.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bgpsim::bgp {
+namespace {
+
+struct Expiry {
+  net::NodeId peer;
+  net::Prefix prefix;
+  bool was_pending;
+  sim::SimTime at;
+};
+
+class MraiTest : public ::testing::Test {
+ protected:
+  MraiTest() {
+    timers_.set_expiry_handler(
+        [this](net::NodeId peer, net::Prefix prefix, bool was_pending) {
+          expiries_.push_back(Expiry{peer, prefix, was_pending, sim_.now()});
+        });
+  }
+
+  sim::Simulator sim_;
+  MraiTimers timers_;
+  std::vector<Expiry> expiries_;
+};
+
+TEST_F(MraiTest, StartThenExpire) {
+  timers_.start(3, 0, sim::SimTime::seconds(30), sim_);
+  EXPECT_TRUE(timers_.running(3, 0));
+  sim_.run();
+  EXPECT_FALSE(timers_.running(3, 0));
+  ASSERT_EQ(expiries_.size(), 1u);
+  EXPECT_EQ(expiries_[0].peer, 3u);
+  EXPECT_EQ(expiries_[0].at, sim::SimTime::seconds(30));
+  EXPECT_FALSE(expiries_[0].was_pending);
+}
+
+TEST_F(MraiTest, PendingFlagReportedAtExpiry) {
+  timers_.start(3, 0, sim::SimTime::seconds(30), sim_);
+  timers_.set_pending(3, 0, true);
+  EXPECT_TRUE(timers_.pending(3, 0));
+  sim_.run();
+  ASSERT_EQ(expiries_.size(), 1u);
+  EXPECT_TRUE(expiries_[0].was_pending);
+}
+
+TEST_F(MraiTest, PendingCanBeOverwritten) {
+  timers_.start(3, 0, sim::SimTime::seconds(30), sim_);
+  timers_.set_pending(3, 0, true);
+  timers_.set_pending(3, 0, false);
+  sim_.run();
+  ASSERT_EQ(expiries_.size(), 1u);
+  EXPECT_FALSE(expiries_[0].was_pending);
+}
+
+TEST_F(MraiTest, SetPendingOnIdleTimerIsNoop) {
+  timers_.set_pending(3, 0, true);
+  EXPECT_FALSE(timers_.pending(3, 0));
+  EXPECT_FALSE(timers_.any_pending());
+}
+
+TEST_F(MraiTest, TimersAreKeyedPerPeerAndPrefix) {
+  timers_.start(3, 0, sim::SimTime::seconds(10), sim_);
+  timers_.start(3, 1, sim::SimTime::seconds(20), sim_);
+  timers_.start(4, 0, sim::SimTime::seconds(30), sim_);
+  EXPECT_EQ(timers_.running_count(), 3u);
+  EXPECT_TRUE(timers_.running(3, 1));
+  EXPECT_FALSE(timers_.running(4, 1));
+  sim_.run();
+  EXPECT_EQ(expiries_.size(), 3u);
+  EXPECT_EQ(timers_.running_count(), 0u);
+}
+
+TEST_F(MraiTest, CancelPeerDropsOnlyThatPeer) {
+  timers_.start(3, 0, sim::SimTime::seconds(10), sim_);
+  timers_.start(3, 1, sim::SimTime::seconds(10), sim_);
+  timers_.start(4, 0, sim::SimTime::seconds(10), sim_);
+  timers_.cancel_peer(3, sim_);
+  EXPECT_EQ(timers_.running_count(), 1u);
+  sim_.run();
+  ASSERT_EQ(expiries_.size(), 1u);
+  EXPECT_EQ(expiries_[0].peer, 4u);
+}
+
+TEST_F(MraiTest, AnyPendingReflectsHeldWork) {
+  timers_.start(3, 0, sim::SimTime::seconds(10), sim_);
+  EXPECT_FALSE(timers_.any_pending());
+  timers_.set_pending(3, 0, true);
+  EXPECT_TRUE(timers_.any_pending());
+  sim_.run();
+  EXPECT_FALSE(timers_.any_pending());
+}
+
+TEST_F(MraiTest, RestartAfterExpiryAllowed) {
+  timers_.start(3, 0, sim::SimTime::seconds(10), sim_);
+  sim_.run();
+  timers_.start(3, 0, sim::SimTime::seconds(10), sim_);
+  EXPECT_TRUE(timers_.running(3, 0));
+  sim_.run();
+  EXPECT_EQ(expiries_.size(), 2u);
+  EXPECT_EQ(expiries_[1].at, sim::SimTime::seconds(20));
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

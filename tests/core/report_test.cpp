@@ -1,0 +1,69 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bgpsim::core {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t{{"name", "value"}};
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "23456"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  // Header, underline, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  // First column left-aligned, second right-aligned.
+  EXPECT_NE(text.find("name    value"), std::string::npos);
+  EXPECT_NE(text.find("x           1"), std::string::npos);
+  EXPECT_NE(text.find("longer  23456"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t{{"a", "b"}};
+  t.add_row({"1", "2"});
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowCount) {
+  Table t{{"a"}};
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Format, FmtDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Format, FmtPct) {
+  EXPECT_EQ(fmt_pct(0.756), "76%");
+  EXPECT_EQ(fmt_pct(0.756, 1), "75.6%");
+  EXPECT_EQ(fmt_pct(0.0), "0%");
+}
+
+TEST(Format, Banner) {
+  std::ostringstream out;
+  banner(out, "Panel A");
+  EXPECT_EQ(out.str(), "\n== Panel A ==\n");
+}
+
+}  // namespace
+}  // namespace bgpsim::core

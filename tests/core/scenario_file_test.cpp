@@ -1,0 +1,146 @@
+#include "core/scenario_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/experiment.hpp"
+
+namespace bgpsim::core {
+namespace {
+
+TEST(ScenarioFile, ParsesFullDescription) {
+  const auto s = parse_scenario_string(R"(
+# A Tlong comparison point
+topology = bclique
+size = 15
+event = tlong
+protocol = ghost
+mrai = 45
+jitter_lo = 1.0
+jitter_hi = 1.0
+seed = 9
+processing_min_ms = 50
+processing_max_ms = 250
+traffic_pps = 20
+ttl = 64
+caution = 2.5
+)");
+  EXPECT_EQ(s.topology.kind, TopologyKind::kBClique);
+  EXPECT_EQ(s.topology.size, 15u);
+  EXPECT_EQ(s.event, EventKind::kTlong);
+  EXPECT_TRUE(s.bgp.ghost_flushing);
+  EXPECT_FALSE(s.bgp.ssld);
+  EXPECT_EQ(s.bgp.mrai, sim::SimTime::seconds(45));
+  EXPECT_EQ(s.bgp.jitter_lo, 1.0);
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_EQ(s.processing.min, sim::SimTime::millis(50));
+  EXPECT_EQ(s.processing.max, sim::SimTime::millis(250));
+  EXPECT_EQ(s.traffic.interval, sim::SimTime::millis(50));
+  EXPECT_EQ(s.traffic.ttl, 64);
+  EXPECT_EQ(s.bgp.backup_caution, sim::SimTime::seconds(2.5));
+}
+
+TEST(ScenarioFile, DefaultsMatchScenarioDefaults) {
+  const auto s = parse_scenario_string("topology = clique\nsize = 10\n");
+  const Scenario defaults;
+  EXPECT_EQ(s.event, EventKind::kTdown);
+  EXPECT_EQ(s.bgp.mrai, defaults.bgp.mrai);
+  EXPECT_EQ(s.bgp.jitter_lo, defaults.bgp.jitter_lo);
+  EXPECT_EQ(s.seed, defaults.seed);
+  EXPECT_FALSE(s.policy_routing);
+}
+
+TEST(ScenarioFile, CommentsAndBlanksIgnored) {
+  const auto s = parse_scenario_string(
+      "# header\n\n  topology = ring   # inline\n\tsize = 7\n\n");
+  EXPECT_EQ(s.topology.kind, TopologyKind::kRing);
+  EXPECT_EQ(s.topology.size, 7u);
+}
+
+TEST(ScenarioFile, OptionalOverrides) {
+  const auto s = parse_scenario_string(
+      "topology = bclique\nsize = 5\nevent = tlong\n"
+      "destination = 3\ntlong_link = 2\npolicy = false\n");
+  EXPECT_EQ(s.destination, 3u);
+  EXPECT_EQ(s.tlong_link, 2u);
+}
+
+TEST(ScenarioFile, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_scenario_string("topology = clique\nsize = banana\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioFile, RejectsUnknownKey) {
+  EXPECT_THROW(
+      (void)parse_scenario_string("topology = clique\nsize = 5\nfoo = 1\n"),
+      std::runtime_error);
+}
+
+TEST(ScenarioFile, RejectsUnknownEnumValues) {
+  EXPECT_THROW((void)parse_scenario_string("topology = mesh\nsize = 5\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario_string(
+                   "topology = clique\nsize = 5\nevent = boom\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario_string(
+                   "topology = clique\nsize = 5\nprotocol = rip\n"),
+               std::runtime_error);
+}
+
+TEST(ScenarioFile, RequiresTopologyAndSize) {
+  EXPECT_THROW((void)parse_scenario_string("size = 5\n"), std::runtime_error);
+  EXPECT_THROW((void)parse_scenario_string("topology = clique\n"),
+               std::runtime_error);
+}
+
+TEST(ScenarioFile, RejectsInvertedRanges) {
+  EXPECT_THROW((void)parse_scenario_string(
+                   "topology = clique\nsize = 5\n"
+                   "jitter_lo = 1.0\njitter_hi = 0.5\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario_string(
+                   "topology = clique\nsize = 5\n"
+                   "processing_min_ms = 500\nprocessing_max_ms = 100\n"),
+               std::runtime_error);
+}
+
+TEST(ScenarioFile, RoundTripsThroughText) {
+  Scenario original;
+  original.topology.kind = TopologyKind::kInternet;
+  original.topology.size = 48;
+  original.topology.topo_seed = 11;
+  original.event = EventKind::kTlong;
+  original.bgp = original.bgp.with(bgp::Enhancement::kWrate);
+  original.bgp.mrai = sim::SimTime::seconds(12);
+  original.bgp.backup_caution = sim::SimTime::seconds(3);
+  original.policy_routing = true;
+  original.seed = 21;
+  original.destination = 40;
+
+  const auto restored = parse_scenario_string(to_scenario_text(original));
+  EXPECT_EQ(restored.topology.kind, original.topology.kind);
+  EXPECT_EQ(restored.topology.size, original.topology.size);
+  EXPECT_EQ(restored.topology.topo_seed, original.topology.topo_seed);
+  EXPECT_EQ(restored.event, original.event);
+  EXPECT_TRUE(restored.bgp.wrate);
+  EXPECT_EQ(restored.bgp.mrai, original.bgp.mrai);
+  EXPECT_EQ(restored.bgp.backup_caution, original.bgp.backup_caution);
+  EXPECT_EQ(restored.policy_routing, original.policy_routing);
+  EXPECT_EQ(restored.seed, original.seed);
+  EXPECT_EQ(restored.destination, original.destination);
+}
+
+TEST(ScenarioFile, ParsedScenarioActuallyRuns) {
+  const auto s = parse_scenario_string(
+      "topology = clique\nsize = 5\nevent = tdown\nseed = 2\n");
+  const auto out = run_experiment(s);
+  EXPECT_GT(out.metrics.convergence_time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace bgpsim::core

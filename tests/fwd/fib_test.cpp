@@ -1,0 +1,78 @@
+#include "fwd/fib.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bgpsim::fwd {
+namespace {
+
+TEST(Fib, EmptyHasNoRoute) {
+  Fib fib;
+  EXPECT_FALSE(fib.next_hop(0).has_value());
+  EXPECT_EQ(fib.route_count(), 0u);
+}
+
+TEST(Fib, SetAndGet) {
+  Fib fib;
+  EXPECT_TRUE(fib.set_next_hop(0, 5));
+  EXPECT_EQ(fib.next_hop(0), 5u);
+  EXPECT_EQ(fib.route_count(), 1u);
+}
+
+TEST(Fib, SetSameValueReportsNoChange) {
+  Fib fib;
+  fib.set_next_hop(0, 5);
+  EXPECT_FALSE(fib.set_next_hop(0, 5));
+  EXPECT_TRUE(fib.set_next_hop(0, 6));
+  EXPECT_EQ(fib.next_hop(0), 6u);
+}
+
+TEST(Fib, ClearRoute) {
+  Fib fib;
+  fib.set_next_hop(0, 5);
+  EXPECT_TRUE(fib.clear_route(0));
+  EXPECT_FALSE(fib.next_hop(0).has_value());
+  EXPECT_FALSE(fib.clear_route(0));  // already gone
+}
+
+TEST(Fib, PrefixesAreIndependent) {
+  Fib fib;
+  fib.set_next_hop(0, 5);
+  fib.set_next_hop(1, 7);
+  EXPECT_EQ(fib.next_hop(0), 5u);
+  EXPECT_EQ(fib.next_hop(1), 7u);
+  fib.clear_route(0);
+  EXPECT_EQ(fib.next_hop(1), 7u);
+}
+
+struct Change {
+  net::Prefix prefix;
+  std::optional<net::NodeId> previous;
+  std::optional<net::NodeId> current;
+};
+
+TEST(Fib, ObserverSeesTransitions) {
+  Fib fib;
+  std::vector<Change> changes;
+  fib.set_observer([&](net::Prefix p, std::optional<net::NodeId> prev,
+                       std::optional<net::NodeId> now) {
+    changes.push_back(Change{p, prev, now});
+  });
+
+  fib.set_next_hop(0, 5);   // install
+  fib.set_next_hop(0, 5);   // no-op: no callback
+  fib.set_next_hop(0, 6);   // replace
+  fib.clear_route(0);       // remove
+
+  ASSERT_EQ(changes.size(), 3u);
+  EXPECT_EQ(changes[0].previous, std::nullopt);
+  EXPECT_EQ(changes[0].current, 5u);
+  EXPECT_EQ(changes[1].previous, 5u);
+  EXPECT_EQ(changes[1].current, 6u);
+  EXPECT_EQ(changes[2].previous, 6u);
+  EXPECT_EQ(changes[2].current, std::nullopt);
+}
+
+}  // namespace
+}  // namespace bgpsim::fwd

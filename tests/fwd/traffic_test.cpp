@@ -1,0 +1,110 @@
+#include "fwd/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "fwd/engine.hpp"
+#include "topo/generators.hpp"
+
+namespace bgpsim::fwd {
+namespace {
+
+constexpr net::Prefix kPrefix = 0;
+
+class TrafficTest : public ::testing::Test {
+ protected:
+  TrafficTest()
+      : topo_{topo::make_chain(3)},
+        fibs_(topo_.node_count()),
+        plane_{sim_, topo_, fibs_, 0, kPrefix} {
+    for (net::NodeId n = 1; n < topo_.node_count(); ++n) {
+      fibs_[n].set_next_hop(kPrefix, n - 1);
+    }
+  }
+
+  TrafficGenerator make(TrafficConfig cfg) {
+    return TrafficGenerator{sim_, plane_, cfg, sim::Rng{11}};
+  }
+
+  sim::Simulator sim_;
+  net::Topology topo_;
+  std::vector<Fib> fibs_;
+  DataPlane plane_;
+};
+
+TEST_F(TrafficTest, ConstantRatePerSource) {
+  TrafficConfig cfg;
+  cfg.interval = sim::SimTime::millis(100);
+  cfg.stagger = false;
+  auto gen = make(cfg);
+  gen.start({1, 2}, sim::SimTime::zero());
+  sim_.schedule_at(sim::SimTime::millis(950), [&] { gen.stop(); });
+  sim_.run();
+  // Each source fires at 0,100,...,900 = 10 times.
+  EXPECT_EQ(gen.packets_sent(), 20u);
+  EXPECT_EQ(plane_.counters().injected, 20u);
+}
+
+TEST_F(TrafficTest, StaggerOffsetsWithinOneInterval) {
+  TrafficConfig cfg;
+  cfg.interval = sim::SimTime::millis(100);
+  cfg.stagger = true;
+  auto gen = make(cfg);
+  std::vector<sim::SimTime> first_sends;
+  gen.set_send_hook([&](net::NodeId, sim::SimTime when) {
+    first_sends.push_back(when);
+  });
+  gen.start({1, 2}, sim::SimTime::millis(500));
+  sim_.schedule_at(sim::SimTime::millis(599), [&] { gen.stop(); });
+  sim_.run_until(sim::SimTime::millis(700));
+  ASSERT_EQ(first_sends.size(), 2u);
+  for (const auto t : first_sends) {
+    EXPECT_GE(t, sim::SimTime::millis(500));
+    EXPECT_LT(t, sim::SimTime::millis(600));
+  }
+}
+
+TEST_F(TrafficTest, SendHookSeesEveryInjection) {
+  TrafficConfig cfg;
+  cfg.interval = sim::SimTime::millis(100);
+  cfg.stagger = false;
+  auto gen = make(cfg);
+  std::map<net::NodeId, int> per_source;
+  gen.set_send_hook([&](net::NodeId src, sim::SimTime) { ++per_source[src]; });
+  gen.start({1, 2}, sim::SimTime::zero());
+  sim_.schedule_at(sim::SimTime::millis(250), [&] { gen.stop(); });
+  sim_.run();
+  EXPECT_EQ(per_source[1], 3);  // t = 0, 100, 200
+  EXPECT_EQ(per_source[2], 3);
+}
+
+TEST_F(TrafficTest, StopPreventsFurtherInjections) {
+  TrafficConfig cfg;
+  cfg.interval = sim::SimTime::millis(100);
+  cfg.stagger = false;
+  auto gen = make(cfg);
+  gen.start({1}, sim::SimTime::zero());
+  EXPECT_TRUE(gen.running());
+  sim_.schedule_at(sim::SimTime::millis(150), [&] { gen.stop(); });
+  sim_.run();
+  EXPECT_FALSE(gen.running());
+  EXPECT_EQ(gen.packets_sent(), 2u);  // t = 0 and 100 only
+}
+
+TEST_F(TrafficTest, CustomTtlPropagates) {
+  TrafficConfig cfg;
+  cfg.interval = sim::SimTime::millis(100);
+  cfg.stagger = false;
+  cfg.ttl = 1;
+  auto gen = make(cfg);
+  gen.start({2}, sim::SimTime::zero());
+  sim_.schedule_at(sim::SimTime::millis(50), [&] { gen.stop(); });
+  sim_.run();
+  // TTL 1: the packet dies on its first forwarding attempt.
+  EXPECT_EQ(plane_.counters().ttl_exhausted, 1u);
+}
+
+}  // namespace
+}  // namespace bgpsim::fwd

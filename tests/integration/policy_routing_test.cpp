@@ -1,0 +1,165 @@
+// End-to-end Gao-Rexford policy routing over generated Internet topologies.
+#include <gtest/gtest.h>
+
+#include "bgp/network.hpp"
+#include "bgp/policy.hpp"
+#include "core/experiment.hpp"
+#include "topo/internet.hpp"
+
+namespace bgpsim {
+namespace {
+
+constexpr net::Prefix kP = 0;
+
+TEST(PolicyRouting, GeneratorAnnotatesEveryLink) {
+  topo::InternetParams params;
+  params.nodes = 48;
+  params.seed = 3;
+  const auto ann = topo::make_internet_annotated(params);
+  for (net::LinkId l = 0; l < ann.topology.link_count(); ++l) {
+    const auto& link = ann.topology.link(l);
+    EXPECT_TRUE(ann.relationships.relationship(link.a, link.b).has_value())
+        << "link " << link.a << "-" << link.b;
+  }
+}
+
+TEST(PolicyRouting, ProviderCustomerDigraphIsAcyclic) {
+  // Providers always have smaller generator ids except inside stub chains,
+  // where earlier stubs provide for later ones — still strictly ordered.
+  topo::InternetParams params;
+  params.nodes = 110;
+  params.seed = 7;
+  const auto ann = topo::make_internet_annotated(params);
+  for (net::LinkId l = 0; l < ann.topology.link_count(); ++l) {
+    const auto& link = ann.topology.link(l);
+    const auto rel = ann.relationships.relationship(link.a, link.b);
+    ASSERT_TRUE(rel.has_value());
+    if (*rel == net::Relationship::kCustomer) {
+      // link.b is link.a's customer: provider id must be smaller.
+      EXPECT_LT(link.a, link.b);
+    } else if (*rel == net::Relationship::kProvider) {
+      EXPECT_GT(link.a, link.b);
+    }
+  }
+}
+
+TEST(PolicyRouting, ConvergedPathsAreValleyFree) {
+  topo::InternetParams params;
+  params.nodes = 48;
+  params.seed = 5;
+  auto ann = topo::make_internet_annotated(params);
+
+  sim::Simulator simulator;
+  bgp::BgpConfig config;
+  config.policy = &ann.relationships;
+  bgp::BgpNetwork network{simulator, ann.topology, config,
+                          net::ProcessingDelay{sim::SimTime::millis(1),
+                                               sim::SimTime::millis(1)},
+                          sim::Rng{5}};
+  // Destination: a stub (highest ids are stubs).
+  const net::NodeId dest =
+      static_cast<net::NodeId>(ann.topology.node_count() - 1);
+  simulator.schedule_at(sim::SimTime::zero(),
+                        [&] { network.originate(dest, kP); });
+  simulator.run();
+  ASSERT_FALSE(network.busy());
+
+  std::size_t reached = 0;
+  for (net::NodeId v = 0; v < ann.topology.node_count(); ++v) {
+    if (v == dest) continue;
+    const bgp::AsPath* loc = network.speaker(v).loc_rib().get(kP);
+    if (!loc) continue;  // no-valley export can legitimately hide routes
+    ++reached;
+    EXPECT_TRUE(bgp::valley_free(ann.relationships, *loc))
+        << "node " << v << " path " << loc->to_string();
+  }
+  // A stub's prefix must still reach the overwhelming majority of the
+  // network (providers re-export customer routes everywhere).
+  EXPECT_GT(reached, ann.topology.node_count() * 3 / 4);
+}
+
+TEST(PolicyRouting, PolicyPathsCanBeLongerThanShortest) {
+  // Policy routing trades path length for business preference; verify the
+  // engine actually expresses that (at least one node picks a non-shortest
+  // route), using the same graph under both policies.
+  topo::InternetParams params;
+  params.nodes = 48;
+  params.seed = 5;
+  auto ann = topo::make_internet_annotated(params);
+  const net::NodeId dest =
+      static_cast<net::NodeId>(ann.topology.node_count() - 1);
+
+  const auto run_once = [&](const net::RelationshipTable* policy) {
+    sim::Simulator simulator;
+    bgp::BgpConfig config;
+    config.policy = policy;
+    bgp::BgpNetwork network{simulator, ann.topology, config,
+                            net::ProcessingDelay{sim::SimTime::millis(1),
+                                                 sim::SimTime::millis(1)},
+                            sim::Rng{5}};
+    simulator.schedule_at(sim::SimTime::zero(),
+                          [&] { network.originate(dest, kP); });
+    simulator.run();
+    std::vector<std::size_t> lengths(ann.topology.node_count(), 0);
+    for (net::NodeId v = 0; v < ann.topology.node_count(); ++v) {
+      const bgp::AsPath* loc = network.speaker(v).loc_rib().get(kP);
+      lengths[v] = loc ? loc->length() : 0;
+    }
+    return lengths;
+  };
+
+  const auto policy_lengths = run_once(&ann.relationships);
+  const auto shortest_lengths = run_once(nullptr);
+  bool some_longer = false;
+  for (std::size_t v = 0; v < policy_lengths.size(); ++v) {
+    if (policy_lengths[v] != 0) {
+      EXPECT_GE(policy_lengths[v], shortest_lengths[v]) << "node " << v;
+      if (policy_lengths[v] > shortest_lengths[v]) some_longer = true;
+    }
+  }
+  EXPECT_TRUE(some_longer);
+}
+
+TEST(PolicyRouting, ExperimentDriverSupportsPolicy) {
+  core::Scenario s;
+  s.topology.kind = core::TopologyKind::kInternet;
+  s.topology.size = 29;
+  s.topology.topo_seed = 3;
+  s.event = core::EventKind::kTdown;
+  s.policy_routing = true;
+  s.seed = 3;
+  const auto out = core::run_experiment(s);
+  EXPECT_GT(out.metrics.convergence_time_s, 0.0);
+  EXPECT_NE(s.label().find("(policy)"), std::string::npos);
+}
+
+TEST(PolicyRouting, TransientLoopsStillFormUnderPolicy) {
+  // The paper's core claim is policy-independent: inconsistency during
+  // convergence causes loops. Policy routing restricts the candidate set
+  // (fewer obsolete backups to pick), so loops are rarer — but they do not
+  // disappear. Scan a handful of seeds and require at least one looping
+  // convergence.
+  std::uint64_t total_loops = 0;
+  for (std::uint64_t seed = 1; seed <= 8 && total_loops == 0; ++seed) {
+    core::Scenario s;
+    s.topology.kind = core::TopologyKind::kInternet;
+    s.topology.size = 48;
+    s.topology.topo_seed = seed;
+    s.event = core::EventKind::kTdown;
+    s.policy_routing = true;
+    s.seed = seed;
+    total_loops += core::run_experiment(s).metrics.loops_formed;
+  }
+  EXPECT_GT(total_loops, 0u);
+}
+
+TEST(PolicyRouting, RejectsNonInternetTopologies) {
+  core::Scenario s;
+  s.topology.kind = core::TopologyKind::kClique;
+  s.topology.size = 6;
+  s.policy_routing = true;
+  EXPECT_THROW(core::run_experiment(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bgpsim

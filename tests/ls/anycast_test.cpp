@@ -1,0 +1,79 @@
+// Link-state extras: anycast (multiple hosts per prefix) and Tup.
+#include <gtest/gtest.h>
+
+#include "core/ls_experiment.hpp"
+#include "ls/network.hpp"
+#include "topo/generators.hpp"
+
+namespace bgpsim::ls {
+namespace {
+
+constexpr net::Prefix kP = 0;
+
+LsConfig quick_ls() {
+  LsConfig c;
+  c.spf_delay_lo = sim::SimTime::millis(100);
+  c.spf_delay_hi = sim::SimTime::millis(100);
+  return c;
+}
+
+TEST(LsAnycast, NearestHostWins) {
+  // Chain 0-1-2-3-4 with the prefix hosted at both ends: node 1 routes to
+  // 0, node 3 routes to 4, node 2 breaks the distance tie toward the
+  // smaller host id (0).
+  sim::Simulator sim;
+  auto topo = topo::make_chain(5);
+  LsNetwork network{sim, topo, quick_ls(),
+                    net::ProcessingDelay{sim::SimTime::millis(1),
+                                         sim::SimTime::millis(1)},
+                    sim::Rng{2}};
+  sim.schedule_at(sim::SimTime::zero(), [&] {
+    network.start_all();
+    network.originate(0, kP);
+    network.originate(4, kP);
+  });
+  sim.run();
+  ASSERT_FALSE(network.busy());
+  EXPECT_EQ(network.fibs()[1].next_hop(kP), 0u);
+  EXPECT_EQ(network.fibs()[3].next_hop(kP), 4u);
+  EXPECT_EQ(network.fibs()[2].next_hop(kP), 1u);  // tie -> host 0
+}
+
+TEST(LsAnycast, SurvivesOneHostWithdrawing) {
+  sim::Simulator sim;
+  auto topo = topo::make_chain(5);
+  LsNetwork network{sim, topo, quick_ls(),
+                    net::ProcessingDelay{sim::SimTime::millis(1),
+                                         sim::SimTime::millis(1)},
+                    sim::Rng{2}};
+  sim.schedule_at(sim::SimTime::zero(), [&] {
+    network.start_all();
+    network.originate(0, kP);
+    network.originate(4, kP);
+  });
+  sim.run();
+  sim.schedule_at(sim.now() + sim::SimTime::seconds(5),
+                  [&] { network.inject_tdown(0, kP); });
+  sim.run();
+  // Everyone now routes toward the surviving host at node 4.
+  for (net::NodeId v = 0; v < 4; ++v) {
+    const auto nh = network.fibs()[v].next_hop(kP);
+    ASSERT_TRUE(nh.has_value()) << "node " << v;
+    EXPECT_EQ(*nh, v + 1) << "node " << v;
+  }
+}
+
+TEST(LsExperimentExtra, TupAnnouncementIsLoopFree) {
+  core::LsScenario s;
+  s.topology.kind = core::TopologyKind::kBClique;
+  s.topology.size = 6;
+  s.event = core::EventKind::kTup;
+  s.seed = 3;
+  const auto out = core::run_ls_experiment(s);
+  EXPECT_EQ(out.metrics.loops_formed, 0u);
+  EXPECT_EQ(out.metrics.ttl_exhaustions, 0u);
+  EXPECT_GT(out.metrics.packets_delivered, 0u);
+}
+
+}  // namespace
+}  // namespace bgpsim::ls

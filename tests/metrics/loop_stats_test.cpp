@@ -1,0 +1,97 @@
+#include "metrics/loop_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpsim::metrics {
+namespace {
+
+using sim::SimTime;
+
+LoopRecord loop(std::vector<net::NodeId> members, double formed,
+                double resolved) {
+  return LoopRecord{std::move(members), SimTime::seconds(formed),
+                    SimTime::seconds(resolved)};
+}
+
+TEST(LoopStats, EmptyInput) {
+  const auto s = analyze_loops({}, SimTime::seconds(100));
+  EXPECT_EQ(s.total_loops, 0u);
+  EXPECT_EQ(s.active_time_s, 0.0);
+  EXPECT_EQ(s.max_concurrent, 0u);
+}
+
+TEST(LoopStats, BasicAggregates) {
+  const std::vector<LoopRecord> loops{
+      loop({1, 2}, 0, 10),
+      loop({3, 4}, 20, 25),
+      loop({5, 6, 7}, 30, 60),
+  };
+  const auto s = analyze_loops(loops, SimTime::seconds(100));
+  EXPECT_EQ(s.total_loops, 3u);
+  EXPECT_EQ(s.max_size, 3u);
+  EXPECT_NEAR(s.mean_size, 7.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.two_node_fraction, 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(s.distinct_sizes, 2u);
+  EXPECT_DOUBLE_EQ(s.duration_s.max, 30.0);
+  EXPECT_DOUBLE_EQ(s.duration_s.min, 5.0);
+}
+
+TEST(LoopStats, PerSizeBuckets) {
+  const std::vector<LoopRecord> loops{
+      loop({1, 2}, 0, 10),
+      loop({3, 4}, 0, 20),
+      loop({5, 6, 7, 8}, 0, 30),
+  };
+  const auto s = analyze_loops(loops, SimTime::seconds(100));
+  ASSERT_EQ(s.by_size.size(), 2u);
+  EXPECT_EQ(s.by_size[0].size, 2u);
+  EXPECT_EQ(s.by_size[0].count, 2u);
+  EXPECT_DOUBLE_EQ(s.by_size[0].duration_s.max, 20.0);
+  EXPECT_DOUBLE_EQ(s.by_size[0].worst_per_hop_s, 20.0);  // m-1 = 1
+  EXPECT_EQ(s.by_size[1].size, 4u);
+  EXPECT_DOUBLE_EQ(s.by_size[1].worst_per_hop_s, 10.0);  // 30 / 3
+}
+
+TEST(LoopStats, UnresolvedClosedAtFallback) {
+  const std::vector<LoopRecord> loops{
+      LoopRecord{{1, 2}, SimTime::seconds(90), std::nullopt},
+  };
+  const auto s = analyze_loops(loops, SimTime::seconds(100));
+  EXPECT_DOUBLE_EQ(s.duration_s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.active_time_s, 10.0);
+}
+
+TEST(LoopStats, ActiveTimeIsUnionOfIntervals) {
+  const std::vector<LoopRecord> loops{
+      loop({1, 2}, 0, 10),
+      loop({3, 4}, 5, 15),   // overlaps the first
+      loop({5, 6}, 50, 60),  // disjoint
+  };
+  const auto s = analyze_loops(loops, SimTime::seconds(100));
+  EXPECT_DOUBLE_EQ(s.active_time_s, 25.0);  // [0,15] + [50,60]
+  EXPECT_EQ(s.max_concurrent, 2u);
+}
+
+TEST(LoopStats, BackToBackIntervalsDoNotOvercount) {
+  const std::vector<LoopRecord> loops{
+      loop({1, 2}, 0, 10),
+      loop({3, 4}, 10, 20),  // starts exactly when the first ends
+  };
+  const auto s = analyze_loops(loops, SimTime::seconds(100));
+  EXPECT_DOUBLE_EQ(s.active_time_s, 20.0);
+  EXPECT_EQ(s.max_concurrent, 1u);
+}
+
+TEST(LoopStats, ConcurrencyDepth) {
+  const std::vector<LoopRecord> loops{
+      loop({1, 2}, 0, 100),
+      loop({3, 4}, 10, 90),
+      loop({5, 6}, 20, 80),
+  };
+  const auto s = analyze_loops(loops, SimTime::seconds(200));
+  EXPECT_EQ(s.max_concurrent, 3u);
+  EXPECT_DOUBLE_EQ(s.active_time_s, 100.0);
+}
+
+}  // namespace
+}  // namespace bgpsim::metrics

@@ -1,0 +1,169 @@
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <any>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace bgpsim::net {
+namespace {
+
+struct Delivery {
+  NodeId from;
+  NodeId to;
+  std::string payload;
+  sim::SimTime at;
+};
+
+class TransportTest : public ::testing::Test {
+ protected:
+  TransportTest() : topo_{3}, transport_{sim_, topo_} {
+    link01_ = topo_.add_link(0, 1, sim::SimTime::millis(2));
+    link12_ = topo_.add_link(1, 2, sim::SimTime::millis(2));
+    transport_.set_delivery_handler([this](const Envelope& env) {
+      deliveries_.push_back(Delivery{env.from, env.to,
+                                     std::any_cast<std::string>(env.payload),
+                                     sim_.now()});
+    });
+    transport_.set_session_handler([this](NodeId self, NodeId peer, bool up) {
+      sessions_.emplace_back(self, peer, up);
+    });
+  }
+
+  sim::Simulator sim_;
+  Topology topo_;
+  Transport transport_;
+  LinkId link01_ = 0;
+  LinkId link12_ = 0;
+  std::vector<Delivery> deliveries_;
+  std::vector<std::tuple<NodeId, NodeId, bool>> sessions_;
+};
+
+TEST_F(TransportTest, DeliversAfterPropagationDelay) {
+  transport_.send(0, 1, std::string{"hi"});
+  sim_.run();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].from, 0u);
+  EXPECT_EQ(deliveries_[0].to, 1u);
+  EXPECT_EQ(deliveries_[0].payload, "hi");
+  EXPECT_EQ(deliveries_[0].at, sim::SimTime::millis(2));
+}
+
+TEST_F(TransportTest, NoLinkMeansDrop) {
+  EXPECT_FALSE(transport_.send(0, 2, std::string{"x"}));
+  sim_.run();
+  EXPECT_TRUE(deliveries_.empty());
+}
+
+TEST_F(TransportTest, DownLinkMeansDrop) {
+  transport_.fail_link(link01_);
+  EXPECT_FALSE(transport_.send(0, 1, std::string{"x"}));
+  sim_.run();
+  EXPECT_TRUE(deliveries_.empty());
+}
+
+TEST_F(TransportTest, FifoOrderPerDirection) {
+  for (int i = 0; i < 5; ++i) {
+    transport_.send(0, 1, std::string(1, static_cast<char>('a' + i)));
+  }
+  sim_.run();
+  ASSERT_EQ(deliveries_.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(deliveries_[i].payload, std::string(1, static_cast<char>('a' + i)));
+  }
+}
+
+TEST_F(TransportTest, FailLinkDropsInFlight) {
+  transport_.send(0, 1, std::string{"lost"});
+  // Fail the link before the 2 ms propagation completes.
+  sim_.schedule_at(sim::SimTime::millis(1),
+                   [this] { transport_.fail_link(link01_); });
+  sim_.run();
+  EXPECT_TRUE(deliveries_.empty());
+  EXPECT_EQ(transport_.messages_lost(), 1u);
+}
+
+TEST_F(TransportTest, FailLinkNotifiesBothEndpoints) {
+  transport_.fail_link(link01_);
+  ASSERT_EQ(sessions_.size(), 2u);
+  EXPECT_EQ(sessions_[0], std::make_tuple(NodeId{0}, NodeId{1}, false));
+  EXPECT_EQ(sessions_[1], std::make_tuple(NodeId{1}, NodeId{0}, false));
+}
+
+TEST_F(TransportTest, RestoreLinkNotifiesUp) {
+  transport_.fail_link(link01_);
+  sessions_.clear();
+  transport_.restore_link(link01_);
+  ASSERT_EQ(sessions_.size(), 2u);
+  EXPECT_EQ(std::get<2>(sessions_[0]), true);
+  EXPECT_TRUE(topo_.link_up(0, 1));
+}
+
+TEST_F(TransportTest, FailAlreadyDownIsNoop) {
+  EXPECT_TRUE(transport_.fail_link(link01_));
+  sessions_.clear();
+  EXPECT_FALSE(transport_.fail_link(link01_));
+  EXPECT_TRUE(sessions_.empty());
+}
+
+TEST_F(TransportTest, FailNodeTakesAllLinks) {
+  transport_.fail_node(1);
+  EXPECT_FALSE(topo_.link(link01_).up);
+  EXPECT_FALSE(topo_.link(link12_).up);
+  EXPECT_EQ(sessions_.size(), 4u);
+}
+
+TEST_F(TransportTest, OtherLinksUnaffectedByFailure) {
+  transport_.send(1, 2, std::string{"ok"});
+  transport_.fail_link(link01_);
+  sim_.run();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].payload, "ok");
+}
+
+TEST_F(TransportTest, CountersTrackOutcomes) {
+  transport_.send(0, 1, std::string{"a"});
+  transport_.send(1, 2, std::string{"b"});
+  sim_.schedule_at(sim::SimTime::millis(1),
+                   [this] { transport_.fail_link(link12_); });
+  sim_.run();
+  EXPECT_EQ(transport_.messages_sent(), 2u);
+  EXPECT_EQ(transport_.messages_delivered(), 1u);
+  EXPECT_EQ(transport_.messages_lost(), 1u);
+}
+
+TEST(TransportHeterogeneous, PerLinkDelaysRespected) {
+  sim::Simulator sim;
+  Topology topo{3};
+  topo.add_link(0, 1, sim::SimTime::millis(2));
+  topo.add_link(0, 2, sim::SimTime::millis(50));
+  Transport transport{sim, topo};
+  std::vector<std::pair<NodeId, sim::SimTime>> got;
+  transport.set_delivery_handler([&](const Envelope& env) {
+    got.emplace_back(env.to, sim.now());
+  });
+  transport.send(0, 2, std::string{"slow"});
+  transport.send(0, 1, std::string{"fast"});
+  sim.run();
+  ASSERT_EQ(got.size(), 2u);
+  // The fast link's message, sent second, arrives first.
+  EXPECT_EQ(got[0].first, 1u);
+  EXPECT_EQ(got[0].second, sim::SimTime::millis(2));
+  EXPECT_EQ(got[1].first, 2u);
+  EXPECT_EQ(got[1].second, sim::SimTime::millis(50));
+}
+
+TEST_F(TransportTest, SendAfterRestoreWorks) {
+  transport_.fail_link(link01_);
+  transport_.restore_link(link01_);
+  EXPECT_TRUE(transport_.send(0, 1, std::string{"back"}));
+  sim_.run();
+  ASSERT_EQ(deliveries_.size(), 1u);
+  EXPECT_EQ(deliveries_[0].payload, "back");
+}
+
+}  // namespace
+}  // namespace bgpsim::net

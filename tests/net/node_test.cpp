@@ -1,0 +1,119 @@
+#include "net/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace bgpsim::net {
+namespace {
+
+Envelope make_env(NodeId from, NodeId to, std::string payload) {
+  return Envelope{from, to, std::any{std::move(payload)}};
+}
+
+class ProcessingQueueTest : public ::testing::Test {
+ protected:
+  ProcessingQueueTest()
+      : queue_{sim_, sim::Rng{7}, ProcessingDelay{sim::SimTime::millis(100),
+                                                  sim::SimTime::millis(500)}} {
+    queue_.set_message_handler([this](const Envelope& env) {
+      messages_.emplace_back(std::any_cast<std::string>(env.payload),
+                             sim_.now());
+    });
+    queue_.set_session_handler(
+        [this](const ProcessingQueue::SessionEvent& ev) {
+          sessions_.emplace_back(ev.peer, ev.up, sim_.now());
+        });
+  }
+
+  sim::Simulator sim_;
+  ProcessingQueue queue_;
+  std::vector<std::pair<std::string, sim::SimTime>> messages_;
+  std::vector<std::tuple<NodeId, bool, sim::SimTime>> sessions_;
+};
+
+TEST_F(ProcessingQueueTest, MessageDelayedWithinBounds) {
+  queue_.accept(make_env(0, 1, "m"));
+  sim_.run();
+  ASSERT_EQ(messages_.size(), 1u);
+  EXPECT_GE(messages_[0].second, sim::SimTime::millis(100));
+  EXPECT_LT(messages_[0].second, sim::SimTime::millis(500));
+}
+
+TEST_F(ProcessingQueueTest, SerializesProcessing) {
+  // Two messages arriving together: the second handler runs at least
+  // min-delay after the first (it queues behind).
+  queue_.accept(make_env(0, 1, "a"));
+  queue_.accept(make_env(0, 1, "b"));
+  sim_.run();
+  ASSERT_EQ(messages_.size(), 2u);
+  EXPECT_EQ(messages_[0].first, "a");
+  EXPECT_EQ(messages_[1].first, "b");
+  EXPECT_GE(messages_[1].second - messages_[0].second,
+            sim::SimTime::millis(100));
+}
+
+TEST_F(ProcessingQueueTest, FifoAcrossKinds) {
+  queue_.accept(make_env(0, 1, "first"));
+  queue_.accept_session_event({5, false});
+  queue_.accept(make_env(0, 1, "third"));
+  sim_.run();
+  ASSERT_EQ(messages_.size(), 2u);
+  ASSERT_EQ(sessions_.size(), 1u);
+  EXPECT_LT(messages_[0].second, std::get<2>(sessions_[0]));
+  EXPECT_LT(std::get<2>(sessions_[0]), messages_[1].second);
+}
+
+TEST_F(ProcessingQueueTest, BacklogVisible) {
+  queue_.accept(make_env(0, 1, "a"));
+  queue_.accept(make_env(0, 1, "b"));
+  queue_.accept(make_env(0, 1, "c"));
+  EXPECT_EQ(queue_.backlog(), 3u);
+  EXPECT_TRUE(queue_.busy());
+  sim_.run();
+  EXPECT_EQ(queue_.backlog(), 0u);
+  EXPECT_FALSE(queue_.busy());
+}
+
+TEST_F(ProcessingQueueTest, SessionEventCarriesState) {
+  queue_.accept_session_event({9, true});
+  sim_.run();
+  ASSERT_EQ(sessions_.size(), 1u);
+  EXPECT_EQ(std::get<0>(sessions_[0]), 9u);
+  EXPECT_TRUE(std::get<1>(sessions_[0]));
+}
+
+TEST(ProcessingQueueFixed, ZeroWidthDelayIsDeterministic) {
+  sim::Simulator sim;
+  ProcessingQueue q{sim, sim::Rng{1},
+                    ProcessingDelay{sim::SimTime::millis(250),
+                                    sim::SimTime::millis(250)}};
+  sim::SimTime processed;
+  q.set_message_handler([&](const Envelope&) { processed = sim.now(); });
+  q.accept(Envelope{0, 1, std::any{std::string{"x"}}});
+  sim.run();
+  EXPECT_EQ(processed, sim::SimTime::millis(250));
+}
+
+TEST(ProcessingQueueFixed, WorkArrivingDuringProcessingQueues) {
+  sim::Simulator sim;
+  ProcessingQueue q{sim, sim::Rng{1},
+                    ProcessingDelay{sim::SimTime::millis(200),
+                                    sim::SimTime::millis(200)}};
+  std::vector<sim::SimTime> times;
+  q.set_message_handler([&](const Envelope&) { times.push_back(sim.now()); });
+
+  q.accept(Envelope{0, 1, std::any{std::string{"a"}}});
+  // Arrives while "a" is being processed.
+  sim.schedule_at(sim::SimTime::millis(100), [&] {
+    q.accept(Envelope{0, 1, std::any{std::string{"b"}}});
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], sim::SimTime::millis(200));
+  EXPECT_EQ(times[1], sim::SimTime::millis(400));
+}
+
+}  // namespace
+}  // namespace bgpsim::net

@@ -1,0 +1,141 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+namespace bgpsim::net {
+namespace {
+
+TEST(Topology, AddNodesAssignsDenseIds) {
+  Topology t;
+  EXPECT_EQ(t.add_node(), 0u);
+  EXPECT_EQ(t.add_node(), 1u);
+  t.add_nodes(3);
+  EXPECT_EQ(t.node_count(), 5u);
+}
+
+TEST(Topology, AddLinkConnectsBothDirections) {
+  Topology t{3};
+  const LinkId id = t.add_link(0, 1);
+  EXPECT_EQ(t.link_count(), 1u);
+  EXPECT_EQ(t.link(id).a, 0u);
+  EXPECT_EQ(t.link(id).b, 1u);
+  EXPECT_TRUE(t.link_between(0, 1).has_value());
+  EXPECT_TRUE(t.link_between(1, 0).has_value());
+  EXPECT_FALSE(t.link_between(0, 2).has_value());
+}
+
+TEST(Topology, LinkOther) {
+  Topology t{2};
+  const LinkId id = t.add_link(0, 1);
+  EXPECT_EQ(t.link(id).other(0), 1u);
+  EXPECT_EQ(t.link(id).other(1), 0u);
+}
+
+TEST(Topology, RejectsSelfLoop) {
+  Topology t{2};
+  EXPECT_THROW(t.add_link(1, 1), std::invalid_argument);
+}
+
+TEST(Topology, RejectsUnknownNode) {
+  Topology t{2};
+  EXPECT_THROW(t.add_link(0, 5), std::invalid_argument);
+}
+
+TEST(Topology, RejectsDuplicateLink) {
+  Topology t{2};
+  t.add_link(0, 1);
+  EXPECT_THROW(t.add_link(1, 0), std::invalid_argument);
+}
+
+TEST(Topology, DegreeCountsAllLinks) {
+  Topology t{4};
+  t.add_link(0, 1);
+  t.add_link(0, 2);
+  t.add_link(0, 3);
+  EXPECT_EQ(t.degree(0), 3u);
+  EXPECT_EQ(t.degree(1), 1u);
+}
+
+TEST(Topology, LinkStateToggles) {
+  Topology t{2};
+  const LinkId id = t.add_link(0, 1);
+  EXPECT_TRUE(t.link_up(0, 1));
+  EXPECT_TRUE(t.set_link_state(id, false));
+  EXPECT_FALSE(t.link_up(0, 1));
+  EXPECT_FALSE(t.set_link_state(id, false));  // already down
+  EXPECT_TRUE(t.set_link_state(id, true));
+  EXPECT_TRUE(t.link_up(0, 1));
+}
+
+TEST(Topology, UpNeighborsSkipDownLinks) {
+  Topology t{4};
+  t.add_link(0, 1);
+  const LinkId down = t.add_link(0, 2);
+  t.add_link(0, 3);
+  t.set_link_state(down, false);
+  const auto up = t.up_neighbors(0);
+  EXPECT_EQ(up, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(Topology, LinksOf) {
+  Topology t{3};
+  const LinkId a = t.add_link(0, 1);
+  const LinkId b = t.add_link(0, 2);
+  const auto links = t.links_of(0);
+  EXPECT_EQ(links, (std::vector<LinkId>{a, b}));
+  EXPECT_EQ(t.links_of(1), (std::vector<LinkId>{a}));
+}
+
+TEST(Topology, BfsDistancesOnChain) {
+  Topology t{4};
+  t.add_link(0, 1);
+  t.add_link(1, 2);
+  t.add_link(2, 3);
+  const auto d = t.bfs_distances(0);
+  EXPECT_EQ(d, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Topology, BfsRespectsDownLinks) {
+  Topology t{3};
+  t.add_link(0, 1);
+  const LinkId cut = t.add_link(1, 2);
+  t.set_link_state(cut, false);
+  const auto d = t.bfs_distances(0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Topology, Connectivity) {
+  Topology t{3};
+  t.add_link(0, 1);
+  EXPECT_FALSE(t.connected());
+  const LinkId id = t.add_link(1, 2);
+  EXPECT_TRUE(t.connected());
+  t.set_link_state(id, false);
+  EXPECT_FALSE(t.connected());
+}
+
+TEST(Topology, EmptyTopologyIsConnected) {
+  Topology t;
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, SummaryMentionsCounts) {
+  Topology t{3};
+  t.add_link(0, 1);
+  const LinkId id = t.add_link(1, 2);
+  t.set_link_state(id, false);
+  EXPECT_EQ(t.summary(), "n=3 links=2 (1 down)");
+}
+
+TEST(Topology, CustomLinkDelayStored) {
+  Topology t{2};
+  const LinkId id = t.add_link(0, 1, sim::SimTime::millis(10));
+  EXPECT_EQ(t.link(id).delay, sim::SimTime::millis(10));
+}
+
+}  // namespace
+}  // namespace bgpsim::net

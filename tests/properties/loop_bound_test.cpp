@@ -1,0 +1,82 @@
+// P5: the paper's §3.2 analytical bound — an m-node loop lasts at most
+// (m-1) × M seconds plus nodal delays — checked against every loop the
+// detector records in real runs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+
+namespace bgpsim::core {
+namespace {
+
+using Param = std::tuple<TopologyKind, std::size_t, EventKind, double /*mrai*/>;
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  std::string name =
+      std::string{to_string(std::get<0>(info.param))} +
+      std::to_string(std::get<1>(info.param)) + "_" +
+      to_string(std::get<2>(info.param)) + "_M" +
+      std::to_string(static_cast<int>(std::get<3>(info.param)));
+  std::erase(name, '-');
+  return name;
+}
+
+class LoopBoundTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(LoopBoundTest, EveryLoopRespectsAnalyticalBound) {
+  const auto [kind, size, event, mrai] = GetParam();
+  Scenario s;
+  s.topology.kind = kind;
+  s.topology.size = size;
+  s.topology.topo_seed = 9;
+  s.event = event;
+  s.seed = 17;
+  s.bgp.mrai = sim::SimTime::seconds(mrai);
+
+  const auto out = run_experiment(s);
+  for (const auto& loop : out.metrics.loops) {
+    const auto m = static_cast<double>(loop.size());
+    ASSERT_GE(loop.size(), 2u);
+    // (m-1)×M for the MRAI-delayed propagation around the loop, plus one
+    // processing + propagation allowance per hop (each of the m-k+1
+    // messages of §3.2 can additionally wait ≲0.5 s of CPU plus queueing
+    // behind a handful of other updates).
+    const double slack_s = m * 3.0 + 2.0;
+    const double bound_s = (m - 1.0) * mrai + slack_s;
+    EXPECT_LE(loop.duration_seconds(out.metrics.last_update_at), bound_s)
+        << "loop of size " << loop.size() << " with MRAI " << mrai;
+  }
+}
+
+TEST_P(LoopBoundTest, LoopSizesAreAtLeastTwo) {
+  const auto [kind, size, event, mrai] = GetParam();
+  Scenario s;
+  s.topology.kind = kind;
+  s.topology.size = size;
+  s.topology.topo_seed = 9;
+  s.event = event;
+  s.seed = 17;
+  s.bgp.mrai = sim::SimTime::seconds(mrai);
+  const auto out = run_experiment(s);
+  for (const auto& loop : out.metrics.loops) {
+    EXPECT_GE(loop.size(), 2u);
+    EXPECT_LE(loop.size(), s.topology.kind == TopologyKind::kBClique
+                               ? 2 * size
+                               : size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LoopBoundTest,
+    ::testing::Values(Param{TopologyKind::kClique, 8, EventKind::kTdown, 30},
+                      Param{TopologyKind::kClique, 8, EventKind::kTdown, 10},
+                      Param{TopologyKind::kBClique, 6, EventKind::kTlong, 30},
+                      Param{TopologyKind::kInternet, 29, EventKind::kTdown,
+                            30}),
+    param_name);
+
+}  // namespace
+}  // namespace bgpsim::core

@@ -1,0 +1,72 @@
+#include "sim/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace bgpsim::sim {
+namespace {
+
+struct Captured {
+  LogLevel level;
+  std::string component;
+  SimTime when;
+  std::string message;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Log::set_level(LogLevel::kTrace);
+    Log::set_sink([this](LogLevel l, std::string_view c, SimTime t,
+                         std::string_view m) {
+      captured_.push_back(Captured{l, std::string{c}, t, std::string{m}});
+    });
+  }
+  void TearDown() override {
+    Log::set_level(LogLevel::kOff);
+    Log::set_sink(nullptr);
+  }
+  std::vector<Captured> captured_;
+};
+
+TEST_F(LoggingTest, LineReachesSink) {
+  LogLine{LogLevel::kInfo, "bgp", SimTime::seconds(1.5)} << "hello " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].component, "bgp");
+  EXPECT_EQ(captured_[0].message, "hello 42");
+  EXPECT_EQ(captured_[0].when, SimTime::seconds(1.5));
+}
+
+TEST_F(LoggingTest, LevelFiltering) {
+  Log::set_level(LogLevel::kInfo);
+  LogLine{LogLevel::kDebug, "x", SimTime::zero()} << "filtered";
+  LogLine{LogLevel::kInfo, "x", SimTime::zero()} << "kept";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].message, "kept");
+}
+
+TEST_F(LoggingTest, OffSuppressesEverything) {
+  Log::set_level(LogLevel::kOff);
+  LogLine{LogLevel::kInfo, "x", SimTime::zero()} << "no";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LoggingTest, EnabledMatchesLevel) {
+  Log::set_level(LogLevel::kDebug);
+  EXPECT_TRUE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Log::enabled(LogLevel::kTrace));
+}
+
+TEST_F(LoggingTest, MultipleLinesInOrder) {
+  LogLine{LogLevel::kInfo, "a", SimTime::zero()} << "first";
+  LogLine{LogLevel::kInfo, "b", SimTime::zero()} << "second";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].message, "first");
+  EXPECT_EQ(captured_[1].message, "second");
+}
+
+}  // namespace
+}  // namespace bgpsim::sim

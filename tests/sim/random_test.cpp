@@ -1,0 +1,166 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace bgpsim::sim {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform(0.1, 0.5);
+    EXPECT_GE(v, 0.1);
+    EXPECT_LT(v, 0.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng{99};
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(0.1, 0.5);
+  EXPECT_NEAR(sum / n, 0.3, 0.005);
+}
+
+TEST(Rng, NextBelowStaysBelow) {
+  Rng rng{13};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng{5};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng{21};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all of -2..3 appear
+}
+
+TEST(Rng, UniformTimeWithinBounds) {
+  Rng rng{33};
+  const auto lo = SimTime::millis(100);
+  const auto hi = SimTime::millis(500);
+  for (int i = 0; i < 1000; ++i) {
+    const SimTime t = rng.uniform_time(lo, hi);
+    EXPECT_GE(t, lo);
+    EXPECT_LT(t, hi);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng{77};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ChildStreamsAreIndependentOfDrawOrder) {
+  // The child stream is a pure function of (seed, label, index): drawing
+  // from the parent must not change what a child produces.
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 10; ++i) b.next_u64();
+
+  Rng child_a = a.child("bgp", 3);
+  Rng child_b = b.child("bgp", 3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child_a.next_u64(), child_b.next_u64());
+}
+
+TEST(Rng, ChildStreamsDifferByLabel) {
+  Rng root{42};
+  Rng a = root.child("proc", 0);
+  Rng b = root.child("bgp", 0);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ChildStreamsDifferByIndex) {
+  Rng root{42};
+  Rng a = root.child("proc", 0);
+  Rng b = root.child("proc", 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, GrandchildrenAreDeterministic) {
+  Rng a = Rng{9}.child("x", 1).child("y", 2);
+  Rng b = Rng{9}.child("x", 1).child("y", 2);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, BitsLookBalanced) {
+  // Cheap sanity check, not a statistical test battery: each of the 64 bit
+  // positions should be set roughly half the time.
+  Rng rng{2024};
+  const int n = 4096;
+  int counts[64] = {};
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t v = rng.next_u64();
+    for (int b = 0; b < 64; ++b) {
+      counts[b] += (v >> b) & 1;
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(counts[b], n / 2, n / 8) << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim::sim

@@ -1,0 +1,68 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgpsim::sim {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+  EXPECT_EQ(SimTime::zero().as_micros(), 0);
+}
+
+TEST(SimTime, FactoryConversions) {
+  EXPECT_EQ(SimTime::micros(1500).as_micros(), 1500);
+  EXPECT_EQ(SimTime::millis(2).as_micros(), 2000);
+  EXPECT_EQ(SimTime::seconds(1.5).as_micros(), 1'500'000);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(30).as_seconds(), 30.0);
+  EXPECT_DOUBLE_EQ(SimTime::millis(2).as_millis(), 2.0);
+}
+
+TEST(SimTime, SecondsRoundsToNearestMicro) {
+  EXPECT_EQ(SimTime::seconds(0.0000014).as_micros(), 1);
+  EXPECT_EQ(SimTime::seconds(0.0000016).as_micros(), 2);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_LE(SimTime::millis(2), SimTime::millis(2));
+  EXPECT_GT(SimTime::seconds(1), SimTime::millis(999));
+  EXPECT_EQ(SimTime::seconds(1), SimTime::millis(1000));
+}
+
+TEST(SimTime, Arithmetic) {
+  const auto a = SimTime::millis(100);
+  const auto b = SimTime::millis(50);
+  EXPECT_EQ(a + b, SimTime::millis(150));
+  EXPECT_EQ(a - b, SimTime::millis(50));
+  EXPECT_EQ(a * 3, SimTime::millis(300));
+  EXPECT_EQ(3 * a, SimTime::millis(300));
+
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::millis(150));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(SimTime, Infinity) {
+  EXPECT_TRUE(SimTime::infinity().is_infinite());
+  EXPECT_FALSE(SimTime::seconds(1e12).is_infinite());
+  EXPECT_LT(SimTime::seconds(1e12), SimTime::infinity());
+}
+
+TEST(SimTime, ToString) {
+  EXPECT_EQ(to_string(SimTime::seconds(1.5)), "1.500000s");
+  EXPECT_EQ(to_string(SimTime::infinity()), "inf");
+  EXPECT_EQ(to_string(SimTime::zero()), "0.000000s");
+}
+
+TEST(SimTime, NegativeDurations) {
+  const auto d = SimTime::millis(10) - SimTime::millis(25);
+  EXPECT_EQ(d.as_micros(), -15'000);
+  EXPECT_LT(d, SimTime::zero());
+  EXPECT_EQ(SimTime::seconds(-1.5).as_micros(), -1'500'000);
+}
+
+}  // namespace
+}  // namespace bgpsim::sim

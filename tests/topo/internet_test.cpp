@@ -1,0 +1,157 @@
+#include "topo/internet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bgpsim::topo {
+namespace {
+
+using net::NodeId;
+
+TEST(Internet, PresetSizesAreConnected) {
+  for (std::size_t n : {29u, 48u, 75u, 110u}) {
+    const auto t = make_internet_preset(n, 1);
+    EXPECT_EQ(t.node_count(), n);
+    EXPECT_TRUE(t.connected()) << "n=" << n;
+  }
+}
+
+TEST(Internet, DeterministicForSeed) {
+  const auto a = make_internet_preset(48, 7);
+  const auto b = make_internet_preset(48, 7);
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (net::LinkId l = 0; l < a.link_count(); ++l) {
+    EXPECT_EQ(a.link(l).a, b.link(l).a);
+    EXPECT_EQ(a.link(l).b, b.link(l).b);
+  }
+}
+
+TEST(Internet, DifferentSeedsDiffer) {
+  const auto a = make_internet_preset(48, 1);
+  const auto b = make_internet_preset(48, 2);
+  bool differ = a.link_count() != b.link_count();
+  if (!differ) {
+    for (net::LinkId l = 0; l < a.link_count(); ++l) {
+      if (a.link(l).a != b.link(l).a || a.link(l).b != b.link(l).b) {
+        differ = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Internet, CoreIsFullMesh) {
+  InternetParams p;
+  p.nodes = 110;
+  p.seed = 3;
+  const auto t = make_internet(p);
+  const auto core = std::max<std::size_t>(
+      3, static_cast<std::size_t>(p.core_fraction * p.nodes + 0.5));
+  for (NodeId a = 0; a < core; ++a) {
+    for (NodeId b = a + 1; b < core; ++b) {
+      EXPECT_TRUE(t.link_between(a, b).has_value())
+          << "core " << a << "-" << b;
+    }
+  }
+}
+
+TEST(Internet, StubsHaveLowDegree) {
+  const auto t = make_internet_preset(110, 5);
+  // The minimum degree must come from the stub range and be small.
+  const auto lows = lowest_degree_nodes(t);
+  ASSERT_FALSE(lows.empty());
+  for (NodeId n : lows) {
+    EXPECT_LE(t.degree(n), 2u);
+  }
+}
+
+TEST(Internet, AverageDegreeIsAsLike) {
+  // AS-graph samples have sparse averages; guard the generator against
+  // regressing into a dense mesh (which would change convergence shape).
+  const auto t = make_internet_preset(110, 1);
+  const double avg = 2.0 * static_cast<double>(t.link_count()) /
+                     static_cast<double>(t.node_count());
+  EXPECT_GE(avg, 1.8);
+  EXPECT_LE(avg, 6.0);
+}
+
+TEST(Internet, LowestDegreeNodesAllShareMinimum) {
+  const auto t = make_internet_preset(48, 9);
+  const auto lows = lowest_degree_nodes(t);
+  ASSERT_FALSE(lows.empty());
+  const std::size_t d = t.degree(lows.front());
+  for (NodeId n : lows) EXPECT_EQ(t.degree(n), d);
+  // And no node is below it.
+  for (NodeId n = 0; n < t.node_count(); ++n) EXPECT_GE(t.degree(n), d);
+}
+
+TEST(Internet, RejectsTinyGraphs) {
+  InternetParams p;
+  p.nodes = 5;
+  EXPECT_THROW(make_internet(p), std::invalid_argument);
+}
+
+TEST(Internet, RejectsInconsistentFractions) {
+  InternetParams p;
+  p.nodes = 20;
+  p.core_fraction = 0.6;
+  p.mid_fraction = 0.6;
+  EXPECT_THROW(make_internet(p), std::invalid_argument);
+}
+
+TEST(Internet, ManySeedsStayConnected) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto t = make_internet_preset(29, seed);
+    EXPECT_TRUE(t.connected()) << "seed " << seed;
+  }
+}
+
+TEST(Internet, ParameterExtremesStillConnected) {
+  InternetParams p;
+  p.nodes = 60;
+  p.seed = 2;
+  p.mid_peer_prob = 0.0;
+  p.stub_chain_prob = 0.0;
+  EXPECT_TRUE(make_internet(p).connected());
+  p.mid_peer_prob = 1.0;
+  p.stub_chain_prob = 1.0;
+  EXPECT_TRUE(make_internet(p).connected());
+}
+
+TEST(Internet, NoChainsMeansStubsHomeToProviders) {
+  InternetParams p;
+  p.nodes = 60;
+  p.seed = 2;
+  p.stub_chain_prob = 0.0;
+  const auto ann = make_internet_annotated(p);
+  const auto core_n = std::max<std::size_t>(
+      3, static_cast<std::size_t>(p.core_fraction * p.nodes + 0.5));
+  const auto mid_n = static_cast<std::size_t>(p.mid_fraction * p.nodes + 0.5);
+  const auto bound = static_cast<NodeId>(core_n + mid_n);
+  // Every stub's links lead into the core/mid tiers only.
+  for (NodeId stub = bound; stub < p.nodes; ++stub) {
+    for (const auto l : ann.topology.links_of(stub)) {
+      EXPECT_LT(ann.topology.link(l).other(stub), bound)
+          << "stub " << stub;
+    }
+  }
+}
+
+TEST(Internet, AnnotatedAndPlainAgreeForSameSeed) {
+  InternetParams p;
+  p.nodes = 48;
+  p.seed = 13;
+  const auto plain = make_internet(p);
+  const auto ann = make_internet_annotated(p);
+  ASSERT_EQ(plain.link_count(), ann.topology.link_count());
+  for (net::LinkId l = 0; l < plain.link_count(); ++l) {
+    EXPECT_EQ(plain.link(l).a, ann.topology.link(l).a);
+    EXPECT_EQ(plain.link(l).b, ann.topology.link(l).b);
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim::topo

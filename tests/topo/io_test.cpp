@@ -1,0 +1,76 @@
+#include "topo/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "topo/generators.hpp"
+#include "topo/internet.hpp"
+
+namespace bgpsim::topo {
+namespace {
+
+TEST(TopologyIo, RoundTripClique) {
+  const auto original = make_clique(6);
+  const auto restored = from_edge_list(to_edge_list(original));
+  ASSERT_EQ(restored.node_count(), original.node_count());
+  ASSERT_EQ(restored.link_count(), original.link_count());
+  for (net::LinkId l = 0; l < original.link_count(); ++l) {
+    EXPECT_EQ(restored.link(l).a, original.link(l).a);
+    EXPECT_EQ(restored.link(l).b, original.link(l).b);
+  }
+}
+
+TEST(TopologyIo, RoundTripInternet) {
+  const auto original = make_internet_preset(48, 11);
+  const auto restored = from_edge_list(to_edge_list(original));
+  EXPECT_EQ(restored.node_count(), original.node_count());
+  EXPECT_EQ(restored.link_count(), original.link_count());
+  EXPECT_TRUE(restored.connected());
+}
+
+TEST(TopologyIo, HeaderFormat) {
+  const auto t = make_chain(3);
+  const std::string text = to_edge_list(t);
+  EXPECT_EQ(text.substr(0, 4), "3 2\n");
+}
+
+TEST(TopologyIo, SkipsCommentsAndBlankLines) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "3 2\n"
+      "# another\n"
+      "0 1\n"
+      "\n"
+      "1 2\n";
+  const auto t = from_edge_list(text);
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.link_count(), 2u);
+  EXPECT_TRUE(t.link_between(0, 1).has_value());
+}
+
+TEST(TopologyIo, ThrowsOnMissingHeader) {
+  EXPECT_THROW(from_edge_list("# only comments\n"), std::runtime_error);
+}
+
+TEST(TopologyIo, ThrowsOnTruncatedLinks) {
+  EXPECT_THROW(from_edge_list("3 2\n0 1\n"), std::runtime_error);
+}
+
+TEST(TopologyIo, ThrowsOnMalformedLink) {
+  EXPECT_THROW(from_edge_list("2 1\n0 x\n"), std::runtime_error);
+}
+
+TEST(TopologyIo, ThrowsOnOutOfRangeNode) {
+  EXPECT_THROW(from_edge_list("2 1\n0 7\n"), std::invalid_argument);
+}
+
+TEST(TopologyIo, ReaderAppliesDefaultDelay) {
+  const auto t = from_edge_list("2 1\n0 1\n");
+  EXPECT_EQ(t.link(0).delay, kDefaultLinkDelay);
+}
+
+}  // namespace
+}  // namespace bgpsim::topo
