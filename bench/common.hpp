@@ -1,9 +1,11 @@
 // Shared helpers for the figure-reproduction bench binaries.
 //
-// Environment knobs:
+// Environment knobs (full table: docs/RUNNING.md):
 //   BGPSIM_TRIALS : trials per data point (default per bench, usually 2-3)
 //   BGPSIM_FULL=1 : run the paper's full size range (slower)
 //   BGPSIM_CSV=1  : append CSV dumps after each table
+//   BGPSIM_JOBS   : worker threads per data point (default: all cores);
+//                   results are bit-identical at any job count
 #pragma once
 
 #include <cstdio>
@@ -26,7 +28,9 @@ inline bool full_run() { return core::env_or("BGPSIM_FULL", 0) != 0; }
 
 inline bool csv_output() { return core::env_or("BGPSIM_CSV", 0) != 0; }
 
-/// Build and run one aggregated data point.
+/// Build and run one aggregated data point. Trials fan out across
+/// BGPSIM_JOBS worker threads (default: all cores); the aggregate is
+/// bit-identical to a serial run regardless of job count.
 inline core::TrialSet run_point(core::TopologyKind kind, std::size_t size,
                                 core::EventKind event, bgp::Enhancement proto,
                                 double mrai_s, std::size_t n_trials,
@@ -39,7 +43,7 @@ inline core::TrialSet run_point(core::TopologyKind kind, std::size_t size,
   s.bgp = s.bgp.with(proto);
   s.bgp.mrai = sim::SimTime::seconds(mrai_s);
   s.seed = seed;
-  return core::run_trials(s, n_trials);
+  return core::run_trials_parallel(s, n_trials);
 }
 
 /// Print a shape-expectation check line ("the paper's claim held / didn't").

@@ -3,11 +3,13 @@
 //   $ run_scenario --topo clique|bclique|chain|ring|internet --size N
 //                  --event tdown|tlong|tup
 //                  --proto bgp|ssld|wrate|assertion|ghost
-//                  --mrai SECONDS --seed S [--trials K] [--policy]
+//                  --mrai SECONDS --seed S [--trials K] [--jobs J] [--policy]
 //                  [--trace FILE.jsonl] [--verbose]
 //
-// Prints the paper's metrics for each trial plus the aggregate. With
-// --trace, writes trial 0's route-change trace as JSON lines.
+// Prints the paper's metrics for each trial plus the aggregate. Trials run
+// across --jobs worker threads (default: BGPSIM_JOBS, else all cores) with
+// results identical to a serial run. With --trace, writes the route-change
+// trace as JSON lines (forces serial execution: one shared trace sink).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +31,7 @@ namespace {
                "[--topo clique|bclique|chain|ring|internet] "
                "[--size N] [--event tdown|tlong|tup] "
                "[--proto bgp|ssld|wrate|assertion|ghost] [--mrai SECONDS] "
-               "[--seed S] [--trials K] [--policy] [--trace FILE] "
+               "[--seed S] [--trials K] [--jobs J] [--policy] [--trace FILE] "
                "[--verbose]\n",
                argv0);
   std::exit(2);
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
   s.topology.kind = core::TopologyKind::kClique;
   s.topology.size = 10;
   std::size_t trials = 1;
+  std::size_t jobs = 0;  // 0: BGPSIM_JOBS env var, else hardware_concurrency
   std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -86,6 +89,8 @@ int main(int argc, char** argv) {
       s.topology.topo_seed = s.seed;
     } else if (arg == "--trials") {
       trials = std::strtoul(value(), nullptr, 10);
+    } else if (arg == "--jobs") {
+      jobs = std::strtoul(value(), nullptr, 10);
     } else if (arg == "--policy") {
       s.policy_routing = true;
     } else if (arg == "--trace") {
@@ -103,7 +108,7 @@ int main(int argc, char** argv) {
   metrics::TraceRecorder trace;
   if (!trace_path.empty()) s.trace = &trace;
 
-  const core::TrialSet set = core::run_trials(s, trials);
+  const core::TrialSet set = core::run_trials_parallel(s, trials, jobs);
 
   if (!trace_path.empty()) {
     std::ofstream out{trace_path};

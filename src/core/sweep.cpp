@@ -1,7 +1,12 @@
 #include "core/sweep.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
+
+#include "sim/thread_pool.hpp"
 
 namespace bgpsim::core {
 namespace {
@@ -14,21 +19,20 @@ metrics::Summary collect(const std::vector<ExperimentOutcome>& runs, Get get) {
   return metrics::summarize(values);
 }
 
-}  // namespace
-
-TrialSet run_trials(Scenario base, std::size_t trials) {
-  TrialSet set;
-  set.scenario = base;
-  set.runs.reserve(trials);
-  for (std::size_t i = 0; i < trials; ++i) {
-    Scenario s = base;
-    s.seed = base.seed + i;
-    if (s.topology.kind == TopologyKind::kInternet) {
-      s.topology.topo_seed = base.topology.topo_seed + i;
-    }
-    set.runs.push_back(run_experiment(s));
+/// Seed layout shared by the serial and parallel runners: trial i is a pure
+/// function of (base, i), never of execution order.
+Scenario trial_scenario(const Scenario& base, std::size_t i) {
+  Scenario s = base;
+  s.seed = base.seed + i;
+  if (s.topology.kind == TopologyKind::kInternet) {
+    s.topology.topo_seed = base.topology.topo_seed + i;
   }
+  return s;
+}
 
+/// Aggregation shared by both runners so summaries are computed by the
+/// exact same code path (bit-identical results).
+void summarize_trials(TrialSet& set) {
   using M = metrics::RunMetrics;
   set.convergence_time_s =
       collect(set.runs, [](const M& m) { return m.convergence_time_s; });
@@ -42,7 +46,60 @@ TrialSet run_trials(Scenario base, std::size_t trials) {
       set.runs, [](const M& m) { return static_cast<double>(m.loops_formed); });
   set.max_loop_duration_s =
       collect(set.runs, [](const M& m) { return m.max_loop_duration_s; });
+}
+
+}  // namespace
+
+TrialSet run_trials(Scenario base, std::size_t trials) {
+  TrialSet set;
+  set.scenario = base;
+  set.runs.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    set.runs.push_back(run_experiment(trial_scenario(base, i)));
+  }
+  summarize_trials(set);
   return set;
+}
+
+TrialSet run_trials_parallel(Scenario base, std::size_t trials,
+                             std::size_t jobs) {
+  if (jobs == 0) jobs = default_jobs();
+  // The trace recorder is one caller-owned, unsynchronized sink; honor it
+  // by running serially rather than interleaving trials into it.
+  if (jobs <= 1 || trials <= 1 || base.trace != nullptr) {
+    return run_trials(base, trials);
+  }
+
+  TrialSet set;
+  set.scenario = base;
+  set.runs.resize(trials);  // slot per trial: collected in trial order
+  std::vector<std::exception_ptr> errors(trials);
+
+  {
+    sim::ThreadPool pool{std::min(jobs, trials)};
+    for (std::size_t i = 0; i < trials; ++i) {
+      pool.submit([&base, &set, &errors, i] {
+        try {
+          set.runs[i] = run_experiment(trial_scenario(base, i));
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  // Serial semantics: the lowest-index failure is the one reported.
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  summarize_trials(set);
+  return set;
+}
+
+std::size_t default_jobs() {
+  return env_or("BGPSIM_JOBS", sim::ThreadPool::default_workers());
 }
 
 std::size_t env_or(const char* name, std::size_t fallback) {
@@ -50,7 +107,13 @@ std::size_t env_or(const char* name, std::size_t fallback) {
   if (!raw || !*raw) return fallback;
   char* end = nullptr;
   const unsigned long long v = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0') return fallback;
+  if (end == raw || *end != '\0') {
+    std::fprintf(stderr,
+                 "bgpsim: ignoring %s=\"%s\" (not an unsigned integer), "
+                 "using %zu\n",
+                 name, raw, fallback);
+    return fallback;
+  }
   return static_cast<std::size_t>(v);
 }
 

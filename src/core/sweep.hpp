@@ -30,8 +30,33 @@ struct TrialSet {
 /// draws a fresh graph, destination, and failed link (as in the paper).
 [[nodiscard]] TrialSet run_trials(Scenario base, std::size_t trials);
 
+/// Like run_trials, but distributes trials across `jobs` worker threads.
+///
+/// Deterministic: trial i always runs with seed base.seed + i and results
+/// are collected in trial order regardless of completion order, so the
+/// returned TrialSet — including every Summary — is bit-identical to the
+/// serial path at any job count.
+///
+/// jobs == 0 resolves to default_jobs() (BGPSIM_JOBS env var, else
+/// hardware_concurrency). Falls back to the serial path when jobs <= 1,
+/// trials <= 1, or base.trace is set (the trace recorder is a single
+/// caller-owned sink and is not synchronized).
+///
+/// If any trial throws, the exception of the lowest-index failing trial is
+/// rethrown after all in-flight trials finish (matching the serial path,
+/// which would have failed on that trial first).
+[[nodiscard]] TrialSet run_trials_parallel(Scenario base, std::size_t trials,
+                                           std::size_t jobs = 0);
+
+/// Worker count used by run_trials_parallel when jobs == 0: the
+/// BGPSIM_JOBS environment variable if set and valid, otherwise
+/// std::thread::hardware_concurrency(); never less than 1.
+[[nodiscard]] std::size_t default_jobs();
+
 /// Environment-variable override for bench scaling (e.g. BGPSIM_TRIALS).
-/// Returns `fallback` when unset or unparsable.
+/// Returns `fallback` when unset or unparsable; a set-but-garbled value
+/// ("8x", "two") additionally warns on stderr so a misspelled knob is
+/// never silently ignored.
 [[nodiscard]] std::size_t env_or(const char* name, std::size_t fallback);
 
 }  // namespace bgpsim::core

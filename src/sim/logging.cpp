@@ -28,13 +28,21 @@ void default_sink(LogLevel at, std::string_view component, SimTime when,
 
 }  // namespace
 
-LogLevel Log::level_ = LogLevel::kOff;
+std::atomic<LogLevel> Log::level_{LogLevel::kOff};
+std::mutex Log::mutex_;
 Log::Sink Log::sink_ = default_sink;
 
-void Log::set_sink(Sink sink) { sink_ = sink ? std::move(sink) : default_sink; }
+void Log::set_sink(Sink sink) {
+  std::scoped_lock lock{mutex_};
+  sink_ = sink ? std::move(sink) : default_sink;
+}
 
 void Log::write(LogLevel at, std::string_view component, SimTime when,
                 std::string_view message) {
+  // Holding the lock across the sink call keeps whole lines atomic with
+  // respect to other writers; logging defaults to off, so contention only
+  // exists when traces were explicitly requested.
+  std::scoped_lock lock{mutex_};
   sink_(at, component, when, message);
 }
 

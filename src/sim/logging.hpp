@@ -4,7 +4,9 @@
 // to print protocol event traces (see examples/figure1_walkthrough.cpp).
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -16,27 +18,37 @@ namespace bgpsim::sim {
 enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
 
 /// Process-wide log configuration and sink.
+///
+/// Thread-safe: parallel trial runners (core::run_trials_parallel) emit
+/// through one simulation per worker thread but share this static state.
+/// The level is atomic (the hot `enabled` check stays lock-free) and the
+/// sink is invoked under a mutex, so concurrent writers never interleave
+/// within a line and a sink needs no locking of its own.
 class Log {
  public:
   using Sink = std::function<void(LogLevel, std::string_view component,
                                   SimTime when, std::string_view message)>;
 
-  static LogLevel level() { return level_; }
-  static void set_level(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
 
   /// Replace the sink (default writes to stderr). Passing nullptr restores
   /// the default sink.
   static void set_sink(Sink sink);
 
   static bool enabled(LogLevel at) {
-    return level_ != LogLevel::kOff && at <= level_;
+    const LogLevel l = level();
+    return l != LogLevel::kOff && at <= l;
   }
 
   static void write(LogLevel at, std::string_view component, SimTime when,
                     std::string_view message);
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
+  static std::mutex mutex_;  // guards sink_ and serializes write()
   static Sink sink_;
 };
 
