@@ -16,6 +16,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Ablation: backup caution",
                "trading transient loops for packet drops (§3.3)");

@@ -10,6 +10,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Ablation: MRAI jitter",
                "jitter desynchronizes MRAI rounds (RFC 1771 suggestion)");

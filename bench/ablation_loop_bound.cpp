@@ -11,6 +11,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Ablation: loop-duration bound",
                "single m-node loop lasts at most (m-1) x MRAI");

@@ -10,6 +10,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Ablation: optimal MRAI",
                "convergence vs MRAI is U-shaped at the low end (fn.3)");

@@ -11,6 +11,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Ablation: routing policy",
                "shortest-path (paper) vs Gao-Rexford policy routing");

@@ -11,6 +11,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Ablation: processing delay x Ghost Flushing",
                "withdrawal-flood overhead grows with CPU cost (paper fn.5)");

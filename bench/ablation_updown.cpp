@@ -10,6 +10,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Ablation: Tdown vs Tup",
                "loops need obsolete state: failures loop, announcements don't");

@@ -17,6 +17,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Baseline: DV (RIP-like) vs PV (BGP)",
                "counting-to-infinity vs bounded path exploration");

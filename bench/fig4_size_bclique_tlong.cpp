@@ -9,6 +9,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Figure 4(b)", "Tlong in B-Clique: looping vs convergence");
 

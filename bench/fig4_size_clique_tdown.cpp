@@ -8,6 +8,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Figure 4(a)", "Tdown in Clique: looping vs convergence");
 

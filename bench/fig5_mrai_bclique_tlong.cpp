@@ -8,6 +8,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Figure 5(b)", "Tlong in B-Clique-15: metrics vs MRAI");
 

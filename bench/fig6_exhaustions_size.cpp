@@ -9,6 +9,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Figure 6", "TTL exhaustions & looping ratio vs size");
   const std::size_t n_trials = trials(2);

@@ -19,6 +19,7 @@ struct Panel {
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Figure 7", "TTL exhaustions & looping ratio vs MRAI");
   const std::size_t n_trials = trials(2);

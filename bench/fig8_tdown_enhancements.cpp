@@ -12,6 +12,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Figure 8", "Tdown with convergence enhancements");
   const std::size_t n_trials = trials(2);

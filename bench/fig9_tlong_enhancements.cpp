@@ -14,6 +14,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Figure 9", "Tlong with convergence enhancements");
   const std::size_t n_trials = trials(2);

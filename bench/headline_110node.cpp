@@ -6,6 +6,7 @@
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("Headline (110-node Tdown)",
                "paper: ~527 s convergence, up to 86% looping ratio");

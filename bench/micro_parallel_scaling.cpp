@@ -31,6 +31,7 @@ double wall_seconds(const std::function<void()>& fn) {
 int main() {
   using namespace bgpsim;
   using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
 
   print_header("micro: parallel scaling",
                "run_trials_parallel speedup vs job count");

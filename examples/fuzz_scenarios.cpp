@@ -1,0 +1,113 @@
+// Deterministic scenario fuzzer: random topologies, events, and protocol
+// settings, every run checked by the full invariant oracle.
+//
+//   fuzz_scenarios [--iters N] [--seed S] [--verbose]
+//   fuzz_scenarios --replay SCENARIO_SEED
+//   fuzz_scenarios --canary [...]     # arm a deliberately wrong invariant
+//                                     # to demonstrate the failure path
+//
+// BGPSIM_FUZZ_ITERS overrides the default iteration count (100).
+// Exit status: 0 = every iteration clean, 1 = failures (replay lines
+// printed), 2 = bad usage.
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "check/invariants.hpp"
+#include "check/oracle.hpp"
+#include "core/fuzz.hpp"
+#include "core/sweep.hpp"
+
+namespace {
+
+using namespace bgpsim;
+
+/// A deliberately inverted poison-reverse check: it reports every path
+/// that does NOT contain the adopter — i.e. every correct adoption. Any
+/// fuzz iteration that installs a route must trip it, which exercises the
+/// whole failure-reporting / --replay pipeline end to end.
+class CanaryInvariant final : public check::Invariant {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "canary"; }
+  void on_route_installed(net::NodeId node, net::Prefix,
+                          const std::optional<bgp::AsPath>& best,
+                          sim::SimTime at) override {
+    if (!best) return;
+    std::size_t self_hops = 0;
+    for (net::NodeId hop : best->hops()) self_hops += hop == node ? 1 : 0;
+    if (self_hops <= 1) {
+      report(at, node, "canary (inverted poison reverse): adopted path " +
+                           best->to_string() + " lacks a second " +
+                           std::to_string(node));
+    }
+  }
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--iters N] [--seed S] [--replay SCENARIO_SEED] "
+               "[--verbose] [--canary]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::FuzzOptions options;
+  options.iters = core::env_or("BGPSIM_FUZZ_ITERS", 100);
+  options.out = &std::cout;
+  std::optional<std::uint64_t> replay;
+  bool canary = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_u64 = [&](std::uint64_t& into) {
+      if (i + 1 >= argc) return false;
+      try {
+        into = std::stoull(argv[++i]);
+      } catch (...) {
+        return false;
+      }
+      return true;
+    };
+    if (arg == "--iters") {
+      std::uint64_t v = 0;
+      if (!next_u64(v)) return usage(argv[0]);
+      options.iters = static_cast<std::size_t>(v);
+    } else if (arg == "--seed") {
+      if (!next_u64(options.seed)) return usage(argv[0]);
+    } else if (arg == "--replay") {
+      std::uint64_t v = 0;
+      if (!next_u64(v)) return usage(argv[0]);
+      replay = v;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--canary") {
+      canary = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (canary) {
+    options.make_oracle = [] {
+      check::Oracle oracle = check::Oracle::standard();
+      oracle.add(std::make_unique<CanaryInvariant>());
+      return oracle;
+    };
+  }
+
+  if (replay) {
+    const auto failure = core::replay_fuzz_scenario(*replay, options);
+    return failure ? 1 : 0;
+  }
+
+  const core::FuzzReport report = core::run_fuzz(options);
+  std::printf("fuzz: %zu iteration(s), %zu failure(s), digest %016llx\n",
+              report.iterations, report.failures.size(),
+              static_cast<unsigned long long>(report.digest));
+  return report.ok() ? 0 : 1;
+}

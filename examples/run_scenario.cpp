@@ -1,7 +1,7 @@
 // run_scenario: a small CLI over the experiment harness.
 //
 //   $ run_scenario --topo clique|bclique|chain|ring|internet --size N
-//                  --event tdown|tlong|tup
+//                  --event tdown|tlong|tup|flap
 //                  --proto bgp|ssld|wrate|assertion|ghost
 //                  --mrai SECONDS --seed S [--trials K] [--jobs J] [--policy]
 //                  [--trace FILE.jsonl] [--verbose]
@@ -29,7 +29,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--file SCENARIO] "
                "[--topo clique|bclique|chain|ring|internet] "
-               "[--size N] [--event tdown|tlong|tup] "
+               "[--size N] [--event tdown|tlong|tup|flap] "
                "[--proto bgp|ssld|wrate|assertion|ghost] [--mrai SECONDS] "
                "[--seed S] [--trials K] [--jobs J] [--policy] [--trace FILE] "
                "[--verbose]\n",
@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
       if (v == "tdown") s.event = core::EventKind::kTdown;
       else if (v == "tlong") s.event = core::EventKind::kTlong;
       else if (v == "tup") s.event = core::EventKind::kTup;
+      else if (v == "flap") s.event = core::EventKind::kFlap;
       else usage(argv[0]);
     } else if (arg == "--proto") {
       const std::string v = value();

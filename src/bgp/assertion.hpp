@@ -8,11 +8,21 @@
 //    route u uses — i.e. its suffix starting at u differs from path(u,new)
 //    — is provably obsolete and is removed.
 //
-//  - When peer u withdraws (or the session to u drops): any stored route
-//    whose path traverses u relied on u's now-withdrawn route and is
+//  - When peer u explicitly withdraws: u states it has no route, so any
+//    stored route whose path traverses u relied on that route and is
 //    removed. (This is why, in a Clique Tdown, the origin's withdrawal
 //    immediately invalidates every (j 0) backup: they all traverse the
 //    origin.)
+//
+//  - When the session to u drops, the only information gained is that the
+//    local link died — u's own route is not in question. Stored routes
+//    that *transit* u are still pruned (they depend on reaching the
+//    destination through u's forwarding state, which is now stale from our
+//    vantage), but routes that merely *terminate* at u survive: u is the
+//    destination there, and its reachability via other neighbors is
+//    untouched by our link loss. Without this distinction a node adjacent
+//    to the destination would discard every backup on a Tlong failure and
+//    stay unreachable forever (no peer re-announces an unchanged route).
 //
 // Removing these entries prevents a node from selecting an obsolete backup
 // path — the loop-formation mechanism identified in §3 of the paper.
@@ -31,9 +41,14 @@ namespace bgpsim::bgp {
 std::size_t assert_on_announce(AdjRibIn& rib, net::Prefix prefix,
                                net::NodeId from_peer, const AsPath& new_path);
 
-/// Apply the withdraw-side assertion after removing u's route (explicit
-/// withdrawal or session loss). Returns the number of entries removed.
+/// Apply the withdraw-side assertion after removing u's route on an
+/// explicit withdrawal. Returns the number of entries removed.
 std::size_t assert_on_withdraw(AdjRibIn& rib, net::Prefix prefix,
                                net::NodeId from_peer);
+
+/// Session-loss variant: prune only routes that transit u (u appears
+/// before the terminal AS). Routes terminating at u remain usable.
+std::size_t assert_on_session_loss(AdjRibIn& rib, net::Prefix prefix,
+                                   net::NodeId from_peer);
 
 }  // namespace bgpsim::bgp

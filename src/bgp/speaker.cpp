@@ -41,6 +41,7 @@ void Speaker::handle_update(net::NodeId from, const UpdateMsg& update) {
   // A message can race a session drop (in-flight when the link died is
   // already lost, but a restore/re-drop can interleave); ignore strays.
   if (!peers_.contains(from)) return;
+  if (hooks_.on_update_received) hooks_.on_update_received(self_, from, update);
 
   const net::Prefix prefix = update.prefix;
   if (update.is_withdrawal()) {
@@ -72,6 +73,7 @@ void Speaker::handle_update(net::NodeId from, const UpdateMsg& update) {
 }
 
 void Speaker::handle_session(net::NodeId peer, bool up) {
+  if (hooks_.on_session_changed) hooks_.on_session_changed(self_, peer, up);
   if (up) {
     peers_.insert(peer);
     // Session (re-)established: offer our current table to the new peer.
@@ -96,10 +98,12 @@ void Speaker::handle_session(net::NodeId peer, bool up) {
 
   adj_rib_in_.drop_peer(peer);
   if (config_.assertion) {
-    // A session loss is an implicit withdrawal of everything `peer`
-    // advertised; the withdraw-side assertion applies to each prefix.
+    // A session loss implicitly withdraws everything `peer` advertised;
+    // the session-loss assertion (transit-only — see bgp/assertion.hpp)
+    // applies to each prefix.
     for (net::Prefix p : prefixes) {
-      counters_.assertion_removals += assert_on_withdraw(adj_rib_in_, p, peer);
+      counters_.assertion_removals +=
+          assert_on_session_loss(adj_rib_in_, p, peer);
     }
   }
   for (net::Prefix p : prefixes) run_decision(p);
@@ -244,6 +248,9 @@ void Speaker::send_update(net::NodeId peer, net::Prefix prefix,
 
 void Speaker::on_mrai_expired(net::NodeId peer, net::Prefix prefix,
                               bool was_pending) {
+  if (hooks_.on_mrai_expired) {
+    hooks_.on_mrai_expired(self_, peer, prefix, was_pending);
+  }
   if (was_pending) consider_send(peer, prefix);
 }
 

@@ -39,6 +39,18 @@ class Speaker {
     std::function<void(net::NodeId node, net::Prefix,
                        const std::optional<AsPath>& best)>
         on_best_changed;
+    /// Every UPDATE accepted off the wire (after the stray-peer filter,
+    /// before the decision process).
+    std::function<void(net::NodeId node, net::NodeId from, const UpdateMsg&)>
+        on_update_received;
+    /// Session to `peer` observed up/down by this speaker.
+    std::function<void(net::NodeId node, net::NodeId peer, bool up)>
+        on_session_changed;
+    /// An MRAI timer toward `peer` expired; `was_pending` says whether a
+    /// deferred decision was waiting behind it.
+    std::function<void(net::NodeId node, net::NodeId peer, net::Prefix,
+                       bool was_pending)>
+        on_mrai_expired;
   };
 
   Speaker(net::NodeId self, BgpConfig config, sim::Simulator& simulator,

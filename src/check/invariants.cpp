@@ -1,0 +1,216 @@
+#include "check/invariants.hpp"
+
+#include <string>
+
+#include "check/reference.hpp"
+
+namespace bgpsim::check {
+namespace {
+
+/// Timer durations are drawn in seconds and rounded to the microsecond
+/// tick; allow that rounding when comparing against analytical bounds.
+constexpr auto kTickSlack = sim::SimTime::millis(1);
+
+std::string node_str(net::NodeId n) { return std::to_string(n); }
+
+}  // namespace
+
+// ---- PathSanityInvariant -------------------------------------------------
+
+void PathSanityInvariant::on_route_installed(
+    net::NodeId node, net::Prefix prefix,
+    const std::optional<bgp::AsPath>& best, sim::SimTime at) {
+  if (!best) return;  // unreachable is always a sane decision
+  const auto hops = best->hops();
+  if (hops.empty()) {
+    report(at, node, "adopted an empty path");
+    return;
+  }
+  if (best->first_hop() != node) {
+    report(at, node, "adopted path " + best->to_string() +
+                         " does not start at the adopter");
+  }
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    for (std::size_t j = i + 1; j < hops.size(); ++j) {
+      if (hops[i] == hops[j]) {
+        report(at, node,
+               "AS " + node_str(hops[i]) + " appears twice in adopted path " +
+                   best->to_string() +
+                   (hops[i] == node ? " (poison-reverse breach)" : ""));
+      }
+    }
+  }
+  if (ctx_.topology) {
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      if (!ctx_.topology->link_between(hops[i], hops[i + 1])) {
+        report(at, node, "adopted path " + best->to_string() +
+                             " crosses the non-edge " + node_str(hops[i]) +
+                             "—" + node_str(hops[i + 1]));
+      }
+    }
+  }
+  if (prefix == ctx_.prefix && ctx_.destination != net::kInvalidNode &&
+      best->origin() != ctx_.destination) {
+    report(at, node, "adopted path " + best->to_string() +
+                         " does not originate at the destination AS " +
+                         node_str(ctx_.destination));
+  }
+}
+
+// ---- RibFibConsistencyInvariant ------------------------------------------
+
+void RibFibConsistencyInvariant::on_fib_changed(
+    net::NodeId node, net::Prefix prefix, std::optional<net::NodeId> previous,
+    std::optional<net::NodeId> current, sim::SimTime at) {
+  const auto key = std::make_pair(node, prefix);
+  const auto it = fib_.find(key);
+  const std::optional<net::NodeId> mirrored =
+      it == fib_.end() ? std::nullopt : std::optional{it->second};
+  if (mirrored != previous) {
+    report(at, node,
+           "FIB change reported previous hop " +
+               (previous ? node_str(*previous) : "none") +
+               " but the observed history says " +
+               (mirrored ? node_str(*mirrored) : "none"));
+  }
+  if (current) {
+    fib_[key] = *current;
+  } else {
+    fib_.erase(key);
+  }
+}
+
+void RibFibConsistencyInvariant::on_route_installed(
+    net::NodeId node, net::Prefix prefix,
+    const std::optional<bgp::AsPath>& best, sim::SimTime at) {
+  // The speaker updates Loc-RIB then FIB before announcing the change, so
+  // the mirror must already agree here.
+  const auto it = fib_.find({node, prefix});
+  const std::optional<net::NodeId> hop =
+      it == fib_.end() ? std::nullopt : std::optional{it->second};
+  const std::optional<net::NodeId> expected =
+      best && best->length() >= 2 ? std::optional{best->hops()[1]}
+                                  : std::nullopt;
+  if (hop != expected) {
+    report(at, node,
+           "Loc-RIB selected " + (best ? best->to_string() : "(unreachable)") +
+               " but the FIB forwards to " + (hop ? node_str(*hop) : "none") +
+               " (expected " + (expected ? node_str(*expected) : "none") +
+               ")");
+  }
+}
+
+// ---- MraiLegalityInvariant -----------------------------------------------
+
+void MraiLegalityInvariant::arm(const Context& ctx) {
+  ctx_ = ctx;
+  min_gap_ =
+      sim::SimTime::seconds(ctx.bgp.mrai.as_seconds() * ctx.bgp.jitter_lo);
+  last_sent_.clear();
+}
+
+void MraiLegalityInvariant::on_update_sent(net::NodeId from, net::NodeId to,
+                                           const bgp::UpdateMsg& msg,
+                                           sim::SimTime at) {
+  // RFC 1771 rate-limits route *advertisement*; withdrawals bypass unless
+  // the WRATE variant applies MRAI to them too.
+  if (msg.is_withdrawal() && !ctx_.bgp.wrate) return;
+  const auto key = std::make_pair(std::make_pair(from, to), msg.prefix);
+  const auto it = last_sent_.find(key);
+  if (it != last_sent_.end() && at - it->second + kTickSlack < min_gap_) {
+    report(at, from,
+           "sent " + msg.to_string() + " to peer " + node_str(to) + " only " +
+               sim::to_string(at - it->second) + " after the previous one " +
+               "(MRAI window is " + sim::to_string(min_gap_) + ")");
+  }
+  last_sent_[key] = at;
+}
+
+void MraiLegalityInvariant::on_session_changed(net::NodeId node,
+                                               net::NodeId peer, bool /*up*/,
+                                               sim::SimTime /*at*/) {
+  // A session reset restarts the advertisement clock for this direction
+  // (timers toward the peer are cancelled; a fresh table exchange follows).
+  for (auto it = last_sent_.begin(); it != last_sent_.end();) {
+    if (it->first.first == std::make_pair(node, peer)) {
+      it = last_sent_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---- LoopDurationBoundInvariant ------------------------------------------
+
+void LoopDurationBoundInvariant::arm(const Context& ctx) {
+  ctx_ = ctx;
+  detector_ = std::make_unique<metrics::LoopDetector>(
+      ctx.topology ? ctx.topology->node_count() : 0);
+  detector_->set_observer(
+      [this](const metrics::LoopRecord& record, bool formed) {
+        if (!formed) check_record(record, *record.resolved_at);
+      });
+}
+
+void LoopDurationBoundInvariant::check_record(
+    const metrics::LoopRecord& record, sim::SimTime end) {
+  const auto m = static_cast<double>(record.size());
+  // (m-1)×M for the MRAI-delayed correction around the loop (§3.2; M is
+  // the longest possible timer draw), plus one processing+propagation
+  // allowance per member — each correcting message can wait ≲0.5 s of CPU
+  // and queue behind a handful of other updates.
+  const double mrai_s = ctx_.bgp.mrai.as_seconds() * ctx_.bgp.jitter_hi;
+  const double bound_s = (m - 1.0) * mrai_s + m * 3.0 + 2.0;
+  const double lived_s = (end - record.formed_at).as_seconds();
+  if (lived_s > bound_s) {
+    std::string members;
+    for (net::NodeId n : record.members) {
+      if (!members.empty()) members += ' ';
+      members += node_str(n);
+    }
+    report(end, record.members.front(),
+           "loop {" + members + "} of size " + std::to_string(record.size()) +
+               " lived " + std::to_string(lived_s) + " s, exceeding the (m-1)"
+               "×MRAI bound of " + std::to_string(bound_s) + " s");
+  }
+}
+
+void LoopDurationBoundInvariant::on_fib_changed(
+    net::NodeId node, net::Prefix prefix, std::optional<net::NodeId>,
+    std::optional<net::NodeId> current, sim::SimTime at) {
+  if (prefix != ctx_.prefix || !detector_) return;
+  detector_->on_next_hop_change(node, current, at);
+}
+
+void LoopDurationBoundInvariant::at_quiescence(const QuiescentView&,
+                                               sim::SimTime at) {
+  if (!detector_) return;
+  // A loop still unresolved at quiescence is a converged loop (reported by
+  // the reference check); here we still flag it once it outlives the bound.
+  for (const auto& record : detector_->records()) {
+    if (!record.resolved_at) check_record(record, at);
+  }
+}
+
+// ---- ConvergedReferenceInvariant -----------------------------------------
+
+void ConvergedReferenceInvariant::at_quiescence(const QuiescentView& view,
+                                                sim::SimTime at) {
+  for (const auto& v : diff_against_reference(ctx_, view, at)) {
+    report(v.at, v.node, v.detail);
+  }
+}
+
+// ---- factory -------------------------------------------------------------
+
+std::vector<std::unique_ptr<Invariant>> standard_invariants() {
+  std::vector<std::unique_ptr<Invariant>> all;
+  all.push_back(std::make_unique<PathSanityInvariant>());
+  all.push_back(std::make_unique<RibFibConsistencyInvariant>());
+  all.push_back(std::make_unique<MraiLegalityInvariant>());
+  all.push_back(std::make_unique<LoopDurationBoundInvariant>());
+  all.push_back(std::make_unique<ConvergedReferenceInvariant>());
+  return all;
+}
+
+}  // namespace bgpsim::check

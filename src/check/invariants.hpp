@@ -1,0 +1,117 @@
+// Concrete invariants over the paper's claims. Each one is independent;
+// standard_invariants() bundles the full set for the Oracle.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "metrics/loop_detector.hpp"
+
+namespace bgpsim::check {
+
+/// Every adopted path starts at the adopting node, contains no AS twice
+/// (in particular never the adopter again — path-based poison reverse,
+/// the paper's §2 correctness property), follows existing topology edges
+/// (down links are allowed: adopting *obsolete* paths over failed links
+/// is exactly the transient the paper studies), and ends at the origin.
+class PathSanityInvariant final : public Invariant {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "path-sanity";
+  }
+  void arm(const Context& ctx) override { ctx_ = ctx; }
+  void on_route_installed(net::NodeId node, net::Prefix prefix,
+                          const std::optional<bgp::AsPath>& best,
+                          sim::SimTime at) override;
+
+ private:
+  Context ctx_;
+};
+
+/// The FIB mirrors the Loc-RIB at every instant: next hop == second hop of
+/// the selected path; no FIB route when unreachable or when the node's
+/// path is just itself (the origin).
+class RibFibConsistencyInvariant final : public Invariant {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "rib-fib"; }
+  void on_fib_changed(net::NodeId node, net::Prefix prefix,
+                      std::optional<net::NodeId> previous,
+                      std::optional<net::NodeId> current,
+                      sim::SimTime at) override;
+  void on_route_installed(net::NodeId node, net::Prefix prefix,
+                          const std::optional<bgp::AsPath>& best,
+                          sim::SimTime at) override;
+
+ private:
+  // Mirrored FIB state, maintained from on_fib_changed.
+  std::map<std::pair<net::NodeId, net::Prefix>, net::NodeId> fib_;
+};
+
+/// RFC 1771 MRAI legality: two consecutive *announcements* from one node
+/// to one peer for one prefix are at least mrai × jitter_lo apart.
+/// Withdrawals are exempt unless WRATE applies MRAI to them too. A session
+/// reset legally restarts the clock (timers are cancelled at session-down
+/// and a fresh table exchange follows session-up).
+class MraiLegalityInvariant final : public Invariant {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "mrai-legality";
+  }
+  void arm(const Context& ctx) override;
+  void on_update_sent(net::NodeId from, net::NodeId to,
+                      const bgp::UpdateMsg& msg, sim::SimTime at) override;
+  void on_session_changed(net::NodeId node, net::NodeId peer, bool up,
+                          sim::SimTime at) override;
+
+ private:
+  Context ctx_;
+  sim::SimTime min_gap_ = sim::SimTime::zero();
+  std::map<std::pair<std::pair<net::NodeId, net::NodeId>, net::Prefix>,
+           sim::SimTime>
+      last_sent_;
+};
+
+/// §3.2 analytical bound: an m-node forwarding loop resolves within
+/// (m-1) × MRAI plus per-hop processing/propagation slack. Tracks the
+/// forwarding graph through FIB callbacks with its own loop detector.
+class LoopDurationBoundInvariant final : public Invariant {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "loop-duration-bound";
+  }
+  void arm(const Context& ctx) override;
+  void on_fib_changed(net::NodeId node, net::Prefix prefix,
+                      std::optional<net::NodeId> previous,
+                      std::optional<net::NodeId> current,
+                      sim::SimTime at) override;
+  void at_quiescence(const QuiescentView& view, sim::SimTime at) override;
+
+ private:
+  void check_record(const metrics::LoopRecord& record, sim::SimTime end);
+
+  Context ctx_;
+  std::unique_ptr<metrics::LoopDetector> detector_;
+};
+
+/// At quiescence: the forwarding graph is loop-free and the RIB/FIB state
+/// equals the offline fixed point (check/reference.hpp).
+class ConvergedReferenceInvariant final : public Invariant {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "converged-reference";
+  }
+  void arm(const Context& ctx) override { ctx_ = ctx; }
+  void at_quiescence(const QuiescentView& view, sim::SimTime at) override;
+
+ private:
+  Context ctx_;
+};
+
+/// The full standard set, one of each, unarmed.
+[[nodiscard]] std::vector<std::unique_ptr<Invariant>> standard_invariants();
+
+}  // namespace bgpsim::check

@@ -1,0 +1,141 @@
+#include "check/reference.hpp"
+
+#include <limits>
+#include <string>
+
+namespace bgpsim::check {
+namespace {
+
+constexpr auto kUnreached = std::numeric_limits<std::size_t>::max();
+constexpr std::string_view kName = "converged-reference";
+
+void add(std::vector<Violation>& out, sim::SimTime at, net::NodeId node,
+         std::string detail) {
+  out.push_back(Violation{std::string{kName}, at, node, std::move(detail)});
+}
+
+}  // namespace
+
+bool ReferenceRouting::reachable(net::NodeId n) const {
+  return distance.at(n) != kUnreached;
+}
+
+std::size_t ReferenceRouting::expected_path_length(net::NodeId n) const {
+  return distance.at(n) + 1;
+}
+
+ReferenceRouting compute_reference(const net::Topology& topo,
+                                   net::NodeId destination) {
+  return ReferenceRouting{topo.bfs_distances(destination)};
+}
+
+std::vector<std::vector<net::NodeId>> forwarding_cycles(
+    std::size_t node_count,
+    const std::function<std::optional<net::NodeId>(net::NodeId)>& next_hop) {
+  // Color walk over the functional graph: 0 unvisited, 1 on the current
+  // walk, 2 finished.
+  std::vector<std::uint8_t> color(node_count, 0);
+  std::vector<std::size_t> walk_pos(node_count, 0);
+  std::vector<std::vector<net::NodeId>> cycles;
+  std::vector<net::NodeId> walk;
+  for (net::NodeId start = 0; start < node_count; ++start) {
+    if (color[start] != 0) continue;
+    walk.clear();
+    net::NodeId v = start;
+    while (true) {
+      color[v] = 1;
+      walk_pos[v] = walk.size();
+      walk.push_back(v);
+      const auto next = next_hop(v);
+      if (!next || *next >= node_count || color[*next] == 2) break;
+      if (color[*next] == 1) {  // closed a cycle within this walk
+        cycles.emplace_back(walk.begin() + walk_pos[*next], walk.end());
+        break;
+      }
+      v = *next;
+    }
+    for (net::NodeId n : walk) color[n] = 2;
+  }
+  return cycles;
+}
+
+std::vector<Violation> diff_against_reference(const Context& ctx,
+                                              const QuiescentView& view,
+                                              sim::SimTime at) {
+  std::vector<Violation> out;
+  if (!ctx.topology) return out;
+  const net::Topology& topo = *ctx.topology;
+  const std::size_t n = topo.node_count();
+
+  // Quiescent loop-freedom holds under every policy.
+  for (const auto& cycle : forwarding_cycles(n, view.fib_next_hop)) {
+    std::string members;
+    for (net::NodeId m : cycle) {
+      if (!members.empty()) members += ' ';
+      members += std::to_string(m);
+    }
+    add(out, at, cycle.front(),
+        "forwarding loop {" + members + "} persists at quiescence");
+  }
+  if (ctx.policy_routing) return out;  // shortest-path reference n/a
+
+  const ReferenceRouting ref = compute_reference(topo, ctx.destination);
+  for (net::NodeId v = 0; v < n; ++v) {
+    const bgp::AsPath* path = view.loc_path ? view.loc_path(v) : nullptr;
+    const auto hop = view.fib_next_hop(v);
+    const bool expect_route =
+        view.origin_up && ref.reachable(v) && v != ctx.destination;
+
+    if (!view.origin_up || !ref.reachable(v)) {
+      // Fixed point: no route anywhere (Tdown) / on disconnected nodes.
+      if (view.loc_path && path) {
+        add(out, at, v,
+            "expected unreachable but Loc-RIB holds " + path->to_string());
+      }
+      if (hop) {
+        add(out, at, v,
+            "expected no route but FIB forwards to " + std::to_string(*hop));
+      }
+      continue;
+    }
+    if (v == ctx.destination) {
+      // The origin reaches itself; it must not forward the prefix.
+      if (hop) {
+        add(out, at, v,
+            "destination FIB forwards to " + std::to_string(*hop));
+      }
+      continue;
+    }
+    if (expect_route && view.loc_path) {
+      if (!path) {
+        add(out, at, v,
+            "expected a route at distance " + std::to_string(ref.distance[v]) +
+                " but Loc-RIB is empty");
+      } else if (path->length() != ref.expected_path_length(v)) {
+        add(out, at, v,
+            "Loc-RIB path " + path->to_string() + " has length " +
+                std::to_string(path->length()) + ", shortest-path fixed point "
+                "requires " + std::to_string(ref.expected_path_length(v)));
+      }
+    }
+    if (!hop) {
+      add(out, at, v, "reachable node has no FIB next hop");
+      continue;
+    }
+    // The next hop must be a neighbor over an up link and lie on a
+    // shortest path (distance strictly decreasing toward the destination).
+    if (!topo.link_up(v, *hop)) {
+      add(out, at, v,
+          "FIB next hop " + std::to_string(*hop) + " is not an up neighbor");
+    } else if (ref.distance[*hop] + 1 != ref.distance[v]) {
+      add(out, at, v,
+          "FIB next hop " + std::to_string(*hop) + " at distance " +
+              std::to_string(ref.distance[*hop]) +
+              " is not on a shortest path (own distance " +
+              std::to_string(ref.distance[v]) + ")");
+    }
+  }
+  return out;
+}
+
+}  // namespace bgpsim::check

@@ -1,0 +1,51 @@
+// Offline convergence reference.
+//
+// Independently of the protocol machinery, the converged fixed point of
+// the paper's shortest-path policy is computable directly from the
+// topology: node v's path length is bfs_distance(v, destination)+1 over
+// *up* links, its FIB next hop lies on a shortest path, and after a Tdown
+// every node is unreachable. diff_against_reference() compares a quiescent
+// network against that fixed point — a differential check that shares no
+// code with the decision process it validates.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "check/invariant.hpp"
+#include "net/topology.hpp"
+#include "net/types.hpp"
+
+namespace bgpsim::check {
+
+/// The shortest-path fixed point from the topology alone.
+struct ReferenceRouting {
+  /// BFS hop distance to the destination over up links; SIZE_MAX when
+  /// disconnected.
+  std::vector<std::size_t> distance;
+
+  [[nodiscard]] bool reachable(net::NodeId n) const;
+  /// Expected Loc-RIB path length (distance + 1; the paper's paths include
+  /// the node itself). Requires reachable(n).
+  [[nodiscard]] std::size_t expected_path_length(net::NodeId n) const;
+};
+
+[[nodiscard]] ReferenceRouting compute_reference(const net::Topology& topo,
+                                                 net::NodeId destination);
+
+/// All cycles of a forwarding graph (each node has at most one next hop,
+/// so cycles are disjoint; enumeration is O(n)).
+[[nodiscard]] std::vector<std::vector<net::NodeId>> forwarding_cycles(
+    std::size_t node_count,
+    const std::function<std::optional<net::NodeId>(net::NodeId)>& next_hop);
+
+/// Differentially check a quiescent network against the reference:
+/// loop-freedom always; reachability, path lengths, and distance-decreasing
+/// FIB next hops unless ctx.policy_routing (Gao-Rexford fixed points are
+/// not hop-count-shortest). Returns every discrepancy found.
+[[nodiscard]] std::vector<Violation> diff_against_reference(
+    const Context& ctx, const QuiescentView& view, sim::SimTime at);
+
+}  // namespace bgpsim::check

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "check/oracle.hpp"
 #include "core/selection.hpp"
 #include "dv/network.hpp"
 #include "fwd/engine.hpp"
@@ -30,6 +31,13 @@ ExperimentOutcome run_dv_experiment(const DvScenario& scenario) {
     throw std::invalid_argument{
         "DvScenario: need triggered updates, periodic refresh, or both"};
   }
+  if (scenario.event == EventKind::kFlap) {
+    // Flap needs session-restoration semantics; the RIP baseline has no
+    // notion of a session, and triggered-only DV would never relearn the
+    // restored link.
+    throw std::invalid_argument{
+        "DvScenario: flap event is not supported by the DV baseline"};
+  }
 
   net::Topology topo = scenario.topology.build();
   sim::Rng root{scenario.seed};
@@ -49,6 +57,13 @@ ExperimentOutcome run_dv_experiment(const DvScenario& scenario) {
   sim::Simulator simulator;
   dv::DvNetwork network{simulator, topo, scenario.dv, scenario.processing,
                         root};
+  check::Oracle* oracle = scenario.oracle;
+  if (oracle) {
+    // Default BgpConfig: only topology/prefix/destination matter to the
+    // DV-applicable invariants (see DvScenario::oracle).
+    oracle->arm(check::Context{&topo, {}, kPrefix, destination,
+                               /*policy_routing=*/false});
+  }
   metrics::Collector collector;
   // Stability clock: the last time any route table changed anywhere.
   sim::SimTime last_change = sim::SimTime::zero();
@@ -83,6 +98,22 @@ ExperimentOutcome run_dv_experiment(const DvScenario& scenario) {
 
   metrics::LoopDetector detector{topo.node_count()};
   detector.attach(simulator, network.fibs(), kPrefix);
+  // After attach: the detector replaces all FIB observers, the oracle
+  // subscribes alongside it.
+  if (oracle) oracle->observe_fibs(simulator, network.fibs());
+
+  // DV has no Loc-RIB paths, so the view exposes only forwarding state;
+  // the reference check then verifies loop-freedom and distance-decreasing
+  // next hops but skips the AS-path shape checks.
+  bool origin_up = scenario.event != EventKind::kTup;
+  const auto quiescent_view = [&]() -> check::QuiescentView {
+    check::QuiescentView view;
+    view.fib_next_hop = [&](net::NodeId n) {
+      return network.fibs()[n].next_hop(kPrefix);
+    };
+    view.origin_up = origin_up;
+    return view;
+  };
 
   fwd::TrafficGenerator traffic{simulator, plane, scenario.traffic,
                                 root.child("traffic")};
@@ -108,6 +139,7 @@ ExperimentOutcome run_dv_experiment(const DvScenario& scenario) {
     }
   }
   const double initial_convergence_s = last_change.as_seconds();
+  if (oracle) oracle->at_quiescence(quiescent_view(), simulator.now());
 
   // ---- Phase 2: traffic + event + convergence -------------------------
   const sim::SimTime t_event = simulator.now() + scenario.settle_margin;
@@ -125,13 +157,17 @@ ExperimentOutcome run_dv_experiment(const DvScenario& scenario) {
     switch (scenario.event) {
       case EventKind::kTdown:
         network.inject_tdown(destination, kPrefix);
+        origin_up = false;
         break;
       case EventKind::kTlong:
         network.inject_link_failure(*failed_link);
         break;
       case EventKind::kTup:
         network.originate(destination, kPrefix);
+        origin_up = true;
         break;
+      case EventKind::kFlap:
+        break;  // rejected up front
     }
   });
 
@@ -161,6 +197,7 @@ ExperimentOutcome run_dv_experiment(const DvScenario& scenario) {
 
   const sim::SimTime end = simulator.now();
   detector.finalize(end);
+  if (oracle) oracle->at_quiescence(quiescent_view(), end);
 
   // ---- Metrics (same definitions; DV clock = last table change) --------
   ExperimentOutcome out;

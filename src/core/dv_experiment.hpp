@@ -29,6 +29,14 @@ struct DvScenario {
   std::optional<net::NodeId> destination;
   std::optional<net::LinkId> tlong_link;
 
+  /// Optional runtime invariant oracle (see src/check/), borrowed for the
+  /// run. DV speakers have no AS paths, MRAI timers, or sessions, so arm a
+  /// DV-applicable invariant set (e.g. only ConvergedReferenceInvariant) —
+  /// check::Oracle::standard() would judge DV by BGP timing rules. The
+  /// driver feeds it FIB changes and the quiescent views (with an empty
+  /// loc_path accessor, which skips the path-shape checks).
+  check::Oracle* oracle = nullptr;
+
   sim::SimTime traffic_lead = sim::SimTime::seconds(2);
   sim::SimTime settle_margin = sim::SimTime::seconds(5);
   sim::SimTime max_sim_time = sim::SimTime::seconds(50000);

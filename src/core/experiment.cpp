@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bgp/network.hpp"
+#include "check/oracle.hpp"
 #include "fwd/engine.hpp"
 #include "fwd/traffic.hpp"
 #include "metrics/collector.hpp"
@@ -52,7 +53,8 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
       choose_destination(scenario.topology.kind, scenario.event,
                          scenario.destination, topo, scenario_rng);
   std::optional<net::LinkId> failed_link;
-  if (scenario.event == EventKind::kTlong) {
+  if (scenario.event == EventKind::kTlong ||
+      scenario.event == EventKind::kFlap) {
     failed_link =
         choose_tlong_link(scenario.topology.kind, scenario.topology.size,
                           scenario.tlong_link, topo, destination,
@@ -66,8 +68,13 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
                           root};
   metrics::Collector collector;
   metrics::TraceRecorder* trace = scenario.trace;
+  check::Oracle* oracle = scenario.oracle;
+  if (oracle) {
+    oracle->arm(check::Context{&topo, bgp_config, kPrefix, destination,
+                               scenario.policy_routing});
+  }
   bgp::Speaker::Hooks hooks;
-  hooks.on_update_sent = [&collector, &simulator, trace](
+  hooks.on_update_sent = [&collector, &simulator, trace, oracle](
                              net::NodeId from, net::NodeId to,
                              const bgp::UpdateMsg& msg) {
     collector.note_update_sent(simulator.now(), msg.is_withdrawal());
@@ -76,15 +83,40 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
           simulator.now(), metrics::TraceEventKind::kUpdateSent, from, to,
           msg.prefix, msg.to_string()});
     }
+    if (oracle) oracle->on_update_sent(from, to, msg, simulator.now());
   };
-  if (trace) {
-    hooks.on_best_changed = [trace, &simulator](
+  if (trace || oracle) {
+    hooks.on_best_changed = [trace, oracle, &simulator](
                                 net::NodeId node, net::Prefix prefix,
                                 const std::optional<bgp::AsPath>& best) {
-      trace->record(metrics::TraceEvent{
-          simulator.now(), metrics::TraceEventKind::kBestChanged, node,
-          net::kInvalidNode, prefix,
-          best ? best->to_string() : "(unreachable)"});
+      if (trace) {
+        trace->record(metrics::TraceEvent{
+            simulator.now(), metrics::TraceEventKind::kBestChanged, node,
+            net::kInvalidNode, prefix,
+            best ? best->to_string() : "(unreachable)"});
+      }
+      // run_decision updates the FIB before firing this hook, so the
+      // oracle's RIB/FIB cross-check sees current state here.
+      if (oracle) oracle->on_route_installed(node, prefix, best,
+                                             simulator.now());
+    };
+  }
+  if (oracle) {
+    hooks.on_update_received = [oracle, &simulator](net::NodeId node,
+                                                    net::NodeId from,
+                                                    const bgp::UpdateMsg& msg) {
+      oracle->on_update_received(node, from, msg, simulator.now());
+    };
+    hooks.on_session_changed = [oracle, &simulator](net::NodeId node,
+                                                    net::NodeId peer, bool up) {
+      oracle->on_session_changed(node, peer, up, simulator.now());
+    };
+    hooks.on_mrai_expired = [oracle, &simulator](net::NodeId node,
+                                                 net::NodeId peer,
+                                                 net::Prefix prefix,
+                                                 bool was_pending) {
+      oracle->on_mrai_expired(node, peer, prefix, was_pending,
+                              simulator.now());
     };
   }
   network.set_hooks(hooks);
@@ -97,6 +129,9 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
 
   metrics::LoopDetector detector{topo.node_count()};
   detector.attach(simulator, network.fibs(), kPrefix);
+  // After attach: the detector replaces all FIB observers, the oracle
+  // subscribes alongside it.
+  if (oracle) oracle->observe_fibs(simulator, network.fibs());
   if (trace) {
     detector.set_observer([trace](const metrics::LoopRecord& r, bool formed) {
       std::string members = "{";
@@ -131,6 +166,19 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
   }
   const double initial_convergence_s = simulator.now().as_seconds();
 
+  const auto quiescent_view = [&]() -> check::QuiescentView {
+    check::QuiescentView view;
+    view.loc_path = [&network](net::NodeId n) {
+      return network.speaker(n).loc_rib().get(kPrefix);
+    };
+    view.fib_next_hop = [&network](net::NodeId n) {
+      return network.fibs()[n].next_hop(kPrefix);
+    };
+    view.origin_up = network.speaker(destination).originates(kPrefix);
+    return view;
+  };
+  if (oracle) oracle->at_quiescence(quiescent_view(), simulator.now());
+
   // ---- Phase 2: traffic + event + convergence -------------------------
   const sim::SimTime t_event = simulator.now() + scenario.settle_margin;
   const sim::SimTime t_traffic = t_event - scenario.traffic_lead;
@@ -159,12 +207,20 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
       case EventKind::kTup:
         network.originate(destination, kPrefix);
         break;
+      case EventKind::kFlap:
+        network.inject_link_failure(*failed_link);
+        simulator.schedule_after(scenario.flap_interval, [&] {
+          network.transport().restore_link(*failed_link);
+        });
+        break;
     }
   });
 
   // Poll for control-plane quiescence once per simulated second. When the
   // control plane settles, stop traffic, let in-flight packets die out
-  // (TTL lifetime is 256 ms), then cancel leftover silent timers.
+  // (TTL lifetime is 256 ms), then cancel leftover silent timers. For a
+  // flap, polling must not begin until the restore has fired: the network
+  // can quiesce mid-flap, and clear_pending would cancel the restore.
   bool timed_out = false;
   const auto drain = sim::SimTime::seconds(2);
   std::function<void()> poll = [&] {
@@ -180,7 +236,9 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
     }
     simulator.schedule_after(sim::SimTime::seconds(1), poll);
   };
-  simulator.schedule_at(t_event + sim::SimTime::seconds(1), poll);
+  sim::SimTime poll_start = t_event + sim::SimTime::seconds(1);
+  if (scenario.event == EventKind::kFlap) poll_start += scenario.flap_interval;
+  simulator.schedule_at(poll_start, poll);
 
   simulator.run_until(scenario.max_sim_time + sim::SimTime::seconds(10));
   if (timed_out || simulator.pending() > 0) {
@@ -189,6 +247,7 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
 
   const sim::SimTime end = simulator.now();
   detector.finalize(end);
+  if (oracle) oracle->at_quiescence(quiescent_view(), end);
 
   // ---- Metrics ---------------------------------------------------------
   ExperimentOutcome out;

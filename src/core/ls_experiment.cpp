@@ -26,6 +26,10 @@ ExperimentOutcome run_ls_experiment(const LsScenario& scenario) {
     throw std::invalid_argument{
         "LsScenario: settle_margin must exceed traffic_lead"};
   }
+  if (scenario.event == EventKind::kFlap) {
+    throw std::invalid_argument{
+        "LsScenario: flap event is not supported by the LS baseline"};
+  }
 
   net::Topology topo = scenario.topology.build();
   sim::Rng root{scenario.seed};
@@ -104,6 +108,8 @@ ExperimentOutcome run_ls_experiment(const LsScenario& scenario) {
       case EventKind::kTup:
         network.originate(destination, kPrefix);
         break;
+      case EventKind::kFlap:
+        break;  // rejected up front
     }
   });
 

@@ -13,6 +13,10 @@
 #include "net/types.hpp"
 #include "sim/time.hpp"
 
+namespace bgpsim::check {
+class Oracle;
+}  // namespace bgpsim::check
+
 namespace bgpsim::core {
 
 /// Topology families from the paper's evaluation (§4.1).
@@ -65,6 +69,10 @@ enum class EventKind {
   kTlong,
   /// The destination AS announces a fresh prefix into a quiet network.
   kTup,
+  /// A link fails and comes back Scenario::flap_interval later — the
+  /// Tlong failure followed by its recovery, in one run. Exercises the
+  /// session-restore paths (fresh table exchange, MRAI clock restarts).
+  kFlap,
 };
 
 [[nodiscard]] constexpr const char* to_string(EventKind e) {
@@ -75,6 +83,8 @@ enum class EventKind {
       return "Tlong";
     case EventKind::kTup:
       return "Tup";
+    case EventKind::kFlap:
+      return "Flap";
   }
   return "?";
 }
@@ -103,7 +113,11 @@ struct Scenario {
 
   /// The link Tlong fails. Default: B-Clique's [0, n] link; for Internet, a
   /// random link of the destination that does not disconnect it.
+  /// (kFlap fails and restores the same link.)
   std::optional<net::LinkId> tlong_link;
+
+  /// How long a kFlap failure lasts before the link is restored.
+  sim::SimTime flap_interval = sim::SimTime::seconds(15);
 
   /// Traffic begins this long before the event so loops forming at the
   /// event instant already see packets.
@@ -119,6 +133,12 @@ struct Scenario {
   /// records update transmissions, best-path changes, loop formation /
   /// resolution, and the event injection itself (see metrics/trace.hpp).
   metrics::TraceRecorder* trace = nullptr;
+
+  /// Optional caller-owned invariant oracle (check/oracle.hpp). When set,
+  /// the run arms it, feeds it every speaker/FIB event, and checks the
+  /// converged state against the offline reference at quiescence. The
+  /// caller inspects oracle->ok() / violations() afterwards.
+  check::Oracle* oracle = nullptr;
 
   [[nodiscard]] std::string label() const;
 };

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -59,6 +60,7 @@ Scenario parse_scenario(std::istream& in) {
   Scenario s;
   bool saw_topology = false;
   bool saw_size = false;
+  std::map<std::string, std::size_t> seen_keys;  // key -> first line
 
   std::string raw;
   std::size_t line_no = 0;
@@ -75,6 +77,14 @@ Scenario parse_scenario(std::istream& in) {
     const std::string key = trimmed(line.substr(0, eq));
     const std::string value = trimmed(line.substr(eq + 1));
     if (key.empty() || value.empty()) fail(line_no, "empty key or value");
+
+    // Duplicate keys are near-certainly an editing mistake; silently
+    // letting the last one win hides it, so reject the file.
+    const auto [it, first_use] = seen_keys.emplace(key, line_no);
+    if (!first_use) {
+      fail(line_no, "duplicate key '" + key + "' (first set on line " +
+                        std::to_string(it->second) + ")");
+    }
 
     if (key == "topology") {
       saw_topology = true;
@@ -93,7 +103,12 @@ Scenario parse_scenario(std::istream& in) {
       if (value == "tdown") s.event = EventKind::kTdown;
       else if (value == "tlong") s.event = EventKind::kTlong;
       else if (value == "tup") s.event = EventKind::kTup;
+      else if (value == "flap") s.event = EventKind::kFlap;
       else fail(line_no, "unknown event: " + value);
+    } else if (key == "flap_s") {
+      const double v = to_double(line_no, key, value);
+      if (v <= 0) fail(line_no, "flap_s must be positive");
+      s.flap_interval = sim::SimTime::seconds(v);
     } else if (key == "protocol") {
       if (value == "bgp") s.bgp = s.bgp.with(bgp::Enhancement::kStandard);
       else if (value == "ssld") s.bgp = s.bgp.with(bgp::Enhancement::kSsld);
@@ -104,7 +119,9 @@ Scenario parse_scenario(std::istream& in) {
         s.bgp = s.bgp.with(bgp::Enhancement::kGhostFlushing);
       else fail(line_no, "unknown protocol: " + value);
     } else if (key == "mrai") {
-      s.bgp.mrai = sim::SimTime::seconds(to_double(line_no, key, value));
+      const double v = to_double(line_no, key, value);
+      if (v < 0) fail(line_no, "mrai must be non-negative");
+      s.bgp.mrai = sim::SimTime::seconds(v);
     } else if (key == "jitter_lo") {
       s.bgp.jitter_lo = to_double(line_no, key, value);
     } else if (key == "jitter_hi") {
@@ -130,8 +147,9 @@ Scenario parse_scenario(std::istream& in) {
     } else if (key == "ttl") {
       s.traffic.ttl = static_cast<int>(to_u64(line_no, key, value));
     } else if (key == "caution") {
-      s.bgp.backup_caution =
-          sim::SimTime::seconds(to_double(line_no, key, value));
+      const double v = to_double(line_no, key, value);
+      if (v < 0) fail(line_no, "caution must be non-negative");
+      s.bgp.backup_caution = sim::SimTime::seconds(v);
     } else {
       fail(line_no, "unknown key: " + key);
     }
@@ -181,10 +199,14 @@ std::string to_scenario_text(const Scenario& s) {
   out << "size = " << s.topology.size << "\n";
   out << "topo_seed = " << s.topology.topo_seed << "\n";
   out << "event = "
-      << (s.event == EventKind::kTdown
-              ? "tdown"
-              : s.event == EventKind::kTlong ? "tlong" : "tup")
+      << (s.event == EventKind::kTdown    ? "tdown"
+          : s.event == EventKind::kTlong  ? "tlong"
+          : s.event == EventKind::kFlap   ? "flap"
+                                          : "tup")
       << "\n";
+  if (s.event == EventKind::kFlap) {
+    out << "flap_s = " << s.flap_interval.as_seconds() << "\n";
+  }
   out << "protocol = "
       << (s.bgp.ssld ? "ssld"
                      : s.bgp.wrate ? "wrate"

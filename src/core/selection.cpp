@@ -24,9 +24,10 @@ net::NodeId choose_destination(TopologyKind kind, EventKind event,
   if (kind != TopologyKind::kInternet) return 0;
 
   // Paper: destination "randomly chosen among the nodes with the lowest
-  // degrees". For Tlong the chosen node must survive losing one link.
+  // degrees". For Tlong (and Flap, which is a Tlong plus recovery) the
+  // chosen node must survive losing one link.
   std::vector<net::NodeId> candidates = topo::lowest_degree_nodes(topo);
-  if (event == EventKind::kTlong) {
+  if (event == EventKind::kTlong || event == EventKind::kFlap) {
     std::erase_if(candidates, [&](net::NodeId n) {
       if (topo.degree(n) < 2) return true;
       for (net::LinkId l : topo.links_of(n)) {

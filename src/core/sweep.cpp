@@ -64,9 +64,11 @@ TrialSet run_trials(Scenario base, std::size_t trials) {
 TrialSet run_trials_parallel(Scenario base, std::size_t trials,
                              std::size_t jobs) {
   if (jobs == 0) jobs = default_jobs();
-  // The trace recorder is one caller-owned, unsynchronized sink; honor it
-  // by running serially rather than interleaving trials into it.
-  if (jobs <= 1 || trials <= 1 || base.trace != nullptr) {
+  // The trace recorder and the invariant oracle are caller-owned,
+  // unsynchronized sinks; honor them by running serially rather than
+  // interleaving trials into them.
+  if (jobs <= 1 || trials <= 1 || base.trace != nullptr ||
+      base.oracle != nullptr) {
     return run_trials(base, trials);
   }
 

@@ -8,7 +8,7 @@ bool Fib::set_next_hop(net::Prefix prefix, net::NodeId next_hop) {
   const std::optional<net::NodeId> previous =
       inserted ? std::nullopt : std::optional{it->second};
   it->second = next_hop;
-  if (observer_) observer_(prefix, previous, next_hop);
+  notify(prefix, previous, next_hop);
   return true;
 }
 
@@ -17,7 +17,7 @@ bool Fib::clear_route(net::Prefix prefix) {
   if (it == routes_.end()) return false;
   const net::NodeId previous = it->second;
   routes_.erase(it);
-  if (observer_) observer_(prefix, previous, std::nullopt);
+  notify(prefix, previous, std::nullopt);
   return true;
 }
 
@@ -25,6 +25,13 @@ std::optional<net::NodeId> Fib::next_hop(net::Prefix prefix) const {
   auto it = routes_.find(prefix);
   if (it == routes_.end()) return std::nullopt;
   return it->second;
+}
+
+void Fib::notify(net::Prefix prefix, std::optional<net::NodeId> previous,
+                 std::optional<net::NodeId> current) const {
+  for (const auto& observer : observers_) {
+    if (observer) observer(prefix, previous, current);
+  }
 }
 
 }  // namespace bgpsim::fwd

@@ -4,6 +4,8 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "net/types.hpp"
 
@@ -31,11 +33,22 @@ class Fib {
 
   [[nodiscard]] std::size_t route_count() const { return routes_.size(); }
 
-  void set_observer(Observer obs) { observer_ = std::move(obs); }
+  /// Replace every observer with `obs` (the historical single-observer
+  /// behaviour — metrics::LoopDetector::attach relies on it).
+  void set_observer(Observer obs) {
+    observers_.clear();
+    observers_.push_back(std::move(obs));
+  }
+
+  /// Subscribe in addition to the observers already installed.
+  void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
 
  private:
+  void notify(net::Prefix prefix, std::optional<net::NodeId> previous,
+              std::optional<net::NodeId> current) const;
+
   std::unordered_map<net::Prefix, net::NodeId> routes_;
-  Observer observer_;
+  std::vector<Observer> observers_;
 };
 
 }  // namespace bgpsim::fwd

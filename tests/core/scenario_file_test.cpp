@@ -92,6 +92,57 @@ TEST(ScenarioFile, RejectsUnknownEnumValues) {
                std::runtime_error);
 }
 
+TEST(ScenarioFile, RejectsDuplicateKeys) {
+  try {
+    (void)parse_scenario_string(
+        "topology = clique\nsize = 5\nmrai = 30\nmrai = 45\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what{e.what()};
+    // The diagnostic names the duplicate and points at the first definition.
+    EXPECT_NE(what.find("mrai"), std::string::npos);
+    EXPECT_NE(what.find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ScenarioFile, RejectsMalformedLines) {
+  EXPECT_THROW((void)parse_scenario_string("topology = clique\nsize\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario_string("topology = clique\nsize =\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_scenario_string("topology = clique\nsize = 5\nmrai = -3\n"),
+      std::runtime_error);
+}
+
+TEST(ScenarioFile, ParsesFlapEvent) {
+  const auto s = parse_scenario_string(
+      "topology = bclique\nsize = 4\nevent = flap\nflap_s = 7.5\n");
+  EXPECT_EQ(s.event, EventKind::kFlap);
+  EXPECT_EQ(s.flap_interval, sim::SimTime::seconds(7.5));
+}
+
+TEST(ScenarioFile, FlapIntervalMustBePositive) {
+  EXPECT_THROW((void)parse_scenario_string(
+                   "topology = bclique\nsize = 4\nevent = flap\nflap_s = 0\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_scenario_string(
+          "topology = bclique\nsize = 4\nevent = flap\nflap_s = -2\n"),
+      std::runtime_error);
+}
+
+TEST(ScenarioFile, FlapRoundTripsThroughText) {
+  Scenario original;
+  original.topology.kind = TopologyKind::kBClique;
+  original.topology.size = 4;
+  original.event = EventKind::kFlap;
+  original.flap_interval = sim::SimTime::seconds(9);
+  const auto restored = parse_scenario_string(to_scenario_text(original));
+  EXPECT_EQ(restored.event, EventKind::kFlap);
+  EXPECT_EQ(restored.flap_interval, original.flap_interval);
+}
+
 TEST(ScenarioFile, RequiresTopologyAndSize) {
   EXPECT_THROW((void)parse_scenario_string("size = 5\n"), std::runtime_error);
   EXPECT_THROW((void)parse_scenario_string("topology = clique\n"),

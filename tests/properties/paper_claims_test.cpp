@@ -1,0 +1,98 @@
+// Regression-pins the paper's §V enhancement ordering on Internet-derived
+// Tlong events: WRATE *worsens* looping relative to standard BGP (the
+// paper reports an order of magnitude; our measured factor is ×1.2–1.5,
+// deviation D1 in EXPERIMENTS.md — the direction is the stable claim),
+// while Assertion and Ghost Flushing both reduce it.
+//
+// Trial count and seed are pinned: the inequalities below hold with wide
+// margins at this configuration (probed across seeds before pinning), and
+// the runs are deterministic, so a flip here means the protocol behavior
+// changed, not the dice.
+#include <gtest/gtest.h>
+
+#include "bgp/config.hpp"
+#include "core/scenario.hpp"
+#include "core/sweep.hpp"
+
+namespace bgpsim::core {
+namespace {
+
+constexpr std::size_t kSize = 48;
+constexpr std::size_t kTrials = 24;
+constexpr std::uint64_t kSeed = 7;
+
+TrialSet run_enhancement(bgp::Enhancement e) {
+  Scenario s;
+  s.topology.kind = TopologyKind::kInternet;
+  s.topology.size = kSize;
+  s.topology.topo_seed = kSeed;
+  s.event = EventKind::kTlong;
+  s.seed = kSeed;
+  s.bgp = s.bgp.with(e);
+  return run_trials_parallel(s, kTrials);
+}
+
+class PaperClaimsTlong : public ::testing::Test {
+ protected:
+  // One shared run per enhancement for all assertions in this suite.
+  static void SetUpTestSuite() {
+    standard_ = new TrialSet{run_enhancement(bgp::Enhancement::kStandard)};
+    wrate_ = new TrialSet{run_enhancement(bgp::Enhancement::kWrate)};
+    assertion_ = new TrialSet{run_enhancement(bgp::Enhancement::kAssertion)};
+    ghost_ = new TrialSet{run_enhancement(bgp::Enhancement::kGhostFlushing)};
+  }
+  static void TearDownTestSuite() {
+    delete standard_;
+    delete wrate_;
+    delete assertion_;
+    delete ghost_;
+    standard_ = wrate_ = assertion_ = ghost_ = nullptr;
+  }
+
+  static TrialSet* standard_;
+  static TrialSet* wrate_;
+  static TrialSet* assertion_;
+  static TrialSet* ghost_;
+};
+
+TrialSet* PaperClaimsTlong::standard_ = nullptr;
+TrialSet* PaperClaimsTlong::wrate_ = nullptr;
+TrialSet* PaperClaimsTlong::assertion_ = nullptr;
+TrialSet* PaperClaimsTlong::ghost_ = nullptr;
+
+TEST_F(PaperClaimsTlong, BaselineActuallyLoops) {
+  // The comparisons below are vacuous unless standard BGP loops here.
+  ASSERT_GT(standard_->looping_duration_s.mean, 1.0);
+  ASSERT_GT(standard_->ttl_exhaustions.mean, 100.0);
+}
+
+TEST_F(PaperClaimsTlong, WrateWorsensLooping) {
+  EXPECT_GT(wrate_->looping_duration_s.mean,
+            standard_->looping_duration_s.mean);
+  EXPECT_GT(wrate_->ttl_exhaustions.mean, standard_->ttl_exhaustions.mean);
+}
+
+TEST_F(PaperClaimsTlong, AssertionReducesLooping) {
+  EXPECT_LT(assertion_->looping_duration_s.mean,
+            standard_->looping_duration_s.mean);
+  EXPECT_LT(assertion_->ttl_exhaustions.mean,
+            standard_->ttl_exhaustions.mean);
+}
+
+TEST_F(PaperClaimsTlong, GhostFlushingReducesLooping) {
+  EXPECT_LT(ghost_->looping_duration_s.mean,
+            standard_->looping_duration_s.mean);
+  EXPECT_LT(ghost_->ttl_exhaustions.mean, standard_->ttl_exhaustions.mean);
+}
+
+TEST_F(PaperClaimsTlong, ReductionsAreSubstantialNotMarginal) {
+  // Assertion and Ghost Flushing are not within-noise improvements: both
+  // cut exhaustions well below the baseline at this configuration.
+  EXPECT_LT(assertion_->ttl_exhaustions.mean,
+            0.8 * standard_->ttl_exhaustions.mean);
+  EXPECT_LT(ghost_->ttl_exhaustions.mean,
+            0.5 * standard_->ttl_exhaustions.mean);
+}
+
+}  // namespace
+}  // namespace bgpsim::core
