@@ -1,10 +1,14 @@
 // Deterministic scenario fuzzer: random topologies, events, and protocol
 // settings, every run checked by the full invariant oracle.
 //
-//   fuzz_scenarios [--iters N] [--seed S] [--verbose]
-//   fuzz_scenarios --replay SCENARIO_SEED
+//   fuzz_scenarios [--iters N] [--seed S] [--verbose] [--snap-check]
+//   fuzz_scenarios --replay SCENARIO_SEED [--snap-check]
 //   fuzz_scenarios --canary [...]     # arm a deliberately wrong invariant
 //                                     # to demonstrate the failure path
+//
+// --snap-check runs every iteration twice — with and without a seed-derived
+// mid-run snapshot save/restore/re-save round-trip — and fails (with a
+// --replay line) if the round-trip changes the outcome fingerprint.
 //
 // BGPSIM_FUZZ_ITERS overrides the default iteration count (100).
 // Exit status: 0 = every iteration clean, 1 = failures (replay lines
@@ -48,7 +52,7 @@ class CanaryInvariant final : public check::Invariant {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--iters N] [--seed S] [--replay SCENARIO_SEED] "
-               "[--verbose] [--canary]\n",
+               "[--verbose] [--canary] [--snap-check]\n",
                argv0);
   return 2;
 }
@@ -87,6 +91,8 @@ int main(int argc, char** argv) {
       options.verbose = true;
     } else if (arg == "--canary") {
       canary = true;
+    } else if (arg == "--snap-check") {
+      options.snap_check = true;
     } else {
       return usage(argv[0]);
     }

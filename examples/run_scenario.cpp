@@ -4,16 +4,24 @@
 //                  --event tdown|tlong|tup|flap
 //                  --proto bgp|ssld|wrate|assertion|ghost
 //                  --mrai SECONDS --seed S [--trials K] [--jobs J] [--policy]
-//                  [--trace FILE.jsonl] [--verbose]
+//                  [--trace FILE.jsonl] [--save-state FILE]
+//                  [--load-state FILE] [--verbose]
 //
 // Prints the paper's metrics for each trial plus the aggregate. Trials run
 // across --jobs worker threads (default: BGPSIM_JOBS, else all cores) with
 // results identical to a serial run. With --trace, writes the route-change
 // trace as JSON lines (forces serial execution: one shared trace sink).
+//
+// --save-state writes the converged pre-event checkpoint of the run to
+// FILE; --load-state warm-starts from such a checkpoint, skipping cold
+// convergence (the scenario flags must reproduce the saved run's prelude —
+// mismatches are rejected with a precise error). Both force trials=1: a
+// state file captures exactly one run.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "core/scenario.hpp"
@@ -22,6 +30,7 @@
 #include "metrics/stats.hpp"
 #include "metrics/trace.hpp"
 #include "sim/logging.hpp"
+#include "snap/snapshot.hpp"
 
 namespace {
 
@@ -32,7 +41,7 @@ namespace {
                "[--size N] [--event tdown|tlong|tup|flap] "
                "[--proto bgp|ssld|wrate|assertion|ghost] [--mrai SECONDS] "
                "[--seed S] [--trials K] [--jobs J] [--policy] [--trace FILE] "
-               "[--verbose]\n",
+               "[--save-state FILE] [--load-state FILE] [--verbose]\n",
                argv0);
   std::exit(2);
 }
@@ -48,6 +57,8 @@ int main(int argc, char** argv) {
   std::size_t trials = 1;
   std::size_t jobs = 0;  // 0: BGPSIM_JOBS env var, else hardware_concurrency
   std::string trace_path;
+  std::string save_state_path;
+  std::string load_state_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -96,6 +107,10 @@ int main(int argc, char** argv) {
       s.policy_routing = true;
     } else if (arg == "--trace") {
       trace_path = value();
+    } else if (arg == "--save-state") {
+      save_state_path = value();
+    } else if (arg == "--load-state") {
+      load_state_path = value();
     } else if (arg == "--verbose") {
       sim::Log::set_level(sim::LogLevel::kDebug);
     } else {
@@ -103,13 +118,55 @@ int main(int argc, char** argv) {
     }
   }
 
+  // A state file describes exactly one run; fan-out would either race on
+  // the save target or warm-start every trial from trial 0's state.
+  if ((!save_state_path.empty() || !load_state_path.empty()) && trials != 1) {
+    std::fprintf(stderr,
+                 "run_scenario: --save-state/--load-state force trials=1 "
+                 "(was %zu)\n",
+                 trials);
+    trials = 1;
+  }
+
+  snap::Snapshot loaded;
+  if (!load_state_path.empty()) {
+    try {
+      loaded = snap::Snapshot::load_file(load_state_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "run_scenario: cannot load %s: %s\n",
+                   load_state_path.c_str(), e.what());
+      return 1;
+    }
+    s.warm_start = &loaded;
+    std::printf("state: warm-starting from %s (%zu bytes, t=%.1fs)\n",
+                load_state_path.c_str(), loaded.size_bytes(),
+                loaded.meta().sim_time.as_seconds());
+  }
+  snap::Snapshot saved;
+  if (!save_state_path.empty()) s.save_converged = &saved;
+
   std::printf("scenario: %s, MRAI=%.0fs, trials=%zu\n", s.label().c_str(),
               s.bgp.mrai.as_seconds(), trials);
 
   metrics::TraceRecorder trace;
   if (!trace_path.empty()) s.trace = &trace;
 
-  const core::TrialSet set = core::run_trials_parallel(s, trials, jobs);
+  core::TrialSet set;
+  try {
+    set = core::run_trials_parallel(s, trials, jobs);
+  } catch (const std::invalid_argument& e) {
+    // A stale or mismatched --load-state file is a user error, not a crash:
+    // the snapshot's driver/topology/config/seed meta must match the flags.
+    std::fprintf(stderr, "run_scenario: %s\n", e.what());
+    return 1;
+  }
+
+  if (!save_state_path.empty()) {
+    saved.save_file(save_state_path);
+    std::printf("state: converged checkpoint (%zu bytes, t=%.1fs) -> %s\n",
+                saved.size_bytes(), saved.meta().sim_time.as_seconds(),
+                save_state_path.c_str());
+  }
 
   if (!trace_path.empty()) {
     std::ofstream out{trace_path};

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/types.hpp"
+#include "snap/codec.hpp"
 
 namespace bgpsim::bgp {
 
@@ -48,6 +49,19 @@ class AsPath {
 
   /// "(6 4 0)" — the paper's notation.
   [[nodiscard]] std::string to_string() const;
+
+  /// Checkpoint codec: hop count followed by the hops.
+  void save(snap::Writer& w) const {
+    w.u64(hops_.size());
+    for (const net::NodeId hop : hops_) w.u32(hop);
+  }
+  [[nodiscard]] static AsPath load(snap::Reader& r) {
+    const std::uint64_t n = r.u64();
+    std::vector<net::NodeId> hops;
+    hops.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) hops.push_back(r.u32());
+    return AsPath{std::move(hops)};
+  }
 
   friend bool operator==(const AsPath&, const AsPath&) = default;
 

@@ -45,6 +45,29 @@ void MraiTimers::cancel_peer(net::NodeId peer, sim::Simulator& simulator) {
   }
 }
 
+void MraiTimers::save_state(snap::Writer& w) const {
+  w.u64(timers_.size());
+  for (const auto& [key, st] : timers_) {
+    w.u32(key.first);
+    w.u32(key.second);
+    w.b(st.pending);
+    w.u64(st.ev.value);
+  }
+}
+
+void MraiTimers::restore_state(snap::Reader& r) {
+  timers_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const net::NodeId peer = r.u32();
+    const net::Prefix prefix = r.u32();
+    State st;
+    st.pending = r.b();
+    st.ev = sim::EventId{r.u64()};
+    timers_.emplace(Key{peer, prefix}, st);
+  }
+}
+
 bool MraiTimers::any_pending() const {
   for (const auto& [key, st] : timers_) {
     if (st.pending) return true;

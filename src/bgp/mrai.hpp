@@ -12,6 +12,7 @@
 
 #include "net/types.hpp"
 #include "sim/scheduler.hpp"
+#include "snap/codec.hpp"
 
 namespace bgpsim::bgp {
 
@@ -43,6 +44,13 @@ class MraiTimers {
   [[nodiscard]] bool any_pending() const;
 
   [[nodiscard]] std::size_t running_count() const { return timers_.size(); }
+
+  /// Checkpoint codec. Only the bookkeeping map is serialized; the expiry
+  /// events themselves live in the event queue. An in-place restore pairs
+  /// the map back up with the still-scheduled closures (which capture keys
+  /// by value); a fresh restore is only valid when no timers are running.
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
  private:
   struct State {

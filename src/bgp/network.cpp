@@ -74,6 +74,42 @@ bool BgpNetwork::timers_running() const {
   return false;
 }
 
+namespace {
+
+void save_update_payload(snap::Writer& w, const std::any& payload) {
+  const auto& msg = std::any_cast<const UpdateMsg&>(payload);
+  w.u32(msg.prefix);
+  w.b(msg.path.has_value());
+  if (msg.path) msg.path->save(w);
+}
+
+std::any load_update_payload(snap::Reader& r) {
+  UpdateMsg msg;
+  msg.prefix = r.u32();
+  if (r.b()) msg.path = AsPath::load(r);
+  return std::any{std::move(msg)};
+}
+
+}  // namespace
+
+void BgpNetwork::save_state(snap::Writer& w) const {
+  transport_.save_state(w);
+  for (std::size_t node = 0; node < speakers_.size(); ++node) {
+    queues_[node]->save_state(w, save_update_payload);
+    speakers_[node]->save_state(w);
+    fibs_[node].save_state(w);
+  }
+}
+
+void BgpNetwork::restore_state(snap::Reader& r) {
+  transport_.restore_state(r);
+  for (std::size_t node = 0; node < speakers_.size(); ++node) {
+    queues_[node]->restore_state(r, load_update_payload);
+    speakers_[node]->restore_state(r);
+    fibs_[node].restore_state(r);
+  }
+}
+
 Speaker::Counters BgpNetwork::total_counters() const {
   Speaker::Counters total;
   for (const auto& s : speakers_) {

@@ -65,6 +65,11 @@ class BgpNetwork {
   /// Sum of per-speaker counters across the network.
   [[nodiscard]] Speaker::Counters total_counters() const;
 
+  /// Checkpoint codec: transport counters, then per node the processing
+  /// queue (with in-queue UpdateMsg payloads), speaker, and FIB.
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
+
  private:
   sim::Simulator& sim_;
   net::Topology& topo_;

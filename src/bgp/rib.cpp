@@ -1,5 +1,7 @@
 #include "bgp/rib.hpp"
 
+#include <algorithm>
+
 namespace bgpsim::bgp {
 
 const std::map<net::NodeId, AsPath> AdjRibIn::kEmpty{};
@@ -67,6 +69,58 @@ std::vector<net::Prefix> LocRib::prefixes() const {
   out.reserve(best_.size());
   for (const auto& [prefix, path] : best_) out.push_back(prefix);
   return out;
+}
+
+void AdjRibIn::save_state(snap::Writer& w) const {
+  std::vector<net::Prefix> keys;
+  keys.reserve(table_.size());
+  for (const auto& [prefix, per_peer] : table_) keys.push_back(prefix);
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (const net::Prefix prefix : keys) {
+    const auto& per_peer = table_.at(prefix);
+    w.u32(prefix);
+    w.u64(per_peer.size());
+    for (const auto& [peer, path] : per_peer) {
+      w.u32(peer);
+      path.save(w);
+    }
+  }
+}
+
+void AdjRibIn::restore_state(snap::Reader& r) {
+  table_.clear();
+  const std::uint64_t prefixes = r.u64();
+  for (std::uint64_t i = 0; i < prefixes; ++i) {
+    const net::Prefix prefix = r.u32();
+    auto& per_peer = table_[prefix];
+    const std::uint64_t entries = r.u64();
+    for (std::uint64_t j = 0; j < entries; ++j) {
+      const net::NodeId peer = r.u32();
+      per_peer.emplace(peer, AsPath::load(r));
+    }
+  }
+}
+
+void LocRib::save_state(snap::Writer& w) const {
+  std::vector<net::Prefix> keys;
+  keys.reserve(best_.size());
+  for (const auto& [prefix, path] : best_) keys.push_back(prefix);
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (const net::Prefix prefix : keys) {
+    w.u32(prefix);
+    best_.at(prefix).save(w);
+  }
+}
+
+void LocRib::restore_state(snap::Reader& r) {
+  best_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const net::Prefix prefix = r.u32();
+    best_.emplace(prefix, AsPath::load(r));
+  }
 }
 
 }  // namespace bgpsim::bgp

@@ -41,6 +41,10 @@ class AdjRibIn {
   /// All prefixes with at least one entry.
   [[nodiscard]] std::vector<net::Prefix> prefixes() const;
 
+  /// Checkpoint codec (prefixes sorted; peers already deterministic).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
+
   /// Erase entries for `prefix` that satisfy `pred(peer, path)`; returns
   /// the number erased. Used by the Assertion enhancement.
   template <typename Pred>
@@ -76,6 +80,10 @@ class LocRib {
   [[nodiscard]] const AsPath* get(net::Prefix prefix) const;
 
   [[nodiscard]] std::vector<net::Prefix> prefixes() const;
+
+  /// Checkpoint codec (prefixes sorted for deterministic bytes).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
  private:
   std::unordered_map<net::Prefix, AsPath> best_;

@@ -269,6 +269,78 @@ void Speaker::ghost_flush(net::Prefix prefix) {
   }
 }
 
+void Speaker::save_state(snap::Writer& w) const {
+  snap::write_rng(w, rng_);
+  w.u64(peers_.size());
+  for (const net::NodeId peer : peers_) w.u32(peer);
+  w.u64(originated_.size());
+  for (const net::Prefix prefix : originated_) w.u32(prefix);
+  adj_rib_in_.save_state(w);
+  loc_rib_.save_state(w);
+  mrai_.save_state(w);
+  w.u64(caution_lost_length_.size());
+  for (const auto& [prefix, lost_length] : caution_lost_length_) {
+    w.u32(prefix);
+    w.u64(lost_length);
+  }
+  w.u64(advertised_.size());
+  for (const auto& [key, adv] : advertised_) {
+    w.u32(key.first);
+    w.u32(key.second);
+    w.u8(static_cast<std::uint8_t>(adv.kind));
+    adv.path.save(w);
+  }
+  w.u64(counters_.announcements_sent);
+  w.u64(counters_.withdrawals_sent);
+  w.u64(counters_.updates_received);
+  w.u64(counters_.poison_reverse_discards);
+  w.u64(counters_.assertion_removals);
+  w.u64(counters_.ghost_flushes);
+  w.u64(counters_.ssld_conversions);
+  w.u64(counters_.best_path_changes);
+  w.u64(counters_.caution_holds);
+}
+
+void Speaker::restore_state(snap::Reader& r) {
+  snap::read_rng(r, rng_);
+  peers_.clear();
+  const std::uint64_t n_peers = r.u64();
+  for (std::uint64_t i = 0; i < n_peers; ++i) peers_.insert(r.u32());
+  originated_.clear();
+  const std::uint64_t n_origins = r.u64();
+  for (std::uint64_t i = 0; i < n_origins; ++i) originated_.insert(r.u32());
+  adj_rib_in_.restore_state(r);
+  loc_rib_.restore_state(r);
+  mrai_.restore_state(r);
+  caution_lost_length_.clear();
+  const std::uint64_t n_caution = r.u64();
+  for (std::uint64_t i = 0; i < n_caution; ++i) {
+    const net::Prefix prefix = r.u32();
+    const std::uint64_t lost_length = r.u64();
+    caution_lost_length_.emplace(prefix,
+                                 static_cast<std::size_t>(lost_length));
+  }
+  advertised_.clear();
+  const std::uint64_t n_adv = r.u64();
+  for (std::uint64_t i = 0; i < n_adv; ++i) {
+    const net::NodeId peer = r.u32();
+    const net::Prefix prefix = r.u32();
+    Advertised adv;
+    adv.kind = static_cast<Advertised::Kind>(r.u8());
+    adv.path = AsPath::load(r);
+    advertised_.emplace(std::pair{peer, prefix}, std::move(adv));
+  }
+  counters_.announcements_sent = r.u64();
+  counters_.withdrawals_sent = r.u64();
+  counters_.updates_received = r.u64();
+  counters_.poison_reverse_discards = r.u64();
+  counters_.assertion_removals = r.u64();
+  counters_.ghost_flushes = r.u64();
+  counters_.ssld_conversions = r.u64();
+  counters_.best_path_changes = r.u64();
+  counters_.caution_holds = r.u64();
+}
+
 sim::SimTime Speaker::jittered_mrai() {
   if (config_.jitter_lo == config_.jitter_hi) {
     return sim::SimTime::seconds(config_.mrai.as_seconds() * config_.jitter_lo);

@@ -110,6 +110,12 @@ class Speaker {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  /// Checkpoint codec: every mutable protocol field (RNG, session set,
+  /// origins, RIBs, MRAI bookkeeping, caution holds, advertised mirror,
+  /// counters) in a fixed deterministic order.
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
+
  private:
   /// What a peer currently believes we advertised.
   struct Advertised {

@@ -8,6 +8,7 @@
 // any simulation run into its own correctness oracle (see check::Oracle).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -96,6 +97,12 @@ class Invariant {
   /// Control plane reached quiescence (after initial convergence and again
   /// at the end of the run).
   virtual void at_quiescence(const QuiescentView&, sim::SimTime /*at*/) {}
+  /// A checkpoint restore completed. `snapshot_hash` is the content hash of
+  /// the snapshot that was applied, `live_hash` the hash of the state
+  /// re-serialized from the restored network — equal iff the round trip is
+  /// bit-exact.
+  virtual void on_restored(std::uint64_t /*snapshot_hash*/,
+                           std::uint64_t /*live_hash*/, sim::SimTime /*at*/) {}
 
   void set_report_sink(std::function<void(Violation)> sink) {
     report_ = std::move(sink);

@@ -201,6 +201,18 @@ void ConvergedReferenceInvariant::at_quiescence(const QuiescentView& view,
   }
 }
 
+// ---- RestoreEquivalenceInvariant ------------------------------------------
+
+void RestoreEquivalenceInvariant::on_restored(std::uint64_t snapshot_hash,
+                                              std::uint64_t live_hash,
+                                              sim::SimTime at) {
+  if (snapshot_hash == live_hash) return;
+  report(at, net::kInvalidNode,
+         "restored state re-serializes to hash " + std::to_string(live_hash) +
+             ", snapshot hash was " + std::to_string(snapshot_hash) +
+             " (restore is not bit-exact)");
+}
+
 // ---- factory -------------------------------------------------------------
 
 std::vector<std::unique_ptr<Invariant>> standard_invariants() {
@@ -210,6 +222,7 @@ std::vector<std::unique_ptr<Invariant>> standard_invariants() {
   all.push_back(std::make_unique<MraiLegalityInvariant>());
   all.push_back(std::make_unique<LoopDurationBoundInvariant>());
   all.push_back(std::make_unique<ConvergedReferenceInvariant>());
+  all.push_back(std::make_unique<RestoreEquivalenceInvariant>());
   return all;
 }
 

@@ -111,6 +111,19 @@ class ConvergedReferenceInvariant final : public Invariant {
   Context ctx_;
 };
 
+/// A checkpoint restore must be bit-exact: re-serializing the restored
+/// network yields the same content hash as the snapshot that was applied.
+/// Fed by the experiment drivers' restore paths (warm starts and in-place
+/// round-trip probes).
+class RestoreEquivalenceInvariant final : public Invariant {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "restore-equivalence";
+  }
+  void on_restored(std::uint64_t snapshot_hash, std::uint64_t live_hash,
+                   sim::SimTime at) override;
+};
+
 /// The full standard set, one of each, unarmed.
 [[nodiscard]] std::vector<std::unique_ptr<Invariant>> standard_invariants();
 

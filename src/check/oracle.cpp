@@ -95,6 +95,12 @@ void Oracle::at_quiescence(const QuiescentView& view, sim::SimTime at) {
   for (auto& i : invariants_) i->at_quiescence(view, at);
 }
 
+void Oracle::on_restored(std::uint64_t snapshot_hash, std::uint64_t live_hash,
+                         sim::SimTime at) {
+  ++observations_;
+  for (auto& i : invariants_) i->on_restored(snapshot_hash, live_hash, at);
+}
+
 void Oracle::observe_fibs(sim::Simulator& simulator,
                           std::vector<fwd::Fib>& fibs) {
   for (net::NodeId node = 0; node < fibs.size(); ++node) {

@@ -57,6 +57,8 @@ class Oracle {
                       std::optional<net::NodeId> previous,
                       std::optional<net::NodeId> current, sim::SimTime at);
   void at_quiescence(const QuiescentView& view, sim::SimTime at);
+  void on_restored(std::uint64_t snapshot_hash, std::uint64_t live_hash,
+                   sim::SimTime at);
 
   /// Subscribe to every node's FIB, in addition to observers already
   /// installed (e.g. the metrics loop detector).

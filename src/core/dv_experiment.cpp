@@ -7,6 +7,7 @@
 
 #include "check/oracle.hpp"
 #include "core/selection.hpp"
+#include "core/snap_support.hpp"
 #include "dv/network.hpp"
 #include "fwd/engine.hpp"
 #include "fwd/traffic.hpp"
@@ -14,13 +15,76 @@
 #include "metrics/loop_detector.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "snap/snapshot.hpp"
 
 namespace bgpsim::core {
 namespace {
 
 constexpr net::Prefix kPrefix = 0;
 
+/// Capture the DV run state: the common substrate plus the driver's local
+/// stability clock and origin flag.
+snap::Snapshot capture_dv(const sim::Simulator& simulator,
+                          const dv::DvNetwork& network,
+                          const fwd::DataPlane& plane,
+                          const fwd::TrafficGenerator& traffic,
+                          const metrics::Collector& collector,
+                          sim::SimTime last_change, bool origin_up,
+                          std::uint64_t topology_hash,
+                          std::uint64_t config_hash, std::uint64_t seed,
+                          net::NodeId destination, bool originated,
+                          bool quiescent) {
+  snap::Writer w;
+  detail::save_run_state(w, simulator, network, plane, traffic, collector);
+  w.time(last_change);
+  w.b(origin_up);
+  snap::SnapshotMeta meta;
+  meta.driver = snap::DriverKind::kDv;
+  meta.topology_hash = topology_hash;
+  meta.config_hash = config_hash;
+  meta.seed = seed;
+  meta.destination = destination;
+  meta.originated = originated;
+  meta.quiescent = quiescent;
+  meta.sim_time = simulator.now();
+  return snap::Snapshot{std::move(meta), std::move(w).take()};
+}
+
+void restore_dv(const snap::Snapshot& snapshot, sim::Simulator& simulator,
+                dv::DvNetwork& network, fwd::DataPlane& plane,
+                fwd::TrafficGenerator& traffic, metrics::Collector& collector,
+                sim::SimTime& last_change, bool& origin_up) {
+  snap::Reader r{snapshot.payload()};
+  detail::restore_run_state(r, simulator, network, plane, traffic, collector);
+  last_change = r.time();
+  origin_up = r.b();
+  r.finish();
+}
+
 }  // namespace
+
+std::uint64_t dv_prelude_hash(const DvScenario& scenario) {
+  snap::Hasher h;
+  h.mix(static_cast<std::uint64_t>(scenario.topology.kind));
+  h.mix(scenario.topology.size);
+  h.mix(scenario.topology.topo_seed);
+  h.mix(static_cast<std::uint64_t>(scenario.dv.infinity));
+  h.mix((scenario.dv.split_horizon ? 1U : 0U) |
+        (scenario.dv.poison_reverse ? 2U : 0U) |
+        (scenario.dv.triggered ? 4U : 0U));
+  h.mix_time(scenario.dv.triggered_delay_lo);
+  h.mix_time(scenario.dv.triggered_delay_hi);
+  h.mix_time(scenario.dv.periodic);
+  h.mix_time(scenario.processing.min);
+  h.mix_time(scenario.processing.max);
+  h.mix(scenario.destination.value_or(net::kInvalidNode));
+  h.mix(scenario.event != EventKind::kTup ? 1 : 0);
+  const bool link_filter = scenario.topology.kind == TopologyKind::kInternet &&
+                           !scenario.destination &&
+                           scenario.event == EventKind::kTlong;
+  h.mix(link_filter ? 1 : 0);
+  return h.value();
+}
 
 ExperimentOutcome run_dv_experiment(const DvScenario& scenario) {
   if (scenario.settle_margin <= scenario.traffic_lead) {
@@ -121,13 +185,43 @@ ExperimentOutcome run_dv_experiment(const DvScenario& scenario) {
     collector.note_packet_sent(when);
   });
 
-  // ---- Phase 1: cold-start convergence --------------------------------
-  if (scenario.event != EventKind::kTup) {
-    simulator.schedule_at(sim::SimTime::zero(),
-                          [&] { network.originate(destination, kPrefix); });
+  // ---- Phase 1: cold-start convergence or warm start --------------------
+  // Fresh-graph checkpoints need an *empty* event queue, which periodic
+  // refresh never allows — the converged-prelude hooks are triggered-only.
+  if ((scenario.warm_start || scenario.save_converged) && has_periodic) {
+    throw std::invalid_argument{
+        "DvScenario: warm_start/save_converged require triggered-only mode "
+        "(dv.periodic == 0); periodic refresh keeps the event queue busy"};
   }
-  // Run until the tables stabilize (bounded by max_sim_time).
-  {
+  const std::uint64_t topology_hash = snap::hash_topology(topo);
+  const std::uint64_t config_hash = dv_prelude_hash(scenario);
+  const bool prelude_originated = scenario.event != EventKind::kTup;
+
+  if (scenario.warm_start) {
+    detail::require_meta_match(scenario.warm_start->meta(),
+                               snap::DriverKind::kDv, topology_hash,
+                               config_hash, scenario.seed, destination,
+                               prelude_originated);
+    restore_dv(*scenario.warm_start, simulator, network, plane, traffic,
+               collector, last_change, origin_up);
+    const snap::Snapshot echo =
+        capture_dv(simulator, network, plane, traffic, collector, last_change,
+                   origin_up, topology_hash, config_hash, scenario.seed,
+                   destination, prelude_originated, /*quiescent=*/true);
+    if (oracle) {
+      oracle->on_restored(scenario.warm_start->content_hash(),
+                          echo.content_hash(), simulator.now());
+    } else if (echo.content_hash() != scenario.warm_start->content_hash()) {
+      throw std::runtime_error{
+          "dv warm start restore is not bit-exact: restored state "
+          "re-serializes to a different content hash"};
+    }
+  } else {
+    if (prelude_originated) {
+      simulator.schedule_at(sim::SimTime::zero(),
+                            [&] { network.originate(destination, kPrefix); });
+    }
+    // Run until the tables stabilize (bounded by max_sim_time).
     sim::SimTime horizon = stability_window + sim::SimTime::seconds(30);
     while (horizon < scenario.max_sim_time) {
       simulator.run_until(horizon);
@@ -140,6 +234,17 @@ ExperimentOutcome run_dv_experiment(const DvScenario& scenario) {
   }
   const double initial_convergence_s = last_change.as_seconds();
   if (oracle) oracle->at_quiescence(quiescent_view(), simulator.now());
+
+  if (scenario.save_converged) {
+    if (simulator.pending() > 0) {
+      throw std::runtime_error{
+          "dv save_converged: event queue not empty at stability"};
+    }
+    *scenario.save_converged =
+        capture_dv(simulator, network, plane, traffic, collector, last_change,
+                   origin_up, topology_hash, config_hash, scenario.seed,
+                   destination, prelude_originated, /*quiescent=*/true);
+  }
 
   // ---- Phase 2: traffic + event + convergence -------------------------
   const sim::SimTime t_event = simulator.now() + scenario.settle_margin;
@@ -170,6 +275,36 @@ ExperimentOutcome run_dv_experiment(const DvScenario& scenario) {
         break;  // rejected up front
     }
   });
+
+  // Mid-run serialize/deserialize probe (see Scenario::snap_roundtrip).
+  // In-place restores work with periodic refresh too: scheduled events
+  // stay in the queue untouched.
+  if (scenario.snap_roundtrip != SnapRoundtrip::kOff) {
+    simulator.schedule_at(t_event + scenario.snap_roundtrip_after, [&] {
+      if (scenario.snap_roundtrip != SnapRoundtrip::kVerify) return;
+      const snap::Snapshot before =
+          capture_dv(simulator, network, plane, traffic, collector,
+                     last_change, origin_up, topology_hash, config_hash,
+                     scenario.seed, destination, prelude_originated,
+                     /*quiescent=*/false);
+      restore_dv(before, simulator, network, plane, traffic, collector,
+                 last_change, origin_up);
+      const snap::Snapshot after =
+          capture_dv(simulator, network, plane, traffic, collector,
+                     last_change, origin_up, topology_hash, config_hash,
+                     scenario.seed, destination, prelude_originated,
+                     /*quiescent=*/false);
+      if (before.content_hash() != after.content_hash()) {
+        if (oracle) {
+          oracle->on_restored(before.content_hash(), after.content_hash(),
+                              simulator.now());
+        }
+        throw std::runtime_error{
+            "dv snapshot round-trip diverged mid-run: in-place restore did "
+            "not reproduce the saved state byte-for-byte"};
+      }
+    });
+  }
 
   bool timed_out = false;
   bool done = false;

@@ -40,6 +40,15 @@ struct DvScenario {
   sim::SimTime traffic_lead = sim::SimTime::seconds(2);
   sim::SimTime settle_margin = sim::SimTime::seconds(5);
   sim::SimTime max_sim_time = sim::SimTime::seconds(50000);
+
+  /// Checkpoint hooks (see Scenario for semantics). DV fresh-graph
+  /// checkpoints require triggered-only mode (dv.periodic == 0): periodic
+  /// refresh keeps the event queue non-empty, so a converged-prelude
+  /// snapshot cannot capture a quiescent queue otherwise.
+  snap::Snapshot* save_converged = nullptr;
+  const snap::Snapshot* warm_start = nullptr;
+  SnapRoundtrip snap_roundtrip = SnapRoundtrip::kOff;
+  sim::SimTime snap_roundtrip_after = sim::SimTime::seconds(5);
 };
 
 /// Run the distance-vector baseline end to end; the returned metrics use
@@ -47,5 +56,9 @@ struct DvScenario {
 /// run_experiment, so they are directly comparable. The BGP-specific
 /// counter block is left empty.
 [[nodiscard]] ExperimentOutcome run_dv_experiment(const DvScenario& scenario);
+
+/// Hash of everything that shapes the converged DV prelude (see
+/// scenario_prelude_hash).
+[[nodiscard]] std::uint64_t dv_prelude_hash(const DvScenario& scenario);
 
 }  // namespace bgpsim::core

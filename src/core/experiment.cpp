@@ -1,11 +1,13 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
 #include "bgp/network.hpp"
 #include "check/oracle.hpp"
+#include "core/snap_support.hpp"
 #include "fwd/engine.hpp"
 #include "fwd/traffic.hpp"
 #include "metrics/collector.hpp"
@@ -14,6 +16,7 @@
 #include "net/relationships.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "snap/snapshot.hpp"
 #include "topo/generators.hpp"
 #include "topo/internet.hpp"
 
@@ -22,7 +25,75 @@ namespace {
 
 constexpr net::Prefix kPrefix = 0;
 
+/// Capture the complete BGP run state into a snapshot with full identity
+/// metadata. `quiescent` must only be true when the event queue is empty.
+snap::Snapshot capture_bgp(const sim::Simulator& simulator,
+                           const bgp::BgpNetwork& network,
+                           const fwd::DataPlane& plane,
+                           const fwd::TrafficGenerator& traffic,
+                           const metrics::Collector& collector,
+                           std::uint64_t topology_hash,
+                           std::uint64_t config_hash, std::uint64_t seed,
+                           net::NodeId destination, bool originated,
+                           bool quiescent) {
+  snap::Writer w;
+  detail::save_run_state(w, simulator, network, plane, traffic, collector);
+  snap::SnapshotMeta meta;
+  meta.driver = snap::DriverKind::kBgp;
+  meta.topology_hash = topology_hash;
+  meta.config_hash = config_hash;
+  meta.seed = seed;
+  meta.destination = destination;
+  meta.originated = originated;
+  meta.quiescent = quiescent;
+  meta.sim_time = simulator.now();
+  return snap::Snapshot{std::move(meta), std::move(w).take()};
+}
+
+void restore_bgp(const snap::Snapshot& snapshot, sim::Simulator& simulator,
+                 bgp::BgpNetwork& network, fwd::DataPlane& plane,
+                 fwd::TrafficGenerator& traffic,
+                 metrics::Collector& collector) {
+  snap::Reader r{snapshot.payload()};
+  detail::restore_run_state(r, simulator, network, plane, traffic, collector);
+  r.finish();
+}
+
 }  // namespace
+
+std::uint64_t scenario_prelude_hash(const Scenario& scenario) {
+  snap::Hasher h;
+  h.mix(static_cast<std::uint64_t>(scenario.topology.kind));
+  h.mix(scenario.topology.size);
+  h.mix(scenario.topology.topo_seed);
+  h.mix(scenario.policy_routing ? 1 : 0);
+  h.mix_time(scenario.bgp.mrai);
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof scenario.bgp.jitter_lo);
+  std::memcpy(&bits, &scenario.bgp.jitter_lo, sizeof bits);
+  h.mix(bits);
+  std::memcpy(&bits, &scenario.bgp.jitter_hi, sizeof bits);
+  h.mix(bits);
+  h.mix((scenario.bgp.ssld ? 1U : 0U) | (scenario.bgp.wrate ? 2U : 0U) |
+        (scenario.bgp.assertion ? 4U : 0U) |
+        (scenario.bgp.ghost_flushing ? 8U : 0U));
+  h.mix_time(scenario.bgp.backup_caution);
+  h.mix_time(scenario.processing.min);
+  h.mix_time(scenario.processing.max);
+  h.mix(scenario.destination.value_or(net::kInvalidNode));
+  // Whether the prelude includes the origination (everything but Tup).
+  h.mix(scenario.event != EventKind::kTup ? 1 : 0);
+  // On Internet topologies without a fixed destination, the destination
+  // *choice* depends on whether a survivable-link filter applies (Tlong /
+  // Flap), so those preludes are distinct even at equal seeds.
+  const bool link_filter =
+      scenario.topology.kind == TopologyKind::kInternet &&
+      !scenario.destination &&
+      (scenario.event == EventKind::kTlong ||
+       scenario.event == EventKind::kFlap);
+  h.mix(link_filter ? 1 : 0);
+  return h.value();
+}
 
 ExperimentOutcome run_experiment(const Scenario& scenario) {
   if (scenario.settle_margin <= scenario.traffic_lead) {
@@ -154,17 +225,51 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
     collector.note_packet_sent(when);
   });
 
-  // ---- Phase 1: cold-start convergence --------------------------------
+  // ---- Phase 1: cold-start convergence or warm start --------------------
   // (For Tup the network starts empty — the origination *is* the event.)
-  if (scenario.event != EventKind::kTup) {
-    simulator.schedule_at(sim::SimTime::zero(),
-                          [&] { network.originate(destination, kPrefix); });
-  }
-  simulator.run_until(scenario.max_sim_time);
-  if (simulator.pending() > 0 || network.busy()) {
-    throw std::runtime_error{"initial convergence exceeded max_sim_time"};
+  const std::uint64_t topology_hash = snap::hash_topology(topo);
+  const std::uint64_t config_hash = scenario_prelude_hash(scenario);
+  const bool prelude_originated = scenario.event != EventKind::kTup;
+
+  if (scenario.warm_start) {
+    detail::require_meta_match(scenario.warm_start->meta(),
+                               snap::DriverKind::kBgp, topology_hash,
+                               config_hash, scenario.seed, destination,
+                               prelude_originated);
+    restore_bgp(*scenario.warm_start, simulator, network, plane, traffic,
+                collector);
+    // Prove the restore bit-exact: re-serializing the restored graph must
+    // reproduce the snapshot's content hash.
+    const snap::Snapshot echo =
+        capture_bgp(simulator, network, plane, traffic, collector,
+                    topology_hash, config_hash, scenario.seed, destination,
+                    prelude_originated, /*quiescent=*/true);
+    if (oracle) {
+      oracle->on_restored(scenario.warm_start->content_hash(),
+                          echo.content_hash(), simulator.now());
+    } else if (echo.content_hash() != scenario.warm_start->content_hash()) {
+      throw std::runtime_error{
+          "warm start restore is not bit-exact: restored state "
+          "re-serializes to a different content hash"};
+    }
+  } else {
+    if (prelude_originated) {
+      simulator.schedule_at(sim::SimTime::zero(),
+                            [&] { network.originate(destination, kPrefix); });
+    }
+    simulator.run_until(scenario.max_sim_time);
+    if (simulator.pending() > 0 || network.busy()) {
+      throw std::runtime_error{"initial convergence exceeded max_sim_time"};
+    }
   }
   const double initial_convergence_s = simulator.now().as_seconds();
+
+  if (scenario.save_converged) {
+    *scenario.save_converged =
+        capture_bgp(simulator, network, plane, traffic, collector,
+                    topology_hash, config_hash, scenario.seed, destination,
+                    prelude_originated, /*quiescent=*/true);
+  }
 
   const auto quiescent_view = [&]() -> check::QuiescentView {
     check::QuiescentView view;
@@ -215,6 +320,35 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
         break;
     }
   });
+
+  // Mid-run serialize/deserialize probe. kNoop and kVerify schedule the
+  // *same* event (so their event streams stay comparable); only kVerify
+  // does work in it: save, restore in place, re-save, and fail the run if
+  // the two byte streams differ. A correct codec makes this a perfect
+  // no-op — the rest of the run is bit-identical to the kNoop control.
+  if (scenario.snap_roundtrip != SnapRoundtrip::kOff) {
+    simulator.schedule_at(t_event + scenario.snap_roundtrip_after, [&] {
+      if (scenario.snap_roundtrip != SnapRoundtrip::kVerify) return;
+      const snap::Snapshot before =
+          capture_bgp(simulator, network, plane, traffic, collector,
+                      topology_hash, config_hash, scenario.seed, destination,
+                      prelude_originated, /*quiescent=*/false);
+      restore_bgp(before, simulator, network, plane, traffic, collector);
+      const snap::Snapshot after =
+          capture_bgp(simulator, network, plane, traffic, collector,
+                      topology_hash, config_hash, scenario.seed, destination,
+                      prelude_originated, /*quiescent=*/false);
+      if (before.content_hash() != after.content_hash()) {
+        if (oracle) {
+          oracle->on_restored(before.content_hash(), after.content_hash(),
+                              simulator.now());
+        }
+        throw std::runtime_error{
+            "snapshot round-trip diverged mid-run: in-place restore did "
+            "not reproduce the saved state byte-for-byte"};
+      }
+    });
+  }
 
   // Poll for control-plane quiescence once per simulated second. When the
   // control plane settles, stop traffic, let in-flight packets die out

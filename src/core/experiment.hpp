@@ -1,6 +1,7 @@
 // Runs one scenario end to end and extracts the paper's metrics.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "core/scenario.hpp"
@@ -23,5 +24,15 @@ struct ExperimentOutcome {
 /// Throws std::runtime_error if the network fails to converge within
 /// scenario.max_sim_time.
 [[nodiscard]] ExperimentOutcome run_experiment(const Scenario& scenario);
+
+/// Hash of everything that shapes the converged *prelude* of a scenario
+/// (topology, protocol config, processing delays, destination choice and
+/// whether the prefix is originated before the event). Two scenarios with
+/// equal prelude hashes and equal seeds converge to bit-identical state in
+/// phase 1, so one's converged checkpoint warm-starts the other — this is
+/// the snap::PreludeCache key ingredient. Deliberately *excludes* the
+/// traffic config (traffic has not started at the prelude checkpoint) and
+/// post-event knobs (event timing, flap interval, tlong link).
+[[nodiscard]] std::uint64_t scenario_prelude_hash(const Scenario& scenario);
 
 }  // namespace bgpsim::core

@@ -53,10 +53,9 @@ struct IterationResult {
   std::string summary;  // one-line outcome for verbose mode
 };
 
-IterationResult run_iteration(std::uint64_t scenario_seed,
-                              const FuzzOptions& options) {
+IterationResult run_once(Scenario scenario, std::uint64_t scenario_seed,
+                         const FuzzOptions& options) {
   IterationResult result;
-  Scenario scenario = fuzz_scenario(scenario_seed);
   check::Oracle oracle = make_oracle(options);
   scenario.oracle = &oracle;
 
@@ -94,6 +93,46 @@ IterationResult run_iteration(std::uint64_t scenario_seed,
     result.summary = scenario.label() + ": threw: " + error;
   }
   return result;
+}
+
+IterationResult run_iteration(std::uint64_t scenario_seed,
+                              const FuzzOptions& options) {
+  Scenario scenario = fuzz_scenario(scenario_seed);
+  if (!options.snap_check) return run_once(scenario, scenario_seed, options);
+
+  // Seed-derived probe offset: the same scenario seed always probes at the
+  // same simulated time, so --replay reproduces a divergence exactly. Both
+  // passes schedule the identical probe event (kNoop just returns inside
+  // it), keeping their event streams comparable.
+  scenario.snap_roundtrip_after = sim::SimTime::seconds(
+      sim::Rng{scenario_seed}.child("snap-roundtrip").uniform(0.5, 30.0));
+
+  scenario.snap_roundtrip = SnapRoundtrip::kNoop;
+  IterationResult baseline = run_once(scenario, scenario_seed, options);
+  if (baseline.failure) return baseline;
+
+  scenario.snap_roundtrip = SnapRoundtrip::kVerify;
+  IterationResult verified = run_once(scenario, scenario_seed, options);
+  if (verified.failure) {
+    verified.failure->error =
+        "snap-check (serialize/restore pass): " +
+        (verified.failure->error.empty() ? std::string{"invariant violations"}
+                                         : verified.failure->error);
+    verified.fingerprint = baseline.fingerprint;
+    return verified;
+  }
+
+  if (verified.fingerprint != baseline.fingerprint) {
+    FuzzFailure failure;
+    failure.scenario_seed = scenario_seed;
+    failure.label = scenario.label();
+    failure.error =
+        "snapshot divergence: a mid-run save/restore round-trip changed the "
+        "outcome (baseline fingerprint " + std::to_string(baseline.fingerprint) +
+        ", round-trip fingerprint " + std::to_string(verified.fingerprint) + ")";
+    baseline.failure = std::move(failure);
+  }
+  return baseline;
 }
 
 }  // namespace

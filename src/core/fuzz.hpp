@@ -34,6 +34,13 @@ struct FuzzOptions {
   /// Oracle factory, one fresh oracle per iteration. Default:
   /// check::Oracle::standard(). Tests inject canary invariants here.
   std::function<check::Oracle()> make_oracle;
+  /// Snapshot round-trip checking: run every iteration twice — once with a
+  /// no-op probe scheduled mid-run and once where that probe serializes,
+  /// restores, and re-serializes the full simulation in place
+  /// (Scenario::snap_roundtrip) — and fail the iteration if the two passes'
+  /// fingerprints differ. The probe offset is seed-derived, so a divergence
+  /// reproduces exactly via --replay.
+  bool snap_check = false;
 };
 
 /// One failing iteration: either armed invariants reported violations, the

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/selection.hpp"
+#include "core/snap_support.hpp"
 #include "fwd/engine.hpp"
 #include "fwd/traffic.hpp"
 #include "ls/network.hpp"
@@ -13,13 +14,64 @@
 #include "metrics/loop_detector.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "snap/snapshot.hpp"
 
 namespace bgpsim::core {
 namespace {
 
 constexpr net::Prefix kPrefix = 0;
 
+snap::Snapshot capture_ls(const sim::Simulator& simulator,
+                          const ls::LsNetwork& network,
+                          const fwd::DataPlane& plane,
+                          const fwd::TrafficGenerator& traffic,
+                          const metrics::Collector& collector,
+                          std::uint64_t topology_hash,
+                          std::uint64_t config_hash, std::uint64_t seed,
+                          net::NodeId destination, bool originated,
+                          bool quiescent) {
+  snap::Writer w;
+  detail::save_run_state(w, simulator, network, plane, traffic, collector);
+  snap::SnapshotMeta meta;
+  meta.driver = snap::DriverKind::kLs;
+  meta.topology_hash = topology_hash;
+  meta.config_hash = config_hash;
+  meta.seed = seed;
+  meta.destination = destination;
+  meta.originated = originated;
+  meta.quiescent = quiescent;
+  meta.sim_time = simulator.now();
+  return snap::Snapshot{std::move(meta), std::move(w).take()};
+}
+
+void restore_ls(const snap::Snapshot& snapshot, sim::Simulator& simulator,
+                ls::LsNetwork& network, fwd::DataPlane& plane,
+                fwd::TrafficGenerator& traffic,
+                metrics::Collector& collector) {
+  snap::Reader r{snapshot.payload()};
+  detail::restore_run_state(r, simulator, network, plane, traffic, collector);
+  r.finish();
+}
+
 }  // namespace
+
+std::uint64_t ls_prelude_hash(const LsScenario& scenario) {
+  snap::Hasher h;
+  h.mix(static_cast<std::uint64_t>(scenario.topology.kind));
+  h.mix(scenario.topology.size);
+  h.mix(scenario.topology.topo_seed);
+  h.mix_time(scenario.ls.spf_delay_lo);
+  h.mix_time(scenario.ls.spf_delay_hi);
+  h.mix_time(scenario.processing.min);
+  h.mix_time(scenario.processing.max);
+  h.mix(scenario.destination.value_or(net::kInvalidNode));
+  h.mix(scenario.event != EventKind::kTup ? 1 : 0);
+  const bool link_filter = scenario.topology.kind == TopologyKind::kInternet &&
+                           !scenario.destination &&
+                           scenario.event == EventKind::kTlong;
+  h.mix(link_filter ? 1 : 0);
+  return h.value();
+}
 
 ExperimentOutcome run_ls_experiment(const LsScenario& scenario) {
   if (scenario.settle_margin <= scenario.traffic_lead) {
@@ -73,18 +125,47 @@ ExperimentOutcome run_ls_experiment(const LsScenario& scenario) {
     collector.note_packet_sent(when);
   });
 
-  // ---- Phase 1: bring-up + cold-start convergence ----------------------
-  simulator.schedule_at(sim::SimTime::zero(), [&] {
-    network.start_all();
-    if (scenario.event != EventKind::kTup) {
-      network.originate(destination, kPrefix);
+  // ---- Phase 1: bring-up + cold-start convergence, or warm start --------
+  const std::uint64_t topology_hash = snap::hash_topology(topo);
+  const std::uint64_t config_hash = ls_prelude_hash(scenario);
+  const bool prelude_originated = scenario.event != EventKind::kTup;
+
+  if (scenario.warm_start) {
+    detail::require_meta_match(scenario.warm_start->meta(),
+                               snap::DriverKind::kLs, topology_hash,
+                               config_hash, scenario.seed, destination,
+                               prelude_originated);
+    restore_ls(*scenario.warm_start, simulator, network, plane, traffic,
+               collector);
+    const snap::Snapshot echo =
+        capture_ls(simulator, network, plane, traffic, collector,
+                   topology_hash, config_hash, scenario.seed, destination,
+                   prelude_originated, /*quiescent=*/true);
+    if (echo.content_hash() != scenario.warm_start->content_hash()) {
+      throw std::runtime_error{
+          "ls warm start restore is not bit-exact: restored state "
+          "re-serializes to a different content hash"};
     }
-  });
-  simulator.run_until(scenario.max_sim_time);
-  if (simulator.pending() > 0 || network.busy()) {
-    throw std::runtime_error{"ls initial convergence exceeded max_sim_time"};
+  } else {
+    simulator.schedule_at(sim::SimTime::zero(), [&] {
+      network.start_all();
+      if (prelude_originated) {
+        network.originate(destination, kPrefix);
+      }
+    });
+    simulator.run_until(scenario.max_sim_time);
+    if (simulator.pending() > 0 || network.busy()) {
+      throw std::runtime_error{"ls initial convergence exceeded max_sim_time"};
+    }
   }
   const double initial_convergence_s = simulator.now().as_seconds();
+
+  if (scenario.save_converged) {
+    *scenario.save_converged =
+        capture_ls(simulator, network, plane, traffic, collector,
+                   topology_hash, config_hash, scenario.seed, destination,
+                   prelude_originated, /*quiescent=*/true);
+  }
 
   // ---- Phase 2: traffic + event + convergence -------------------------
   const sim::SimTime t_event = simulator.now() + scenario.settle_margin;
@@ -112,6 +193,27 @@ ExperimentOutcome run_ls_experiment(const LsScenario& scenario) {
         break;  // rejected up front
     }
   });
+
+  // Mid-run serialize/deserialize probe (see Scenario::snap_roundtrip).
+  if (scenario.snap_roundtrip != SnapRoundtrip::kOff) {
+    simulator.schedule_at(t_event + scenario.snap_roundtrip_after, [&] {
+      if (scenario.snap_roundtrip != SnapRoundtrip::kVerify) return;
+      const snap::Snapshot before =
+          capture_ls(simulator, network, plane, traffic, collector,
+                     topology_hash, config_hash, scenario.seed, destination,
+                     prelude_originated, /*quiescent=*/false);
+      restore_ls(before, simulator, network, plane, traffic, collector);
+      const snap::Snapshot after =
+          capture_ls(simulator, network, plane, traffic, collector,
+                     topology_hash, config_hash, scenario.seed, destination,
+                     prelude_originated, /*quiescent=*/false);
+      if (before.content_hash() != after.content_hash()) {
+        throw std::runtime_error{
+            "ls snapshot round-trip diverged mid-run: in-place restore did "
+            "not reproduce the saved state byte-for-byte"};
+      }
+    });
+  }
 
   bool timed_out = false;
   const auto drain = sim::SimTime::seconds(2);

@@ -27,11 +27,21 @@ struct LsScenario {
   sim::SimTime traffic_lead = sim::SimTime::seconds(2);
   sim::SimTime settle_margin = sim::SimTime::seconds(5);
   sim::SimTime max_sim_time = sim::SimTime::seconds(50000);
+
+  /// Checkpoint hooks (see Scenario for semantics).
+  snap::Snapshot* save_converged = nullptr;
+  const snap::Snapshot* warm_start = nullptr;
+  SnapRoundtrip snap_roundtrip = SnapRoundtrip::kOff;
+  sim::SimTime snap_roundtrip_after = sim::SimTime::seconds(5);
 };
 
 /// Run the link-state baseline end to end; metrics use the same
 /// definitions and substrate as run_experiment. Convergence clock: last
 /// LSA put on the wire after the event.
 [[nodiscard]] ExperimentOutcome run_ls_experiment(const LsScenario& scenario);
+
+/// Hash of everything that shapes the converged LS prelude (see
+/// scenario_prelude_hash).
+[[nodiscard]] std::uint64_t ls_prelude_hash(const LsScenario& scenario);
 
 }  // namespace bgpsim::core

@@ -17,6 +17,10 @@ namespace bgpsim::check {
 class Oracle;
 }  // namespace bgpsim::check
 
+namespace bgpsim::snap {
+class Snapshot;
+}  // namespace bgpsim::snap
+
 namespace bgpsim::core {
 
 /// Topology families from the paper's evaluation (§4.1).
@@ -89,6 +93,13 @@ enum class EventKind {
   return "?";
 }
 
+/// Mid-run serialize/deserialize probe (fault injection for the snapshot
+/// subsystem itself). kNoop schedules the probe event but does nothing in
+/// it — the control run; kVerify saves, restores in place, re-saves, and
+/// fails the run if the bytes differ. Both schedule the *same* event so a
+/// kNoop and a kVerify run replay identically when the codec is correct.
+enum class SnapRoundtrip { kOff, kNoop, kVerify };
+
 struct Scenario {
   TopologySpec topology;
   EventKind event = EventKind::kTdown;
@@ -139,6 +150,22 @@ struct Scenario {
   /// converged state against the offline reference at quiescence. The
   /// caller inspects oracle->ok() / violations() afterwards.
   check::Oracle* oracle = nullptr;
+
+  /// When set, the run writes a checkpoint of the fully converged prelude
+  /// (immediately before traffic/event scheduling) into *save_converged.
+  snap::Snapshot* save_converged = nullptr;
+
+  /// When set, the run skips the initial convergence phase and restores
+  /// the network from this checkpoint instead (warm start). The snapshot's
+  /// metadata must match this scenario (topology/config/seed/destination);
+  /// mismatches throw std::invalid_argument.
+  const snap::Snapshot* warm_start = nullptr;
+
+  /// Mid-run save/restore probe; see SnapRoundtrip.
+  SnapRoundtrip snap_roundtrip = SnapRoundtrip::kOff;
+
+  /// Probe offset after the event injection time.
+  sim::SimTime snap_roundtrip_after = sim::SimTime::seconds(5);
 
   [[nodiscard]] std::string label() const;
 };

@@ -4,9 +4,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "sim/logging.hpp"
 #include "sim/thread_pool.hpp"
+#include "snap/cache.hpp"
+#include "snap/snapshot.hpp"
 
 namespace bgpsim::core {
 namespace {
@@ -48,6 +53,49 @@ void summarize_trials(TrialSet& set) {
       collect(set.runs, [](const M& m) { return m.max_loop_duration_s; });
 }
 
+/// A trial may use the prelude cache only when it carries no caller-owned
+/// observation or checkpoint hooks: a warm start skips Phase 1 entirely, so
+/// a trace recorder or oracle would see a different (shorter) event stream,
+/// and caller-set snapshot fields must not be silently repurposed.
+bool cacheable(const Scenario& s) {
+  return s.trace == nullptr && s.oracle == nullptr &&
+         s.warm_start == nullptr && s.save_converged == nullptr &&
+         s.snap_roundtrip == SnapRoundtrip::kOff;
+}
+
+/// Cache key for one trial's converged prelude: driver tag + everything that
+/// shapes Phase 1 (scenario_prelude_hash) + the seed. Scenarios that differ
+/// only in post-event knobs (event kind, flap interval, traffic) share the
+/// key and fork from one cold run.
+std::uint64_t prelude_key(const Scenario& s) {
+  snap::Hasher h;
+  h.mix(static_cast<std::uint64_t>(snap::DriverKind::kBgp));
+  h.mix(scenario_prelude_hash(s));
+  h.mix(s.seed);
+  return h.value();
+}
+
+/// One trial, warm-started from the process-wide PreludeCache when possible.
+/// Shared by the serial and parallel runners so both produce bit-identical
+/// results whether a trial hits or misses the cache.
+ExperimentOutcome run_trial(const Scenario& base, std::size_t i) {
+  Scenario s = trial_scenario(base, i);
+  auto& cache = snap::PreludeCache::instance();
+  if (!cache.enabled() || !cacheable(s)) return run_experiment(s);
+
+  const std::uint64_t key = prelude_key(s);
+  if (const std::shared_ptr<const snap::Snapshot> hit = cache.find(key)) {
+    s.warm_start = hit.get();
+    return run_experiment(s);
+  }
+  snap::Snapshot converged;
+  s.save_converged = &converged;
+  ExperimentOutcome out = run_experiment(s);
+  cache.insert(key,
+               std::make_shared<const snap::Snapshot>(std::move(converged)));
+  return out;
+}
+
 }  // namespace
 
 TrialSet run_trials(Scenario base, std::size_t trials) {
@@ -55,7 +103,7 @@ TrialSet run_trials(Scenario base, std::size_t trials) {
   set.scenario = base;
   set.runs.reserve(trials);
   for (std::size_t i = 0; i < trials; ++i) {
-    set.runs.push_back(run_experiment(trial_scenario(base, i)));
+    set.runs.push_back(run_trial(base, i));
   }
   summarize_trials(set);
   return set;
@@ -66,7 +114,16 @@ TrialSet run_trials_parallel(Scenario base, std::size_t trials,
   if (jobs == 0) jobs = default_jobs();
   // The trace recorder and the invariant oracle are caller-owned,
   // unsynchronized sinks; honor them by running serially rather than
-  // interleaving trials into them.
+  // interleaving trials into them. Say so — a silent fallback reads as a
+  // parallel run that mysteriously used one core.
+  if (jobs > 1 && trials > 1 &&
+      (base.trace != nullptr || base.oracle != nullptr)) {
+    sim::LogLine{sim::LogLevel::kInfo, "core", sim::SimTime::zero()}
+        << "run_trials_parallel: falling back to serial execution because "
+        << (base.trace != nullptr ? "a trace recorder" : "an invariant oracle")
+        << " is attached (caller-owned sinks are not synchronized across "
+           "worker threads)";
+  }
   if (jobs <= 1 || trials <= 1 || base.trace != nullptr ||
       base.oracle != nullptr) {
     return run_trials(base, trials);
@@ -82,7 +139,7 @@ TrialSet run_trials_parallel(Scenario base, std::size_t trials,
     for (std::size_t i = 0; i < trials; ++i) {
       pool.submit([&base, &set, &errors, i] {
         try {
-          set.runs[i] = run_experiment(trial_scenario(base, i));
+          set.runs[i] = run_trial(base, i);
         } catch (...) {
           errors[i] = std::current_exception();
         }

@@ -59,6 +59,48 @@ bool DvNetwork::busy() const {
   return false;
 }
 
+namespace {
+
+void save_dv_payload(snap::Writer& w, const std::any& payload) {
+  const auto& msg = std::any_cast<const DvUpdate&>(payload);
+  w.u64(msg.routes.size());
+  for (const auto& [prefix, metric] : msg.routes) {
+    w.u32(prefix);
+    w.i64(metric);
+  }
+}
+
+std::any load_dv_payload(snap::Reader& r) {
+  DvUpdate msg;
+  const std::uint64_t n = r.u64();
+  msg.routes.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const net::Prefix prefix = r.u32();
+    msg.routes.emplace_back(prefix, static_cast<int>(r.i64()));
+  }
+  return std::any{std::move(msg)};
+}
+
+}  // namespace
+
+void DvNetwork::save_state(snap::Writer& w) const {
+  transport_.save_state(w);
+  for (std::size_t node = 0; node < speakers_.size(); ++node) {
+    queues_[node]->save_state(w, save_dv_payload);
+    speakers_[node]->save_state(w);
+    fibs_[node].save_state(w);
+  }
+}
+
+void DvNetwork::restore_state(snap::Reader& r) {
+  transport_.restore_state(r);
+  for (std::size_t node = 0; node < speakers_.size(); ++node) {
+    queues_[node]->restore_state(r, load_dv_payload);
+    speakers_[node]->restore_state(r);
+    fibs_[node].restore_state(r);
+  }
+}
+
 DvSpeaker::Counters DvNetwork::total_counters() const {
   DvSpeaker::Counters total;
   for (const auto& s : speakers_) {

@@ -50,6 +50,10 @@ class DvNetwork {
 
   [[nodiscard]] DvSpeaker::Counters total_counters() const;
 
+  /// Checkpoint codec (same layout discipline as bgp::BgpNetwork).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
+
  private:
   sim::Simulator& sim_;
   net::Topology& topo_;

@@ -158,4 +158,47 @@ std::optional<net::NodeId> DvSpeaker::next_hop(net::Prefix prefix) const {
   return it->second.next_hop;
 }
 
+void DvSpeaker::save_state(snap::Writer& w) const {
+  snap::write_rng(w, rng_);
+  w.u64(peers_.size());
+  for (const net::NodeId peer : peers_) w.u32(peer);
+  w.u64(originated_.size());
+  for (const net::Prefix prefix : originated_) w.u32(prefix);
+  w.u64(table_.size());
+  for (const auto& [prefix, entry] : table_) {
+    w.u32(prefix);
+    w.i64(entry.metric);
+    w.u32(entry.next_hop);
+  }
+  w.b(trigger_pending_);
+  w.u64(counters_.updates_sent);
+  w.u64(counters_.routes_advertised);
+  w.u64(counters_.poisoned_advertisements);
+  w.u64(counters_.route_changes);
+}
+
+void DvSpeaker::restore_state(snap::Reader& r) {
+  snap::read_rng(r, rng_);
+  peers_.clear();
+  const std::uint64_t n_peers = r.u64();
+  for (std::uint64_t i = 0; i < n_peers; ++i) peers_.insert(r.u32());
+  originated_.clear();
+  const std::uint64_t n_origins = r.u64();
+  for (std::uint64_t i = 0; i < n_origins; ++i) originated_.insert(r.u32());
+  table_.clear();
+  const std::uint64_t n_routes = r.u64();
+  for (std::uint64_t i = 0; i < n_routes; ++i) {
+    const net::Prefix prefix = r.u32();
+    Entry entry;
+    entry.metric = static_cast<int>(r.i64());
+    entry.next_hop = r.u32();
+    table_.emplace(prefix, entry);
+  }
+  trigger_pending_ = r.b();
+  counters_.updates_sent = r.u64();
+  counters_.routes_advertised = r.u64();
+  counters_.poisoned_advertisements = r.u64();
+  counters_.route_changes = r.u64();
+}
+
 }  // namespace bgpsim::dv

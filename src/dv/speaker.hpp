@@ -15,6 +15,7 @@
 #include "net/types.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "snap/codec.hpp"
 
 namespace bgpsim::dv {
 
@@ -70,6 +71,13 @@ class DvSpeaker {
     std::uint64_t route_changes = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Checkpoint codec: RNG, sessions, origins, route table, trigger flag,
+  /// counters. Pending trigger/periodic events stay in the event queue; a
+  /// fresh-graph restore is only valid in triggered-only mode at quiescence
+  /// (no periodic refresh events outstanding).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
  private:
   struct Entry {

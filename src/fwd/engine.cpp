@@ -86,6 +86,66 @@ void DataPlane::finish(const Packet& p, PacketFate fate, net::NodeId where) {
   if (on_fate_) on_fate_(p, fate, where, sim_.now());
 }
 
+void DataPlane::save_state(snap::Writer& w) const {
+  w.u64(next_seq_);
+  w.u64(next_packet_id_);
+  w.u64(in_flight_);
+  w.u64(counters_.injected);
+  w.u64(counters_.delivered);
+  w.u64(counters_.ttl_exhausted);
+  w.u64(counters_.no_route);
+  w.u64(counters_.link_down);
+  w.u64(counters_.hops);
+  w.b(bridge_armed_);
+  w.time(bridge_time_);
+  w.u64(bridge_id_.value);
+  auto heap = heap_;  // drain a copy: ascending, deterministic order
+  w.u64(heap.size());
+  while (!heap.empty()) {
+    const HopEvent& ev = heap.top();
+    w.time(ev.at);
+    w.u64(ev.seq);
+    w.u32(ev.node);
+    w.u64(ev.packet.id);
+    w.u32(ev.packet.source);
+    w.u32(ev.packet.prefix);
+    w.i64(ev.packet.ttl);
+    w.time(ev.packet.sent_at);
+    w.i64(ev.packet.hops_taken);
+    heap.pop();
+  }
+}
+
+void DataPlane::restore_state(snap::Reader& r) {
+  next_seq_ = r.u64();
+  next_packet_id_ = r.u64();
+  in_flight_ = static_cast<std::size_t>(r.u64());
+  counters_.injected = r.u64();
+  counters_.delivered = r.u64();
+  counters_.ttl_exhausted = r.u64();
+  counters_.no_route = r.u64();
+  counters_.link_down = r.u64();
+  counters_.hops = r.u64();
+  bridge_armed_ = r.b();
+  bridge_time_ = r.time();
+  bridge_id_ = sim::EventId{r.u64()};
+  heap_ = {};
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    HopEvent ev;
+    ev.at = r.time();
+    ev.seq = r.u64();
+    ev.node = r.u32();
+    ev.packet.id = r.u64();
+    ev.packet.source = r.u32();
+    ev.packet.prefix = r.u32();
+    ev.packet.ttl = static_cast<int>(r.i64());
+    ev.packet.sent_at = r.time();
+    ev.packet.hops_taken = static_cast<int>(r.i64());
+    heap_.push(std::move(ev));
+  }
+}
+
 void DataPlane::push_hop(sim::SimTime at, net::NodeId node, Packet packet) {
   heap_.push(HopEvent{at, next_seq_++, node, std::move(packet)});
   rearm();

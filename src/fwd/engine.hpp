@@ -63,6 +63,15 @@ class DataPlane {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  /// Checkpoint packet-event heap, id/seq counters, packet counters, and
+  /// the bridge-event bookkeeping (sorted heap order: deterministic bytes).
+  void save_state(snap::Writer& w) const;
+
+  /// Inverse of save_state, replacing the heap contents. Valid in place
+  /// (the bridge closure, if armed, is still scheduled and unchanged) or
+  /// into a fresh plane restored at quiescence (empty heap, bridge unarmed).
+  void restore_state(snap::Reader& r);
+
  private:
   struct HopEvent {
     sim::SimTime at;

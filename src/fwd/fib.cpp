@@ -1,5 +1,8 @@
 #include "fwd/fib.hpp"
 
+#include <algorithm>
+#include <map>
+
 namespace bgpsim::fwd {
 
 bool Fib::set_next_hop(net::Prefix prefix, net::NodeId next_hop) {
@@ -25,6 +28,35 @@ std::optional<net::NodeId> Fib::next_hop(net::Prefix prefix) const {
   auto it = routes_.find(prefix);
   if (it == routes_.end()) return std::nullopt;
   return it->second;
+}
+
+void Fib::save_state(snap::Writer& w) const {
+  std::vector<std::pair<net::Prefix, net::NodeId>> entries{routes_.begin(),
+                                                           routes_.end()};
+  std::sort(entries.begin(), entries.end());
+  w.u64(entries.size());
+  for (const auto& [prefix, hop] : entries) {
+    w.u32(prefix);
+    w.u32(hop);
+  }
+}
+
+void Fib::restore_state(snap::Reader& r) {
+  std::map<net::Prefix, net::NodeId> desired;
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const net::Prefix prefix = r.u32();
+    desired[prefix] = r.u32();
+  }
+  // Clear stale entries first (sorted, for a deterministic notify order),
+  // then install the checkpointed ones.
+  std::vector<net::Prefix> stale;
+  for (const auto& [prefix, hop] : routes_) {
+    if (!desired.contains(prefix)) stale.push_back(prefix);
+  }
+  std::sort(stale.begin(), stale.end());
+  for (const net::Prefix prefix : stale) clear_route(prefix);
+  for (const auto& [prefix, hop] : desired) set_next_hop(prefix, hop);
 }
 
 void Fib::notify(net::Prefix prefix, std::optional<net::NodeId> previous,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/types.hpp"
+#include "snap/codec.hpp"
 
 namespace bgpsim::fwd {
 
@@ -42,6 +43,17 @@ class Fib {
 
   /// Subscribe in addition to the observers already installed.
   void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
+
+  /// Checkpoint the route table (sorted by prefix for determinism).
+  void save_state(snap::Writer& w) const;
+
+  /// Restore by *reconciling*: install every checkpointed entry and clear
+  /// every entry absent from the checkpoint, all through the normal
+  /// set_next_hop / clear_route paths so observers (loop detector, oracle)
+  /// rebuild their mirrors. Restoring a state identical to the current one
+  /// therefore notifies nobody — the property the in-place round-trip
+  /// probes rely on.
+  void restore_state(snap::Reader& r);
 
  private:
   void notify(net::Prefix prefix, std::optional<net::NodeId> previous,

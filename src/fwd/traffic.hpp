@@ -10,6 +10,7 @@
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
+#include "snap/codec.hpp"
 
 namespace bgpsim::fwd {
 
@@ -47,6 +48,20 @@ class TrafficGenerator {
 
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+
+  /// Checkpoint the stagger RNG and send counters. Per-source tick chains
+  /// are scheduled closures: preserved in place by an in-run checkpoint,
+  /// not yet started at a pre-traffic (quiescent) one.
+  void save_state(snap::Writer& w) const {
+    snap::write_rng(w, rng_);
+    w.b(running_);
+    w.u64(sent_);
+  }
+  void restore_state(snap::Reader& r) {
+    snap::read_rng(r, rng_);
+    running_ = r.b();
+    sent_ = r.u64();
+  }
 
  private:
   void tick(net::NodeId source);

@@ -63,6 +63,55 @@ bool LsNetwork::busy() const {
   return false;
 }
 
+namespace {
+
+void save_lsa_payload(snap::Writer& w, const std::any& payload) {
+  const Lsa& lsa = std::any_cast<const LsaMsg&>(payload).lsa;
+  w.u32(lsa.origin);
+  w.u64(lsa.seq);
+  w.u64(lsa.neighbors.size());
+  for (const net::NodeId n : lsa.neighbors) w.u32(n);
+  w.u64(lsa.prefixes.size());
+  for (const net::Prefix p : lsa.prefixes) w.u32(p);
+}
+
+std::any load_lsa_payload(snap::Reader& r) {
+  LsaMsg msg;
+  msg.lsa.origin = r.u32();
+  msg.lsa.seq = r.u64();
+  const std::uint64_t n_nbrs = r.u64();
+  msg.lsa.neighbors.reserve(static_cast<std::size_t>(n_nbrs));
+  for (std::uint64_t i = 0; i < n_nbrs; ++i) {
+    msg.lsa.neighbors.push_back(r.u32());
+  }
+  const std::uint64_t n_prefixes = r.u64();
+  msg.lsa.prefixes.reserve(static_cast<std::size_t>(n_prefixes));
+  for (std::uint64_t i = 0; i < n_prefixes; ++i) {
+    msg.lsa.prefixes.push_back(r.u32());
+  }
+  return std::any{std::move(msg)};
+}
+
+}  // namespace
+
+void LsNetwork::save_state(snap::Writer& w) const {
+  transport_.save_state(w);
+  for (std::size_t node = 0; node < speakers_.size(); ++node) {
+    queues_[node]->save_state(w, save_lsa_payload);
+    speakers_[node]->save_state(w);
+    fibs_[node].save_state(w);
+  }
+}
+
+void LsNetwork::restore_state(snap::Reader& r) {
+  transport_.restore_state(r);
+  for (std::size_t node = 0; node < speakers_.size(); ++node) {
+    queues_[node]->restore_state(r, load_lsa_payload);
+    speakers_[node]->restore_state(r);
+    fibs_[node].restore_state(r);
+  }
+}
+
 LsSpeaker::Counters LsNetwork::total_counters() const {
   LsSpeaker::Counters total;
   for (const auto& s : speakers_) {

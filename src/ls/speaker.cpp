@@ -178,4 +178,80 @@ const Lsa* LsSpeaker::lsdb_entry(net::NodeId origin) const {
   return it == lsdb_.end() ? nullptr : &it->second;
 }
 
+namespace {
+
+void save_lsa(snap::Writer& w, const Lsa& lsa) {
+  w.u32(lsa.origin);
+  w.u64(lsa.seq);
+  w.u64(lsa.neighbors.size());
+  for (const net::NodeId n : lsa.neighbors) w.u32(n);
+  w.u64(lsa.prefixes.size());
+  for (const net::Prefix p : lsa.prefixes) w.u32(p);
+}
+
+Lsa load_lsa(snap::Reader& r) {
+  Lsa lsa;
+  lsa.origin = r.u32();
+  lsa.seq = r.u64();
+  const std::uint64_t n_nbrs = r.u64();
+  lsa.neighbors.reserve(static_cast<std::size_t>(n_nbrs));
+  for (std::uint64_t i = 0; i < n_nbrs; ++i) lsa.neighbors.push_back(r.u32());
+  const std::uint64_t n_prefixes = r.u64();
+  lsa.prefixes.reserve(static_cast<std::size_t>(n_prefixes));
+  for (std::uint64_t i = 0; i < n_prefixes; ++i) {
+    lsa.prefixes.push_back(r.u32());
+  }
+  return lsa;
+}
+
+}  // namespace
+
+void LsSpeaker::save_state(snap::Writer& w) const {
+  snap::write_rng(w, rng_);
+  w.u64(peers_.size());
+  for (const net::NodeId peer : peers_) w.u32(peer);
+  w.u64(hosted_.size());
+  for (const net::Prefix prefix : hosted_) w.u32(prefix);
+  w.u64(tracked_prefixes_.size());
+  for (const net::Prefix prefix : tracked_prefixes_) w.u32(prefix);
+  w.u64(lsdb_.size());
+  for (const auto& [origin, lsa] : lsdb_) save_lsa(w, lsa);
+  w.u64(my_seq_);
+  w.b(spf_pending_);
+  w.u64(counters_.lsas_originated);
+  w.u64(counters_.lsas_flooded);
+  w.u64(counters_.lsas_accepted);
+  w.u64(counters_.lsas_ignored);
+  w.u64(counters_.spf_runs);
+}
+
+void LsSpeaker::restore_state(snap::Reader& r) {
+  snap::read_rng(r, rng_);
+  peers_.clear();
+  const std::uint64_t n_peers = r.u64();
+  for (std::uint64_t i = 0; i < n_peers; ++i) peers_.insert(r.u32());
+  hosted_.clear();
+  const std::uint64_t n_hosted = r.u64();
+  for (std::uint64_t i = 0; i < n_hosted; ++i) hosted_.insert(r.u32());
+  tracked_prefixes_.clear();
+  const std::uint64_t n_tracked = r.u64();
+  for (std::uint64_t i = 0; i < n_tracked; ++i) {
+    tracked_prefixes_.insert(r.u32());
+  }
+  lsdb_.clear();
+  const std::uint64_t n_lsas = r.u64();
+  for (std::uint64_t i = 0; i < n_lsas; ++i) {
+    Lsa lsa = load_lsa(r);
+    const net::NodeId origin = lsa.origin;
+    lsdb_.emplace(origin, std::move(lsa));
+  }
+  my_seq_ = r.u64();
+  spf_pending_ = r.b();
+  counters_.lsas_originated = r.u64();
+  counters_.lsas_flooded = r.u64();
+  counters_.lsas_accepted = r.u64();
+  counters_.lsas_ignored = r.u64();
+  counters_.spf_runs = r.u64();
+}
+
 }  // namespace bgpsim::ls

@@ -15,6 +15,7 @@
 #include "net/types.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "snap/codec.hpp"
 
 namespace bgpsim::ls {
 
@@ -71,6 +72,12 @@ class LsSpeaker {
     std::uint64_t spf_runs = 0;
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Checkpoint codec: RNG, sessions, hosted/tracked prefixes, LSDB,
+  /// sequence counter, SPF flag, counters. A pending delayed-SPF event
+  /// stays in the event queue (in-place restores only).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
  private:
   void originate_self_lsa();

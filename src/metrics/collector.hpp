@@ -9,6 +9,7 @@
 #include "fwd/packet.hpp"
 #include "net/types.hpp"
 #include "sim/time.hpp"
+#include "snap/codec.hpp"
 
 namespace bgpsim::metrics {
 
@@ -70,6 +71,12 @@ class Collector {
   [[nodiscard]] std::uint64_t packets_sent_total() const {
     return send_times_.size();
   }
+
+  /// Checkpoint every recorded series and counter: post-restore metrics
+  /// queries must see the pre-checkpoint history (totals span the whole
+  /// run, including the prelude).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
  private:
   std::vector<sim::SimTime> update_times_;

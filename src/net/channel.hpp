@@ -10,6 +10,7 @@
 #include "net/topology.hpp"
 #include "net/types.hpp"
 #include "sim/scheduler.hpp"
+#include "snap/codec.hpp"
 
 namespace bgpsim::net {
 
@@ -60,6 +61,21 @@ class Transport {
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t messages_lost() const { return lost_; }
+
+  /// Checkpoint the wire counters. Messages physically in flight live in
+  /// scheduled delivery closures (which a checkpoint preserves in place,
+  /// or which are absent at quiescence), so the counters are the whole
+  /// serializable state.
+  void save_state(snap::Writer& w) const {
+    w.u64(sent_);
+    w.u64(delivered_);
+    w.u64(lost_);
+  }
+  void restore_state(snap::Reader& r) {
+    sent_ = r.u64();
+    delivered_ = r.u64();
+    lost_ = r.u64();
+  }
 
  private:
   void deliver(LinkId link, sim::EventId self_id, const Envelope& env);

@@ -12,6 +12,45 @@ void ProcessingQueue::accept_session_event(SessionEvent ev) {
   if (!busy_) start_next();
 }
 
+void ProcessingQueue::save_state(snap::Writer& w,
+                                 const PayloadSaver& save_payload) const {
+  snap::write_rng(w, rng_);
+  w.b(busy_);
+  w.u64(queue_.size());
+  for (const WorkItem& item : queue_) {
+    w.b(item.is_session_event);
+    if (item.is_session_event) {
+      w.u32(item.session.peer);
+      w.b(item.session.up);
+    } else {
+      w.u32(item.env.from);
+      w.u32(item.env.to);
+      save_payload(w, item.env.payload);
+    }
+  }
+}
+
+void ProcessingQueue::restore_state(snap::Reader& r,
+                                    const PayloadLoader& load_payload) {
+  snap::read_rng(r, rng_);
+  busy_ = r.b();
+  const std::uint64_t n = r.u64();
+  queue_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    WorkItem item;
+    item.is_session_event = r.b();
+    if (item.is_session_event) {
+      item.session.peer = r.u32();
+      item.session.up = r.b();
+    } else {
+      item.env.from = r.u32();
+      item.env.to = r.u32();
+      item.env.payload = load_payload(r);
+    }
+    queue_.push_back(std::move(item));
+  }
+}
+
 void ProcessingQueue::start_next() {
   busy_ = true;
   const sim::SimTime d =

@@ -1,6 +1,7 @@
 // Serialized control-plane message processing with per-message CPU delay.
 #pragma once
 
+#include <any>
 #include <deque>
 #include <functional>
 #include <utility>
@@ -36,8 +37,19 @@ class ProcessingQueue {
     bool up = false;
   };
 
+  /// A queued unit of work: a message, or a locally observed session event.
+  struct WorkItem {
+    bool is_session_event;
+    Envelope env;           // valid when !is_session_event
+    SessionEvent session;   // valid when is_session_event
+  };
+
   using MessageHandler = std::function<void(const Envelope&)>;
   using SessionEventHandler = std::function<void(const SessionEvent&)>;
+  /// Payload codecs for checkpointing: the queue stores protocol messages
+  /// as std::any, so the owning network supplies the concrete encoding.
+  using PayloadSaver = std::function<void(snap::Writer&, const std::any&)>;
+  using PayloadLoader = std::function<std::any(snap::Reader&)>;
 
   ProcessingQueue(sim::Simulator& simulator, sim::Rng rng, ProcessingDelay d)
       : sim_{simulator}, rng_{std::move(rng)}, delay_{d} {}
@@ -54,13 +66,17 @@ class ProcessingQueue {
   [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
   [[nodiscard]] bool busy() const { return busy_; }
 
- private:
-  struct WorkItem {
-    bool is_session_event;
-    Envelope env;           // valid when !is_session_event
-    SessionEvent session;   // valid when is_session_event
-  };
+  /// Checkpoint the delay RNG, the busy flag, and every queued item.
+  /// The completion event of an in-progress item is a scheduled closure —
+  /// preserved in place by an in-run checkpoint, absent at quiescence.
+  void save_state(snap::Writer& w, const PayloadSaver& save_payload) const;
 
+  /// Inverse of save_state. Replaces the queue contents; does not schedule
+  /// anything (the in-progress completion closure, if any, must already be
+  /// live — true for in-place restore, vacuous at quiescence).
+  void restore_state(snap::Reader& r, const PayloadLoader& load_payload);
+
+ private:
   void start_next();
 
   sim::Simulator& sim_;

@@ -55,6 +55,13 @@ class EventQueue {
   /// Drop all pending events.
   void clear();
 
+  /// Sequence number the next push() will use. Checkpointed so a restored
+  /// run assigns the same EventIds (and FIFO tie-breaks) as the original.
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Restore the push counter (checkpoint restore only; requires empty()).
+  void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+
  private:
   struct Entry {
     SimTime time;

@@ -45,6 +45,20 @@ class Rng {
   /// sequence is a pure function of (root seed, label, index).
   [[nodiscard]] Rng child(std::string_view label, std::uint64_t index = 0) const;
 
+  /// Raw engine state, for checkpoint/restore (snap/). The retained root
+  /// seed is part of the state because child() derives from it.
+  struct State {
+    std::uint64_t s[4] = {};
+    std::uint64_t seed = 0;
+  };
+  [[nodiscard]] State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, seed_};
+  }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    seed_ = st.seed;
+  }
+
  private:
   std::uint64_t s_[4];
   std::uint64_t seed_;  // retained so child() derives from the root seed

@@ -52,6 +52,21 @@ class Simulator {
   /// Drop all pending events (the clock is not reset).
   void clear_pending() { queue_.clear(); }
 
+  /// Sequence number the next scheduled event will receive — part of the
+  /// deterministic-replay state alongside now() and events_fired().
+  [[nodiscard]] std::uint64_t event_seq() const { return queue_.next_seq(); }
+
+  /// Checkpoint restore: set the clock, fired-event count, and event
+  /// sequence counter in one step so a restored run continues with
+  /// bit-identical timestamps, counts, and FIFO tie-breaks. Does not touch
+  /// pending events; the caller is responsible for restoring at a moment
+  /// where the queue contents match the checkpoint (e.g. quiescence).
+  void restore_clock(SimTime now, std::uint64_t fired, std::uint64_t seq) {
+    now_ = now;
+    fired_ = fired;
+    queue_.set_next_seq(seq);
+  }
+
  private:
   EventQueue queue_;
   SimTime now_ = SimTime::zero();

@@ -1,0 +1,107 @@
+#include "snap/cache.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace bgpsim::snap {
+namespace {
+
+// Local parse of BGPSIM_SNAP_CACHE (snap sits below core, so it cannot
+// use core::env_or); same contract: warn on garbage, fall back.
+std::size_t capacity_from_env() {
+  const char* raw = std::getenv("BGPSIM_SNAP_CACHE");
+  if (!raw || !*raw) return PreludeCache::kDefaultCapacity;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    std::fprintf(stderr,
+                 "bgpsim: ignoring BGPSIM_SNAP_CACHE=\"%s\" (not an unsigned "
+                 "integer), using %zu\n",
+                 raw, PreludeCache::kDefaultCapacity);
+    return PreludeCache::kDefaultCapacity;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+PreludeCache::PreludeCache() : capacity_{capacity_from_env()} {}
+
+PreludeCache& PreludeCache::instance() {
+  static PreludeCache cache;
+  return cache;
+}
+
+std::shared_ptr<const Snapshot> PreludeCache::find(std::uint64_t key) {
+  std::lock_guard lock{mu_};
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second.first;
+}
+
+void PreludeCache::insert(std::uint64_t key,
+                          std::shared_ptr<const Snapshot> snapshot) {
+  if (!snapshot) return;
+  std::lock_guard lock{mu_};
+  if (capacity_ == 0 || entries_.contains(key)) return;
+  order_.push_back(key);
+  entries_.emplace(key, std::pair{std::move(snapshot), std::prev(order_.end())});
+  evict_to_capacity_locked();
+}
+
+bool PreludeCache::enabled() const {
+  std::lock_guard lock{mu_};
+  return capacity_ > 0;
+}
+
+std::size_t PreludeCache::capacity() const {
+  std::lock_guard lock{mu_};
+  return capacity_;
+}
+
+std::size_t PreludeCache::size() const {
+  std::lock_guard lock{mu_};
+  return entries_.size();
+}
+
+void PreludeCache::set_capacity(std::size_t capacity) {
+  std::lock_guard lock{mu_};
+  capacity_ = capacity;
+  evict_to_capacity_locked();
+}
+
+void PreludeCache::clear() {
+  std::lock_guard lock{mu_};
+  entries_.clear();
+  order_.clear();
+}
+
+std::uint64_t PreludeCache::hits() const {
+  std::lock_guard lock{mu_};
+  return hits_;
+}
+
+std::uint64_t PreludeCache::misses() const {
+  std::lock_guard lock{mu_};
+  return misses_;
+}
+
+void PreludeCache::reset_stats() {
+  std::lock_guard lock{mu_};
+  hits_ = 0;
+  misses_ = 0;
+}
+
+void PreludeCache::evict_to_capacity_locked() {
+  while (entries_.size() > capacity_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+}  // namespace bgpsim::snap

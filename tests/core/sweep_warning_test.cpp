@@ -1,0 +1,87 @@
+// run_trials_parallel must say why it degrades to serial execution: a
+// caller who attached a trace recorder or an invariant oracle and asked
+// for N jobs should find the reason in the log, not a silent one-core run.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/oracle.hpp"
+#include "core/scenario.hpp"
+#include "core/sweep.hpp"
+#include "metrics/trace.hpp"
+#include "sim/logging.hpp"
+
+namespace bgpsim::core {
+namespace {
+
+Scenario small_scenario() {
+  Scenario s;
+  s.topology.kind = TopologyKind::kClique;
+  s.topology.size = 4;
+  s.bgp.mrai = sim::SimTime::seconds(2);
+  s.seed = 3;
+  return s;
+}
+
+class LogCapture {
+ public:
+  LogCapture() {
+    sim::Log::set_level(sim::LogLevel::kInfo);
+    sim::Log::set_sink([this](sim::LogLevel, std::string_view component,
+                              sim::SimTime, std::string_view message) {
+      lines_.push_back(std::string{component} + ": " + std::string{message});
+    });
+  }
+  ~LogCapture() {
+    sim::Log::set_sink(nullptr);
+    sim::Log::set_level(sim::LogLevel::kOff);
+  }
+
+  [[nodiscard]] bool contains(const std::string& needle) const {
+    for (const auto& line : lines_) {
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+  [[nodiscard]] const std::vector<std::string>& lines() const {
+    return lines_;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+TEST(SweepWarning, OracleFallbackIsAnnounced) {
+  LogCapture capture;
+  Scenario s = small_scenario();
+  check::Oracle oracle = check::Oracle::standard();
+  s.oracle = &oracle;
+
+  const TrialSet set = run_trials_parallel(s, 2, 2);
+  EXPECT_EQ(set.runs.size(), 2U);  // fallback still runs every trial
+  EXPECT_TRUE(capture.contains("falling back to serial"));
+  EXPECT_TRUE(capture.contains("invariant oracle"));
+}
+
+TEST(SweepWarning, TraceFallbackNamesTheRecorder) {
+  LogCapture capture;
+  Scenario s = small_scenario();
+  metrics::TraceRecorder trace;
+  s.trace = &trace;
+
+  const TrialSet set = run_trials_parallel(s, 2, 2);
+  EXPECT_EQ(set.runs.size(), 2U);
+  EXPECT_TRUE(capture.contains("falling back to serial"));
+  EXPECT_TRUE(capture.contains("trace recorder"));
+}
+
+TEST(SweepWarning, GenuineParallelRunStaysQuiet) {
+  LogCapture capture;
+  const TrialSet set = run_trials_parallel(small_scenario(), 2, 2);
+  EXPECT_EQ(set.runs.size(), 2U);
+  EXPECT_FALSE(capture.contains("falling back to serial"));
+}
+
+}  // namespace
+}  // namespace bgpsim::core

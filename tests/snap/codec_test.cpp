@@ -1,0 +1,248 @@
+// Codec, snapshot container, and prelude-cache unit tests.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "snap/cache.hpp"
+#include "snap/codec.hpp"
+#include "snap/snapshot.hpp"
+
+namespace bgpsim::snap {
+namespace {
+
+TEST(Codec, WriterReaderRoundTripAllTypes) {
+  Writer w;
+  w.u8(0xab);
+  w.b(true);
+  w.b(false);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.25);
+  w.time(sim::SimTime::millis(1500));
+  w.str("hello, checkpoint");
+
+  const std::vector<std::uint8_t> bytes = std::move(w).take();
+  Reader r{bytes};
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  EXPECT_EQ(r.u32(), 0xdeadbeefU);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.25);
+  EXPECT_EQ(r.time(), sim::SimTime::millis(1500));
+  EXPECT_EQ(r.str(), "hello, checkpoint");
+  EXPECT_EQ(r.remaining(), 0U);
+  EXPECT_NO_THROW(r.finish());
+}
+
+TEST(Codec, TruncationThrowsFormatError) {
+  Writer w;
+  w.u32(7);
+  const std::vector<std::uint8_t> bytes = std::move(w).take();
+  Reader r{bytes};
+  EXPECT_THROW(r.u64(), FormatError);  // only 4 bytes present
+}
+
+TEST(Codec, TrailingBytesRejectedByFinish) {
+  Writer w;
+  w.u32(7);
+  w.u8(1);
+  const std::vector<std::uint8_t> bytes = std::move(w).take();
+  Reader r{bytes};
+  (void)r.u32();
+  EXPECT_THROW(r.finish(), FormatError);
+}
+
+TEST(Codec, RngStateRoundTripContinuesIdentically) {
+  sim::Rng a{123};
+  (void)a.next_u64();
+  (void)a.child("stream").next_u64();
+
+  Writer w;
+  write_rng(w, a);
+  sim::Rng b{999};  // different seed, fully overwritten by restore
+  const std::vector<std::uint8_t> bytes = std::move(w).take();
+  Reader r{bytes};
+  read_rng(r, b);
+
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_EQ(a.child("again", 4).next_u64(), b.child("again", 4).next_u64());
+}
+
+TEST(Codec, HasherIsOrderSensitiveAndDeterministic) {
+  const std::uint64_t ab = Hasher{}.mix(1).mix(2).value();
+  const std::uint64_t ba = Hasher{}.mix(2).mix(1).value();
+  EXPECT_NE(ab, ba);
+  EXPECT_EQ(ab, Hasher{}.mix(1).mix(2).value());
+}
+
+SnapshotMeta sample_meta() {
+  SnapshotMeta meta;
+  meta.driver = DriverKind::kDv;
+  meta.topology_hash = 111;
+  meta.config_hash = 222;
+  meta.seed = 333;
+  meta.destination = 4;
+  meta.originated = true;
+  meta.quiescent = true;
+  meta.sim_time = sim::SimTime::seconds(30);
+  return meta;
+}
+
+std::vector<std::uint8_t> sample_payload() { return {1, 2, 3, 4, 5, 6, 7}; }
+
+TEST(Snapshot, EncodeDecodeRoundTrip) {
+  const Snapshot original{sample_meta(), sample_payload()};
+  const Snapshot decoded = Snapshot::decode(original.encode());
+
+  EXPECT_EQ(decoded.meta().driver, DriverKind::kDv);
+  EXPECT_EQ(decoded.meta().topology_hash, 111U);
+  EXPECT_EQ(decoded.meta().config_hash, 222U);
+  EXPECT_EQ(decoded.meta().seed, 333U);
+  EXPECT_EQ(decoded.meta().destination, 4U);
+  EXPECT_TRUE(decoded.meta().originated);
+  EXPECT_TRUE(decoded.meta().quiescent);
+  EXPECT_EQ(decoded.meta().sim_time, sim::SimTime::seconds(30));
+  EXPECT_EQ(decoded.payload(), sample_payload());
+  EXPECT_EQ(decoded.content_hash(), original.content_hash());
+}
+
+TEST(Snapshot, BadMagicRejected) {
+  std::vector<std::uint8_t> blob = Snapshot{sample_meta(), sample_payload()}.encode();
+  blob[0] ^= 0xff;
+  try {
+    (void)Snapshot::decode(blob);
+    FAIL() << "decode accepted a corrupt magic";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string{e.what()}.find("magic"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, FutureFormatVersionRejectedWithClearError) {
+  std::vector<std::uint8_t> blob = Snapshot{sample_meta(), sample_payload()}.encode();
+  // Bump the version field in place; the reader must identify the version
+  // mismatch (not report garbage or an integrity failure) even though the
+  // trailer no longer matches either.
+  blob[kVersionOffset] = static_cast<std::uint8_t>(kFormatVersion + 1);
+  try {
+    (void)Snapshot::decode(blob);
+    FAIL() << "decode accepted a future format version";
+  } catch (const FormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unsupported snapshot format version"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find(std::to_string(kFormatVersion + 1)), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Snapshot, CorruptedPayloadFailsIntegrityCheck) {
+  const Snapshot original{sample_meta(), sample_payload()};
+  std::vector<std::uint8_t> blob = original.encode();
+  blob[blob.size() - 12] ^= 0x01;  // inside the payload, before the trailer
+  try {
+    (void)Snapshot::decode(blob);
+    FAIL() << "decode accepted a corrupt payload";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string{e.what()}.find("integrity"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, TruncatedBlobRejected) {
+  std::vector<std::uint8_t> blob = Snapshot{sample_meta(), sample_payload()}.encode();
+  blob.resize(blob.size() - 3);
+  EXPECT_THROW((void)Snapshot::decode(blob), FormatError);
+  EXPECT_THROW((void)Snapshot::decode(std::vector<std::uint8_t>(4)),
+               FormatError);
+}
+
+TEST(Snapshot, FileRoundTripAndMissingFile) {
+  const std::string path =
+      testing::TempDir() + "/bgpsim_codec_test_state.snap";
+  const Snapshot original{sample_meta(), sample_payload()};
+  original.save_file(path);
+  const Snapshot loaded = Snapshot::load_file(path);
+  EXPECT_EQ(loaded.content_hash(), original.content_hash());
+  EXPECT_EQ(loaded.meta().seed, original.meta().seed);
+  std::remove(path.c_str());
+
+  EXPECT_THROW((void)Snapshot::load_file(path), std::runtime_error);
+}
+
+class PreludeCacheTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto& cache = PreludeCache::instance();
+    cache.set_capacity(PreludeCache::kDefaultCapacity);
+    cache.clear();
+    cache.reset_stats();
+  }
+  void TearDown() override { SetUp(); }
+
+  static std::shared_ptr<const Snapshot> snap(std::uint64_t seed) {
+    SnapshotMeta meta = sample_meta();
+    meta.seed = seed;
+    return std::make_shared<const Snapshot>(meta, sample_payload());
+  }
+};
+
+TEST_F(PreludeCacheTest, FindInsertAndStats) {
+  auto& cache = PreludeCache::instance();
+  EXPECT_EQ(cache.find(1), nullptr);
+  cache.insert(1, snap(1));
+  const auto hit = cache.find(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->meta().seed, 1U);
+  EXPECT_EQ(cache.hits(), 1U);
+  EXPECT_EQ(cache.misses(), 1U);
+}
+
+TEST_F(PreludeCacheTest, FirstWriterWins) {
+  auto& cache = PreludeCache::instance();
+  cache.insert(1, snap(10));
+  cache.insert(1, snap(20));  // concurrent duplicate: dropped
+  EXPECT_EQ(cache.size(), 1U);
+  EXPECT_EQ(cache.find(1)->meta().seed, 10U);
+}
+
+TEST_F(PreludeCacheTest, CapacityZeroDisablesEverything) {
+  auto& cache = PreludeCache::instance();
+  cache.set_capacity(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert(1, snap(1));
+  EXPECT_EQ(cache.size(), 0U);
+  EXPECT_EQ(cache.find(1), nullptr);
+}
+
+TEST_F(PreludeCacheTest, EvictsOldestWhenFull) {
+  auto& cache = PreludeCache::instance();
+  cache.set_capacity(2);
+  cache.insert(1, snap(1));
+  cache.insert(2, snap(2));
+  cache.insert(3, snap(3));  // evicts key 1
+  EXPECT_EQ(cache.size(), 2U);
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_NE(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+}
+
+TEST_F(PreludeCacheTest, ShrinkingCapacityEvicts) {
+  auto& cache = PreludeCache::instance();
+  cache.insert(1, snap(1));
+  cache.insert(2, snap(2));
+  cache.insert(3, snap(3));
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1U);
+  EXPECT_NE(cache.find(3), nullptr);  // newest survives
+}
+
+}  // namespace
+}  // namespace bgpsim::snap

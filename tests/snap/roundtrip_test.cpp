@@ -1,0 +1,125 @@
+// Mid-run snapshot round-trip bit-equivalence.
+//
+// Every case runs one scenario twice: once with a no-op probe scheduled
+// mid-run (SnapRoundtrip::kNoop) and once where that probe serializes the
+// entire simulation, restores it in place, and re-serializes
+// (SnapRoundtrip::kVerify — the driver itself throws if the re-encode
+// differs byte-for-byte). Both passes must then finish with identical
+// outcomes: a snapshot round-trip is invisible to the simulation.
+#include <bit>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "bgp/config.hpp"
+#include "check/oracle.hpp"
+#include "core/dv_experiment.hpp"
+#include "core/experiment.hpp"
+#include "core/ls_experiment.hpp"
+#include "core/scenario.hpp"
+#include "snap/codec.hpp"
+
+namespace bgpsim {
+namespace {
+
+std::uint64_t outcome_digest(const core::ExperimentOutcome& out) {
+  snap::Hasher h;
+  h.mix(out.events_fired);
+  h.mix(out.destination);
+  h.mix(std::bit_cast<std::uint64_t>(out.initial_convergence_s));
+  const metrics::RunMetrics& m = out.metrics;
+  h.mix(std::bit_cast<std::uint64_t>(m.convergence_time_s));
+  h.mix(std::bit_cast<std::uint64_t>(m.looping_duration_s));
+  h.mix(m.ttl_exhaustions);
+  h.mix(m.loops_formed);
+  h.mix(std::bit_cast<std::uint64_t>(m.looping_ratio));
+  h.mix(std::bit_cast<std::uint64_t>(m.max_loop_duration_s));
+  h.mix(m.updates_sent_total);
+  h.mix(m.packets_sent_total);
+  h.mix(m.packets_delivered);
+  h.mix(m.packets_no_route);
+  return h.value();
+}
+
+TEST(SnapRoundtrip, BgpEveryEnhancementEveryEvent) {
+  for (const bgp::Enhancement enh : bgp::kAllEnhancements) {
+    for (const core::EventKind event :
+         {core::EventKind::kTdown, core::EventKind::kTlong,
+          core::EventKind::kFlap}) {
+      core::Scenario s;
+      s.topology.kind = core::TopologyKind::kClique;
+      s.topology.size = 6;
+      s.event = event;
+      s.bgp = s.bgp.with(enh);
+      s.bgp.mrai = sim::SimTime::seconds(5);
+      s.seed = 11;
+      s.snap_roundtrip_after = sim::SimTime::seconds(2);
+
+      s.snap_roundtrip = core::SnapRoundtrip::kNoop;
+      check::Oracle baseline_oracle = check::Oracle::standard();
+      s.oracle = &baseline_oracle;
+      const core::ExperimentOutcome baseline = core::run_experiment(s);
+
+      s.snap_roundtrip = core::SnapRoundtrip::kVerify;
+      check::Oracle verify_oracle = check::Oracle::standard();
+      s.oracle = &verify_oracle;
+      const core::ExperimentOutcome verified = core::run_experiment(s);
+
+      EXPECT_TRUE(verify_oracle.ok()) << s.label();
+      EXPECT_EQ(outcome_digest(baseline), outcome_digest(verified))
+          << s.label() << ": a mid-run save/restore changed the outcome";
+    }
+  }
+}
+
+TEST(SnapRoundtrip, DvTriggeredOnlyAndPeriodic) {
+  struct Case {
+    core::EventKind event;
+    bool periodic;
+  };
+  for (const Case c : {Case{core::EventKind::kTdown, false},
+                       Case{core::EventKind::kTlong, false},
+                       Case{core::EventKind::kTdown, true}}) {
+    core::DvScenario s;
+    s.topology.kind = core::TopologyKind::kClique;
+    s.topology.size = 6;
+    s.event = c.event;
+    if (!c.periodic) s.dv.periodic = sim::SimTime::zero();
+    s.seed = 11;
+    s.snap_roundtrip_after = sim::SimTime::seconds(2);
+
+    s.snap_roundtrip = core::SnapRoundtrip::kNoop;
+    const core::ExperimentOutcome baseline = core::run_dv_experiment(s);
+
+    s.snap_roundtrip = core::SnapRoundtrip::kVerify;
+    const core::ExperimentOutcome verified = core::run_dv_experiment(s);
+
+    EXPECT_EQ(outcome_digest(baseline), outcome_digest(verified))
+        << "dv event " << static_cast<int>(c.event) << " periodic "
+        << c.periodic;
+  }
+}
+
+TEST(SnapRoundtrip, LsLinkAndRouteEvents) {
+  for (const core::EventKind event :
+       {core::EventKind::kTdown, core::EventKind::kTlong}) {
+    core::LsScenario s;
+    s.topology.kind = core::TopologyKind::kRing;
+    s.topology.size = 6;
+    s.event = event;
+    s.seed = 11;
+    s.snap_roundtrip_after = sim::SimTime::millis(500);
+
+    s.snap_roundtrip = core::SnapRoundtrip::kNoop;
+    const core::ExperimentOutcome baseline = core::run_ls_experiment(s);
+
+    s.snap_roundtrip = core::SnapRoundtrip::kVerify;
+    const core::ExperimentOutcome verified = core::run_ls_experiment(s);
+
+    EXPECT_EQ(outcome_digest(baseline), outcome_digest(verified))
+        << "ls event " << static_cast<int>(event);
+  }
+}
+
+}  // namespace
+}  // namespace bgpsim
