@@ -4,13 +4,21 @@
 //   BGPSIM_TRIALS : trials per data point (default per bench, usually 2-3)
 //   BGPSIM_FULL=1 : run the paper's full size range (slower)
 //   BGPSIM_CSV=1  : append CSV dumps after each table
+//   BGPSIM_JSON   : directory to drop a BENCH_<bench>.json artifact into —
+//                   every table the bench prints, as machine-readable JSON
 //   BGPSIM_JOBS   : worker threads per data point (default: all cores);
 //                   results are bit-identical at any job count
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/report.hpp"
@@ -52,11 +60,80 @@ inline bool check(bool ok, const std::string& what) {
   return ok;
 }
 
-inline void maybe_csv(const core::Table& table) {
+/// BGPSIM_JSON=DIR, or empty when the knob is unset.
+inline const char* json_dir() {
+  static const char* dir = std::getenv("BGPSIM_JSON");
+  return (dir != nullptr && *dir != '\0') ? dir : nullptr;
+}
+
+namespace detail {
+
+/// This bench binary's name (basename of /proc/self/exe), used to name the
+/// JSON artifact: BENCH_<bench>.json.
+inline const std::string& bench_name() {
+  static const std::string name = [] {
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    std::string self = n > 0 ? std::string(buf, static_cast<std::size_t>(n))
+                             : std::string{"bench"};
+    const std::size_t slash = self.rfind('/');
+    return slash == std::string::npos ? self : self.substr(slash + 1);
+  }();
+  return name;
+}
+
+/// Process-wide collector behind the BGPSIM_JSON knob. Every table that
+/// flows through emit_table()/maybe_csv() is captured; the artifact is
+/// written once, when the collector is destroyed at process exit.
+class JsonArtifact {
+ public:
+  static JsonArtifact& instance() {
+    static JsonArtifact artifact;
+    return artifact;
+  }
+
+  void add(const core::Table& table, const std::string& title) {
+    std::ostringstream os;
+    table.write_json(os, title);
+    tables_.push_back(os.str());
+  }
+
+  ~JsonArtifact() {
+    if (json_dir() == nullptr || tables_.empty()) return;
+    const std::string path =
+        std::string{json_dir()} + "/BENCH_" + bench_name() + ".json";
+    std::ofstream out{path};
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\"schema\": \"bgpsim-bench-1\", \"bench\": \"" << bench_name()
+        << "\", \"tables\": [";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      if (i) out << ", ";
+      out << tables_[i];
+    }
+    out << "]}\n";
+    std::fprintf(stderr, "bench: json artifact -> %s\n", path.c_str());
+  }
+
+ private:
+  std::vector<std::string> tables_;
+};
+
+}  // namespace detail
+
+/// Emit one finished table: CSV dump when BGPSIM_CSV=1, and capture for the
+/// BENCH_<bench>.json artifact when BGPSIM_JSON is set. `title` labels the
+/// table inside the JSON artifact (the printed output already has banners).
+inline void emit_table(const core::Table& table, const std::string& title) {
+  if (json_dir() != nullptr) detail::JsonArtifact::instance().add(table, title);
   if (!csv_output()) return;
   std::printf("-- csv --\n");
   table.write_csv(std::cout);
 }
+
+inline void maybe_csv(const core::Table& table) { emit_table(table, ""); }
 
 inline void print_header(const char* figure, const char* what) {
   std::printf("==============================================================\n");

@@ -35,7 +35,7 @@ int main() {
                    core::fmt(set.ttl_exhaustions.mean, 0)});
   }
   table.print(std::cout);
-  maybe_csv(table);
+  emit_table(table, "Figure 4(a): Tdown in Clique — looping vs convergence");
 
   std::printf("\nshape checks vs the paper:\n");
   check(max_gap < 15.0,

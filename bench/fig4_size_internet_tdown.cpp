@@ -36,7 +36,7 @@ int main() {
                    core::fmt_pct(set.looping_ratio.mean)});
   }
   table.print(std::cout);
-  maybe_csv(table);
+  emit_table(table, "Figure 4(c): Tdown in Internet-derived topologies");
 
   std::printf("\nshape checks vs the paper:\n");
   check(max_gap < 15.0,

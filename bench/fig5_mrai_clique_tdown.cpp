@@ -34,7 +34,7 @@ int main() {
                              1)});
   }
   table.print(std::cout);
-  maybe_csv(table);
+  emit_table(table, "Figure 5(a): Tdown in Clique-15 — metrics vs MRAI");
 
   const auto fc = metrics::fit_line(xs, conv);
   const auto fl = metrics::fit_line(xs, loop);

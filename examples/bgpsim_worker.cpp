@@ -1,0 +1,91 @@
+// bgpsim_worker: campaign worker process for the src/svc/ service.
+//
+//   $ bgpsim_worker [--fd N] [--connect HOST:PORT] [--id K] [--verbose]
+//
+// Serves svc frames over an inherited file descriptor (default fd 0 — the
+// coordinator passes one end of a socketpair as stdin) or over a TCP
+// connection to a coordinator's localhost listener. Normally spawned by
+// run_campaign or svc::Coordinator rather than by hand; running it
+// standalone only makes sense against `run_campaign --listen`.
+//
+// Exit code 0 on clean shutdown (kShutdown frame or coordinator EOF),
+// 1 on protocol/transport errors, 2 on bad usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "sim/logging.hpp"
+#include "svc/transport.hpp"
+#include "svc/worker.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--fd N] [--connect HOST:PORT] [--id K] "
+               "[--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgpsim;
+
+  int fd = 0;
+  std::uint64_t id = 0;
+  std::string connect_addr;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--fd") {
+      fd = std::atoi(value());
+    } else if (arg == "--connect") {
+      connect_addr = value();
+    } else if (arg == "--id") {
+      id = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--verbose") {
+      sim::Log::set_level(sim::LogLevel::kDebug);
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  try {
+    svc::Connection conn;
+    if (!connect_addr.empty()) {
+      // Coordinators listen on the loopback interface only; accept
+      // "127.0.0.1:PORT", "localhost:PORT", or a bare port.
+      const auto colon = connect_addr.rfind(':');
+      const std::string host =
+          colon == std::string::npos ? "" : connect_addr.substr(0, colon);
+      if (!host.empty() && host != "127.0.0.1" && host != "localhost") {
+        std::fprintf(stderr,
+                     "bgpsim_worker: --connect supports localhost only "
+                     "(got %s)\n",
+                     host.c_str());
+        return 2;
+      }
+      const std::string port_str =
+          colon == std::string::npos ? connect_addr
+                                     : connect_addr.substr(colon + 1);
+      const unsigned long port = std::strtoul(port_str.c_str(), nullptr, 10);
+      if (port == 0 || port > 65535) usage(argv[0]);
+      conn = svc::connect_localhost(static_cast<std::uint16_t>(port));
+    } else {
+      conn = svc::Connection{fd};
+    }
+    return svc::worker_loop(std::move(conn), id);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bgpsim_worker: %s\n", e.what());
+    return 1;
+  }
+}

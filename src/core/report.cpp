@@ -62,6 +62,60 @@ void Table::write_csv(std::ostream& out) const {
   for (const auto& row : rows_) emit(row);
 }
 
+namespace {
+
+// Minimal JSON string escaping: quotes, backslashes, and control bytes.
+void json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out << buf;
+        } else {
+          out << ch;
+        }
+    }
+  }
+  out << '"';
+}
+
+void json_string_array(std::ostream& out, const std::vector<std::string>& v) {
+  out << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out << ", ";
+    json_string(out, v[i]);
+  }
+  out << ']';
+}
+
+}  // namespace
+
+void Table::write_json(std::ostream& out, const std::string& title) const {
+  out << '{';
+  if (!title.empty()) {
+    out << "\"title\": ";
+    json_string(out, title);
+    out << ", ";
+  }
+  out << "\"headers\": ";
+  json_string_array(out, headers_);
+  out << ", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r) out << ", ";
+    json_string_array(out, rows_[r]);
+  }
+  out << "]}";
+}
+
 std::string fmt(double v, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", decimals, v);

@@ -24,6 +24,12 @@ class Table {
   /// Comma-separated form (headers + rows) for downstream plotting.
   void write_csv(std::ostream& out) const;
 
+  /// JSON object form: {"title": ..., "headers": [...], "rows": [[...]]}.
+  /// The title member is omitted when `title` is empty. Cells are emitted
+  /// as JSON strings (bench cells mix numbers with "12.3 ±0.4" forms), with
+  /// full string escaping. Used by the BGPSIM_JSON bench artifact knob.
+  void write_json(std::ostream& out, const std::string& title = "") const;
+
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
 
  private:

@@ -75,10 +75,13 @@ std::uint64_t prelude_key(const Scenario& s) {
   return h.value();
 }
 
-/// One trial, warm-started from the process-wide PreludeCache when possible.
-/// Shared by the serial and parallel runners so both produce bit-identical
-/// results whether a trial hits or misses the cache.
-ExperimentOutcome run_trial(const Scenario& base, std::size_t i) {
+}  // namespace
+
+// One trial, warm-started from the process-wide PreludeCache when possible.
+// Shared by the serial and parallel runners (and the campaign service's
+// workers) so all produce bit-identical results whether a trial hits or
+// misses the cache.
+ExperimentOutcome run_single_trial(const Scenario& base, std::size_t i) {
   Scenario s = trial_scenario(base, i);
   auto& cache = snap::PreludeCache::instance();
   if (!cache.enabled() || !cacheable(s)) return run_experiment(s);
@@ -96,14 +99,31 @@ ExperimentOutcome run_trial(const Scenario& base, std::size_t i) {
   return out;
 }
 
-}  // namespace
+std::vector<TrialRange> decompose_trials(std::size_t trials,
+                                         std::size_t unit_trials) {
+  if (unit_trials == 0) unit_trials = 1;
+  std::vector<TrialRange> units;
+  units.reserve((trials + unit_trials - 1) / unit_trials);
+  for (std::size_t begin = 0; begin < trials; begin += unit_trials) {
+    units.push_back({begin, std::min(unit_trials, trials - begin)});
+  }
+  return units;
+}
+
+TrialSet assemble_trials(Scenario base, std::vector<ExperimentOutcome> runs) {
+  TrialSet set;
+  set.scenario = std::move(base);
+  set.runs = std::move(runs);
+  summarize_trials(set);
+  return set;
+}
 
 TrialSet run_trials(Scenario base, std::size_t trials) {
   TrialSet set;
   set.scenario = base;
   set.runs.reserve(trials);
   for (std::size_t i = 0; i < trials; ++i) {
-    set.runs.push_back(run_trial(base, i));
+    set.runs.push_back(run_single_trial(base, i));
   }
   summarize_trials(set);
   return set;
@@ -139,7 +159,7 @@ TrialSet run_trials_parallel(Scenario base, std::size_t trials,
     for (std::size_t i = 0; i < trials; ++i) {
       pool.submit([&base, &set, &errors, i] {
         try {
-          set.runs[i] = run_trial(base, i);
+          set.runs[i] = run_single_trial(base, i);
         } catch (...) {
           errors[i] = std::current_exception();
         }

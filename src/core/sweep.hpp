@@ -53,6 +53,35 @@ struct TrialSet {
 /// std::thread::hardware_concurrency(); never less than 1.
 [[nodiscard]] std::size_t default_jobs();
 
+/// One trial of a TrialSet, exactly as run_trials would execute it: seed
+/// layout seed = base.seed + index (plus topo_seed advance on Internet
+/// topologies) and warm-started from the process-wide snap::PreludeCache
+/// when the scenario is cacheable. This is the unit of work the campaign
+/// service (src/svc/) ships to worker processes — a merged campaign is
+/// bit-identical to run_trials precisely because both run this function.
+[[nodiscard]] ExperimentOutcome run_single_trial(const Scenario& base,
+                                                 std::size_t index);
+
+/// A contiguous slice of a TrialSet's trial index space.
+struct TrialRange {
+  std::size_t begin = 0;
+  std::size_t count = 0;
+};
+
+/// Sweep decomposition: split `trials` into ranges of at most `unit_trials`
+/// each (the campaign service's work units). unit_trials == 0 resolves
+/// to 1. Ranges are returned in trial order and exactly cover
+/// [0, trials) without overlap.
+[[nodiscard]] std::vector<TrialRange> decompose_trials(
+    std::size_t trials, std::size_t unit_trials);
+
+/// Assemble a TrialSet from trial-ordered outcomes (runs[i] must be the
+/// result of run_single_trial(base, i)). Summaries are computed by the same
+/// aggregation code as run_trials, so a campaign merged through this
+/// function is bit-identical to the in-process runners.
+[[nodiscard]] TrialSet assemble_trials(Scenario base,
+                                       std::vector<ExperimentOutcome> runs);
+
 /// Environment-variable override for bench scaling (e.g. BGPSIM_TRIALS).
 /// Returns `fallback` when unset or unparsable; a set-but-garbled value
 /// ("8x", "two") additionally warns on stderr so a misspelled knob is

@@ -1,6 +1,7 @@
 #include "sim/logging.hpp"
 
 #include <cstdio>
+#include <utility>
 
 namespace bgpsim::sim {
 namespace {
@@ -31,10 +32,16 @@ void default_sink(LogLevel at, std::string_view component, SimTime when,
 std::atomic<LogLevel> Log::level_{LogLevel::kOff};
 std::mutex Log::mutex_;
 Log::Sink Log::sink_ = default_sink;
+std::string Log::tag_;
 
 void Log::set_sink(Sink sink) {
   std::scoped_lock lock{mutex_};
   sink_ = sink ? std::move(sink) : default_sink;
+}
+
+void Log::set_instance_tag(std::string tag) {
+  std::scoped_lock lock{mutex_};
+  tag_ = std::move(tag);
 }
 
 void Log::write(LogLevel at, std::string_view component, SimTime when,
@@ -43,7 +50,14 @@ void Log::write(LogLevel at, std::string_view component, SimTime when,
   // respect to other writers; logging defaults to off, so contention only
   // exists when traces were explicitly requested.
   std::scoped_lock lock{mutex_};
-  sink_(at, component, when, message);
+  if (tag_.empty()) {
+    sink_(at, component, when, message);
+  } else {
+    std::string tagged;
+    tagged.reserve(tag_.size() + message.size() + 3);
+    tagged.append("[").append(tag_).append("] ").append(message);
+    sink_(at, component, when, tagged);
+  }
 }
 
 }  // namespace bgpsim::sim

@@ -38,6 +38,12 @@ class Log {
   /// the default sink.
   static void set_sink(Sink sink);
 
+  /// Optional process-instance tag (e.g. a campaign worker id) prepended
+  /// to every message as "[tag] ", so interleaved multi-process logs stay
+  /// attributable. Applied in write(), ahead of the sink, so custom sinks
+  /// see it too. Empty (the default) adds nothing.
+  static void set_instance_tag(std::string tag);
+
   static bool enabled(LogLevel at) {
     const LogLevel l = level();
     return l != LogLevel::kOff && at <= l;
@@ -48,8 +54,9 @@ class Log {
 
  private:
   static std::atomic<LogLevel> level_;
-  static std::mutex mutex_;  // guards sink_ and serializes write()
+  static std::mutex mutex_;  // guards sink_, tag_, and serializes write()
   static Sink sink_;
+  static std::string tag_;
 };
 
 /// Build-a-line helper: LogLine{...} << "text" << value; emits at destruction.

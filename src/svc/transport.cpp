@@ -1,0 +1,224 @@
+#include "svc/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace bgpsim::svc {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error{what + ": " + std::strerror(errno)};
+}
+
+/// Blocking exact read. Returns false on EOF before the first byte;
+/// throws on EOF mid-buffer or I/O error.
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n,
+                const char* context) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r == 0) {
+      if (got == 0) return false;
+      throw snap::FormatError{std::string{context} +
+                              ": connection closed mid-frame"};
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(std::string{context} + ": read");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_{std::exchange(other.fd_, -1)}, inbuf_{std::move(other.inbuf_)} {}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    inbuf_ = std::move(other.inbuf_);
+  }
+  return *this;
+}
+
+void Connection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Connection::set_nonblocking() {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("svc: fcntl(O_NONBLOCK)");
+  }
+}
+
+bool Connection::send_frame(const Frame& frame) {
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t r =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with a full socket buffer: wait for drain.
+        struct pollfd pfd {fd_, POLLOUT, 0};
+        (void)::poll(&pfd, 1, -1);
+        continue;
+      }
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw_errno("svc: send");
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+std::optional<Frame> Connection::recv_frame() {
+  std::uint8_t header[kHeaderSize];
+  if (!read_exact(fd_, header, sizeof header, "svc frame header")) {
+    return std::nullopt;
+  }
+  std::uint64_t payload_len = 0;
+  (void)decode_frame_header({header, sizeof header}, payload_len);
+  std::vector<std::uint8_t> whole(kHeaderSize +
+                                  static_cast<std::size_t>(payload_len) + 8);
+  std::memcpy(whole.data(), header, sizeof header);
+  if (!read_exact(fd_, whole.data() + kHeaderSize,
+                  whole.size() - kHeaderSize, "svc frame body")) {
+    throw snap::FormatError{"svc frame body: connection closed mid-frame"};
+  }
+  return decode_frame(whole);
+}
+
+Connection::Pump Connection::pump() {
+  if (fd_ < 0) return Pump::kClosed;
+  for (;;) {
+    std::uint8_t chunk[65536];
+    const ssize_t r = ::read(fd_, chunk, sizeof chunk);
+    if (r > 0) {
+      inbuf_.insert(inbuf_.end(), chunk, chunk + r);
+      if (static_cast<std::size_t>(r) < sizeof chunk) return Pump::kOk;
+      continue;
+    }
+    if (r == 0) return Pump::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Pump::kOk;
+    return Pump::kEof;  // ECONNRESET etc.: treat as a dead peer
+  }
+}
+
+std::optional<Frame> Connection::next_frame() {
+  if (inbuf_.size() < kHeaderSize) return std::nullopt;
+  std::uint64_t payload_len = 0;
+  (void)decode_frame_header({inbuf_.data(), kHeaderSize}, payload_len);
+  const std::size_t total =
+      kHeaderSize + static_cast<std::size_t>(payload_len) + 8;
+  if (inbuf_.size() < total) return std::nullopt;
+  Frame frame = decode_frame({inbuf_.data(), total});
+  inbuf_.erase(inbuf_.begin(), inbuf_.begin() + static_cast<std::ptrdiff_t>(total));
+  return frame;
+}
+
+SocketPair make_socketpair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+    throw_errno("svc: socketpair");
+  }
+  return {Connection{fds[0]}, Connection{fds[1]}};
+}
+
+TcpListener TcpListener::bind_localhost(std::uint16_t port) {
+  TcpListener l;
+  l.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (l.fd_ < 0) throw_errno("svc: socket");
+  const int one = 1;
+  (void)::setsockopt(l.fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(l.fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    throw_errno("svc: bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(l.fd_, SOMAXCONN) < 0) throw_errno("svc: listen");
+  socklen_t len = sizeof addr;
+  if (::getsockname(l.fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("svc: getsockname");
+  }
+  l.port_ = ntohs(addr.sin_port);
+  return l;
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_{std::exchange(other.fd_, -1)}, port_{std::exchange(other.port_, 0)} {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+Connection TcpListener::accept_one(int timeout_ms) {
+  struct pollfd pfd {fd_, POLLIN, 0};
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("svc: poll(accept)");
+    }
+    if (r == 0) return Connection{};
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      throw_errno("svc: accept");
+    }
+    const int one = 1;
+    (void)::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return Connection{conn};
+  }
+}
+
+Connection connect_localhost(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("svc: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("svc: connect 127.0.0.1:" + std::to_string(port));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Connection{fd};
+}
+
+}  // namespace bgpsim::svc

@@ -1,0 +1,25 @@
+// Campaign worker: serves WorkUnit frames until shutdown or EOF.
+#pragma once
+
+#include <cstdint>
+
+#include "svc/transport.hpp"
+
+namespace bgpsim::svc {
+
+/// Serve one coordinator connection: send Hello, then loop — receive a
+/// WorkUnit, run its trial range through core::run_single_trial (which
+/// warm-starts from the process-wide snap::PreludeCache, so units that
+/// differ only post-event share converged preludes), reply with a
+/// UnitResult. A unit that throws inside the experiment driver is
+/// reported as a UnitError frame and the worker keeps serving.
+///
+/// Tags every sim::Log line with "w<id>" so interleaved multi-process
+/// campaign logs stay attributable.
+///
+/// Returns the process exit code: 0 on clean shutdown (kShutdown frame or
+/// EOF at a frame boundary), 1 on a protocol violation or transport
+/// error. Never throws.
+[[nodiscard]] int worker_loop(Connection conn, std::uint64_t worker_id);
+
+}  // namespace bgpsim::svc

@@ -40,6 +40,27 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(out.str(), "a,b\n1,2\n");
 }
 
+TEST(Table, JsonOutput) {
+  Table t{{"n", "conv (s)"}};
+  t.add_row({"5", "29.3 ±0.0"});
+  t.add_row({"10", "155.7 ±0.0"});
+  std::ostringstream out;
+  t.write_json(out, "Figure 4(a)");
+  EXPECT_EQ(out.str(),
+            "{\"title\": \"Figure 4(a)\", \"headers\": [\"n\", \"conv (s)\"], "
+            "\"rows\": [[\"5\", \"29.3 ±0.0\"], [\"10\", \"155.7 ±0.0\"]]}");
+}
+
+TEST(Table, JsonOmitsEmptyTitleAndEscapes) {
+  Table t{{"quote\"backslash\\", "tab\tnewline\n"}};
+  t.add_row({"ctrl\x01", "plain"});
+  std::ostringstream out;
+  t.write_json(out);
+  EXPECT_EQ(out.str(),
+            "{\"headers\": [\"quote\\\"backslash\\\\\", \"tab\\tnewline\\n\"], "
+            "\"rows\": [[\"ctrl\\u0001\", \"plain\"]]}");
+}
+
 TEST(Table, RowCount) {
   Table t{{"a"}};
   EXPECT_EQ(t.rows(), 0u);

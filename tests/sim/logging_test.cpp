@@ -89,6 +89,18 @@ TEST_F(LoggingTest, ConcurrentWritersProduceWholeOrderedLines) {
   EXPECT_EQ(next_index["thrB"], kPerThread);
 }
 
+TEST_F(LoggingTest, InstanceTagPrefixesEveryMessage) {
+  // Campaign worker processes tag themselves so interleaved multi-process
+  // logs stay attributable; the tag must reach custom sinks too.
+  Log::set_instance_tag("w3");
+  LogLine{LogLevel::kInfo, "bgp", SimTime::zero()} << "update sent";
+  Log::set_instance_tag("");
+  LogLine{LogLevel::kInfo, "bgp", SimTime::zero()} << "untagged again";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].message, "[w3] update sent");
+  EXPECT_EQ(captured_[1].message, "untagged again");
+}
+
 TEST_F(LoggingTest, MultipleLinesInOrder) {
   LogLine{LogLevel::kInfo, "a", SimTime::zero()} << "first";
   LogLine{LogLevel::kInfo, "b", SimTime::zero()} << "second";

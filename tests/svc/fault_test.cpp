@@ -1,0 +1,165 @@
+// Fault tolerance: the campaign must survive workers dying mid-flight —
+// including SIGKILL, which leaves no chance to say goodbye — and still
+// merge to the exact single-process result: every trial present exactly
+// once, digest bit-identical.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "svc/coordinator.hpp"
+#include "svc/protocol.hpp"
+#include "svc/transport.hpp"
+#include "svc/worker.hpp"
+
+namespace bgpsim::svc {
+namespace {
+
+core::Scenario clique(std::size_t size) {
+  core::Scenario s;
+  s.topology.kind = core::TopologyKind::kClique;
+  s.topology.size = size;
+  s.event = core::EventKind::kTdown;
+  s.seed = 11;
+  return s;
+}
+
+CampaignSpec small_sweep() {
+  CampaignSpec spec;
+  spec.scenarios = {clique(5), clique(6)};
+  spec.trials = 4;
+  spec.unit_trials = 1;
+  return spec;
+}
+
+std::uint64_t serial_digest(const CampaignSpec& spec) {
+  std::vector<core::TrialSet> sets;
+  for (const core::Scenario& s : spec.scenarios) {
+    sets.push_back(core::run_trials_parallel(s, spec.trials));
+  }
+  return campaign_digest(sets);
+}
+
+TEST(SvcFaultTest, SigkilledWorkerIsDetectedAndItsUnitRequeued) {
+  const CampaignSpec spec = small_sweep();
+  const std::uint64_t expected = serial_digest(spec);
+
+  CampaignOptions options;
+  bool killed = false;
+  options.on_unit_done = [&](Coordinator& c, std::size_t units_done) {
+    // After the first completed unit, SIGKILL one worker outright. Its
+    // in-flight unit (if any) must be requeued onto a survivor; no trial
+    // may be lost or duplicated.
+    if (units_done != 1 || killed) return;
+    for (std::size_t i = 0; i < c.worker_count(); ++i) {
+      const pid_t pid = c.worker_pid(i);
+      if (pid > 0) {
+        ::kill(pid, SIGKILL);
+        killed = true;
+        break;
+      }
+    }
+  };
+
+  Coordinator coordinator{spec, options};
+  for (int i = 0; i < 4; ++i) coordinator.spawn_fork_worker();
+  const CampaignResult result = coordinator.run();
+
+  ASSERT_TRUE(killed);
+  EXPECT_EQ(result.workers_lost, 1u);
+  EXPECT_EQ(result.digest, expected) << "merged campaign diverged from the "
+                                        "single-process digest after a "
+                                        "worker was SIGKILLed";
+  ASSERT_EQ(result.sets.size(), 2u);
+  EXPECT_EQ(result.sets[0].runs.size(), 4u);
+  EXPECT_EQ(result.sets[1].runs.size(), 4u);
+}
+
+TEST(SvcFaultTest, EveryWorkerKilledFailsTheCampaignLoudly) {
+  CampaignOptions options;
+  options.on_unit_done = [](Coordinator& c, std::size_t units_done) {
+    if (units_done != 1) return;
+    for (std::size_t i = 0; i < c.worker_count(); ++i) {
+      const pid_t pid = c.worker_pid(i);
+      if (pid > 0) ::kill(pid, SIGKILL);
+    }
+  };
+  Coordinator coordinator{small_sweep(), options};
+  for (int i = 0; i < 2; ++i) coordinator.spawn_fork_worker();
+  EXPECT_THROW((void)coordinator.run(), std::runtime_error);
+}
+
+TEST(SvcFaultTest, StalledWorkerBlowsItsDeadlineAndIsReplaced) {
+  // Small units and a deadline with generous headroom over a real unit's
+  // duration: sanitizer builds slow trials by an order of magnitude, and
+  // the deadline must only ever fire for the stalled impostor below.
+  CampaignSpec spec;
+  spec.scenarios = {clique(5)};
+  spec.trials = 3;
+  spec.unit_trials = 1;
+  const std::uint64_t expected = serial_digest(spec);
+
+  // One impostor worker that completes the handshake, then sits on every
+  // unit forever; one honest worker. The impostor's units must come back
+  // via the deadline and finish on the honest worker.
+  SocketPair pair = make_socketpair();
+  const pid_t impostor = ::fork();
+  ASSERT_GE(impostor, 0);
+  if (impostor == 0) {
+    pair.coordinator.close();
+    (void)pair.worker.send_frame(
+        encode_hello(Hello{0, static_cast<std::uint64_t>(::getpid())}));
+    for (;;) ::pause();  // never answer a work frame
+  }
+  pair.worker.close();
+
+  CampaignOptions options;
+  options.deadline_s = 8;
+  Coordinator coordinator{spec, options};
+  coordinator.add_worker(std::move(pair.coordinator), impostor, -1);
+  coordinator.spawn_fork_worker();
+  const CampaignResult result = coordinator.run();
+
+  EXPECT_GE(result.requeues, 1u);
+  EXPECT_GE(result.workers_lost, 1u);
+  EXPECT_EQ(result.digest, expected);
+}
+
+TEST(SvcFaultTest, ProtocolViolationDropsTheWorkerNotTheCampaign) {
+  const CampaignSpec spec = small_sweep();
+  const std::uint64_t expected = serial_digest(spec);
+
+  // A worker that answers its first unit with garbage bytes. The
+  // coordinator must treat the corrupt stream as a dead worker (the
+  // stream cannot be resynchronized) and finish on the honest one.
+  SocketPair pair = make_socketpair();
+  const pid_t liar = ::fork();
+  ASSERT_GE(liar, 0);
+  if (liar == 0) {
+    pair.coordinator.close();
+    (void)pair.worker.send_frame(
+        encode_hello(Hello{0, static_cast<std::uint64_t>(::getpid())}));
+    // Wait for work, then reply with bytes that are not a frame.
+    (void)pair.worker.recv_frame();
+    const std::uint8_t garbage[32] = {0xBA, 0xAD};
+    (void)::write(pair.worker.fd(), garbage, sizeof garbage);
+    ::_exit(0);
+  }
+  pair.worker.close();
+
+  Coordinator coordinator{spec, {}};
+  coordinator.add_worker(std::move(pair.coordinator), liar, -1);
+  coordinator.spawn_fork_worker();
+  const CampaignResult result = coordinator.run();
+
+  EXPECT_GE(result.workers_lost, 1u);
+  EXPECT_EQ(result.digest, expected);
+}
+
+}  // namespace
+}  // namespace bgpsim::svc
