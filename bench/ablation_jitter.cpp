@@ -38,7 +38,8 @@ int main() {
     s.bgp.jitter_lo = w.lo;
     s.bgp.jitter_hi = w.hi;
     s.seed = 13;
-    const auto set = core::run_trials(s, n_trials);
+    const auto set =
+        core::run_trials(s, core::RunOptions{.trials = n_trials, .jobs = 1});
     convs.push_back(set.convergence_time_s.mean);
     table.add_row({w.name, metrics::mean_pm(set.convergence_time_s),
                    metrics::mean_pm(set.looping_duration_s),

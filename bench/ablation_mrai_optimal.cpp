@@ -28,7 +28,8 @@ int main() {
     s.event = core::EventKind::kTdown;
     s.bgp.mrai = sim::SimTime::seconds(m);
     s.seed = 19;
-    const auto set = core::run_trials(s, n_trials);
+    const auto set =
+        core::run_trials(s, core::RunOptions{.trials = n_trials, .jobs = 1});
     convs.push_back(set.convergence_time_s.mean);
     double updates = 0;
     for (const auto& r : set.runs) {

@@ -33,7 +33,8 @@ int main() {
       s.event = core::EventKind::kTdown;
       s.policy_routing = policy;
       s.seed = 3;
-      const auto set = core::run_trials(s, n_trials);
+      const auto set =
+          core::run_trials(s, core::RunOptions{.trials = n_trials, .jobs = 1});
       if (policy) policy_loops += set.ttl_exhaustions.mean;
       table.add_row({std::to_string(n), policy ? "Gao-Rexford" : "shortest",
                      metrics::mean_pm(set.convergence_time_s),

@@ -47,7 +47,8 @@ int main() {
         s.processing.min = proc.lo;
         s.processing.max = proc.hi;
         s.seed = 7;
-        const auto set = core::run_trials(s, n_trials);
+        const auto set =
+            core::run_trials(s, core::RunOptions{.trials = n_trials, .jobs = 1});
         conv[idx++] = set.convergence_time_s.mean;
       }
       (proc.lo < sim::SimTime::millis(50) ? gf_conv_fast : gf_conv_slow)

@@ -1,0 +1,48 @@
+# Bench-artifact smoke check (cmake -P; no external JSON tooling needed).
+#
+#   cmake -DBENCH_BIN=<micro_engine> -DWORK_DIR=<scratch dir> \
+#         -P check_bench_artifact.cmake
+#
+# Runs the bench with BGPSIM_JSON pointed at WORK_DIR, restricted to one
+# fast benchmark, then validates the dropped BENCH_<bench>.json against
+# the bgpsim-bench-1 schema: the schema/bench identity fields, a tables
+# array, and at least one table with a title, headers, and a result row.
+if(NOT BENCH_BIN OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DBENCH_BIN=... -DWORK_DIR=... -P check_bench_artifact.cmake")
+endif()
+
+get_filename_component(bench_name "${BENCH_BIN}" NAME)
+set(artifact "${WORK_DIR}/BENCH_${bench_name}.json")
+
+file(REMOVE "${artifact}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env BGPSIM_JSON=${WORK_DIR}
+          ${BENCH_BIN} --benchmark_filter=BM_RngUniform
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET
+  ERROR_VARIABLE run_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${bench_name} exited with ${rc}:\n${run_err}")
+endif()
+
+if(NOT EXISTS "${artifact}")
+  message(FATAL_ERROR "bench did not drop ${artifact}")
+endif()
+file(READ "${artifact}" content)
+
+foreach(needle
+    "{\"schema\": \"bgpsim-bench-1\""
+    "\"bench\": \"${bench_name}\""
+    "\"tables\": ["
+    "\"title\": "
+    "\"headers\": "
+    "\"rows\": [[\"BM_RngUniform\"")
+  string(FIND "${content}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR
+      "artifact ${artifact} fails bgpsim-bench-1 validation: missing ${needle}\n${content}")
+  endif()
+endforeach()
+
+message(STATUS "bench artifact OK: ${artifact}")

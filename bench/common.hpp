@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/env.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
 #include "core/sweep.hpp"
@@ -29,12 +30,12 @@
 namespace bgpsim::bench {
 
 inline std::size_t trials(std::size_t fallback) {
-  return core::env_or("BGPSIM_TRIALS", fallback);
+  return core::env::trials(fallback);
 }
 
-inline bool full_run() { return core::env_or("BGPSIM_FULL", 0) != 0; }
+inline bool full_run() { return core::env::full_run(); }
 
-inline bool csv_output() { return core::env_or("BGPSIM_CSV", 0) != 0; }
+inline bool csv_output() { return core::env::csv(); }
 
 /// Build and run one aggregated data point. Trials fan out across
 /// BGPSIM_JOBS worker threads (default: all cores); the aggregate is
@@ -51,7 +52,9 @@ inline core::TrialSet run_point(core::TopologyKind kind, std::size_t size,
   s.bgp = s.bgp.with(proto);
   s.bgp.mrai = sim::SimTime::seconds(mrai_s);
   s.seed = seed;
-  return core::run_trials_parallel(s, n_trials);
+  core::RunOptions options;
+  options.trials = n_trials;
+  return core::run_trials(s, options);
 }
 
 /// Print a shape-expectation check line ("the paper's claim held / didn't").
@@ -61,10 +64,7 @@ inline bool check(bool ok, const std::string& what) {
 }
 
 /// BGPSIM_JSON=DIR, or empty when the knob is unset.
-inline const char* json_dir() {
-  static const char* dir = std::getenv("BGPSIM_JSON");
-  return (dir != nullptr && *dir != '\0') ? dir : nullptr;
-}
+inline const char* json_dir() { return core::env::json_dir(); }
 
 namespace detail {
 

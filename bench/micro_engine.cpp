@@ -1,13 +1,18 @@
 // Microbenchmarks (google-benchmark) for the hot paths of the simulator:
-// event-queue churn, RNG, decision process, loop detection, and packet
-// forwarding throughput.
+// event-queue churn, RNG, decision process, AS-path construction, loop
+// detection, packet forwarding throughput, and the full convergence hot
+// loop. With BGPSIM_JSON=DIR the run drops a BENCH_micro_engine.json
+// artifact (schema bgpsim-bench-1) holding every result row.
 #include <benchmark/benchmark.h>
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bgp/decision.hpp"
+#include "bgp/path_store.hpp"
 #include "bgp/rib.hpp"
+#include "common.hpp"
 #include "fwd/engine.hpp"
 #include "metrics/loop_detector.hpp"
 #include "sim/event_queue.hpp"
@@ -95,6 +100,50 @@ void BM_LoopDetectorRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_LoopDetectorRecompute)->Arg(110);
 
+void BM_AsPathPrepended(benchmark::State& state) {
+  // The per-update operation of the convergence hot loop: adopting a
+  // neighbor's path is one cons. range(0) toggles interning.
+  const bool interned = state.range(0) != 0;
+  bgp::PathStore store;
+  std::optional<bgp::PathStore::Scope> scope;
+  if (interned) scope.emplace(store);
+  const bgp::AsPath base{4, 3, 2, 1, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.prepended(5));
+  }
+}
+BENCHMARK(BM_AsPathPrepended)->Arg(0)->Arg(1);
+
+void BM_ConvergenceHotLoop(benchmark::State& state) {
+  // End to end: cold convergence + Tdown churn + packet draining on a
+  // clique — the loop the figure benches spend their time in. range(0)
+  // toggles path interning; both settings produce identical outputs (the
+  // digest-equality suite enforces it), so the delta is pure speed.
+  core::Scenario s;
+  s.topology.kind = core::TopologyKind::kClique;
+  s.topology.size = static_cast<std::size_t>(state.range(1));
+  s.event = core::EventKind::kTdown;
+  s.bgp.mrai = sim::SimTime::seconds(30);
+  s.seed = 1;
+  core::RunOptions options;
+  options.trials = 1;
+  options.jobs = 1;
+  options.snap_cache = false;  // time the cold prelude every iteration
+  options.path_interning = state.range(0) != 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const core::TrialSet set = core::run_trials(s, options);
+    events += set.runs.front().events_fired;
+    benchmark::DoNotOptimize(set.convergence_time_s.mean);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ConvergenceHotLoop)
+    ->ArgNames({"intern", "n"})
+    ->Args({0, 12})
+    ->Args({1, 12})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PacketForwardingThroughput(benchmark::State& state) {
   // Chain of 16: measures per-hop cost of the data plane.
   auto topo = topo::make_chain(16);
@@ -116,4 +165,42 @@ void BM_PacketForwardingThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketForwardingThroughput);
 
+/// Console output as usual, plus every result row captured into a
+/// core::Table so bench::emit_table can drop the bgpsim-bench-1 artifact.
+class CapturingReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      double items_per_second = 0;
+      if (const auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        items_per_second = it->second.value;
+      }
+      table_.add_row({run.benchmark_name(),
+                      core::fmt(run.GetAdjustedRealTime(), 1),
+                      run.time_unit == benchmark::kMillisecond ? "ms" : "ns",
+                      std::to_string(run.iterations),
+                      core::fmt(items_per_second, 0)});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const core::Table& table() const { return table_; }
+
+ private:
+  core::Table table_{
+      {"benchmark", "real time", "unit", "iterations", "items/s"}};
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  bench::emit_table(reporter.table(), "engine microbenchmarks");
+  benchmark::Shutdown();
+  return 0;
+}

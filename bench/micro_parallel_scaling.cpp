@@ -51,7 +51,10 @@ int main() {
 
   core::TrialSet serial;
   const double t_serial =
-      wall_seconds([&] { serial = core::run_trials(s, n_trials); });
+      wall_seconds([&] {
+        serial = core::run_trials(
+            s, core::RunOptions{.trials = n_trials, .jobs = 1});
+      });
 
   core::Table table{{"jobs", "wall (s)", "speedup", "conv mean (s)",
                      "identical to serial"}};
@@ -62,7 +65,10 @@ int main() {
   for (const std::size_t jobs : std::vector<std::size_t>{1, 2, 4, 8}) {
     core::TrialSet set;
     const double t =
-        wall_seconds([&] { set = core::run_trials_parallel(s, n_trials, jobs); });
+        wall_seconds([&] {
+          set = core::run_trials(
+              s, core::RunOptions{.trials = n_trials, .jobs = jobs});
+        });
     const bool identical =
         set.convergence_time_s.mean == serial.convergence_time_s.mean &&
         set.convergence_time_s.stddev == serial.convergence_time_s.stddev &&

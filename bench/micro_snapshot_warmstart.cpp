@@ -63,7 +63,8 @@ SweepResult run_cold_vs_warm(const std::vector<SweepPoint>& points,
     std::vector<core::TrialSet> sets;
     sets.reserve(points.size());
     for (const auto& p : points) {
-      sets.push_back(core::run_trials(p.scenario, n_trials));
+      sets.push_back(core::run_trials(
+          p.scenario, core::RunOptions{.trials = n_trials, .jobs = 1}));
     }
     return sets;
   };

@@ -33,7 +33,8 @@ int main(int argc, char** argv) {
   for (const auto e : bgp::kAllEnhancements) {
     core::Scenario s = base;
     s.bgp = s.bgp.with(e);
-    const auto set = core::run_trials(s, trials);
+    const auto set =
+        core::run_trials(s, core::RunOptions{.trials = trials, .jobs = 1});
     double updates = 0;
     for (const auto& r : set.runs) {
       updates += static_cast<double>(r.metrics.updates_sent);

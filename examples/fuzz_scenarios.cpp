@@ -15,14 +15,16 @@
 // printed), 2 = bad usage.
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
 
 #include "check/invariants.hpp"
 #include "check/oracle.hpp"
+#include "cli.hpp"
+#include "core/env.hpp"
 #include "core/fuzz.hpp"
-#include "core/sweep.hpp"
 
 namespace {
 
@@ -49,44 +51,32 @@ class CanaryInvariant final : public check::Invariant {
   }
 };
 
-int usage(const char* argv0) {
+[[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--iters N] [--seed S] [--replay SCENARIO_SEED] "
                "[--verbose] [--canary] [--snap-check]\n",
                argv0);
-  return 2;
+  std::exit(2);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   core::FuzzOptions options;
-  options.iters = core::env_or("BGPSIM_FUZZ_ITERS", 100);
+  options.iters = core::env::fuzz_iters(100);
   options.out = &std::cout;
   std::optional<std::uint64_t> replay;
   bool canary = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next_u64 = [&](std::uint64_t& into) {
-      if (i + 1 >= argc) return false;
-      try {
-        into = std::stoull(argv[++i]);
-      } catch (...) {
-        return false;
-      }
-      return true;
-    };
+  cli::Args args{argc, argv, usage};
+  while (args.next()) {
+    const std::string& arg = args.arg();
     if (arg == "--iters") {
-      std::uint64_t v = 0;
-      if (!next_u64(v)) return usage(argv[0]);
-      options.iters = static_cast<std::size_t>(v);
+      options.iters = args.value_size();
     } else if (arg == "--seed") {
-      if (!next_u64(options.seed)) return usage(argv[0]);
+      options.seed = args.value_u64();
     } else if (arg == "--replay") {
-      std::uint64_t v = 0;
-      if (!next_u64(v)) return usage(argv[0]);
-      replay = v;
+      replay = args.value_u64();
     } else if (arg == "--verbose") {
       options.verbose = true;
     } else if (arg == "--canary") {
@@ -94,7 +84,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--snap-check") {
       options.snap_check = true;
     } else {
-      return usage(argv[0]);
+      args.fail();
     }
   }
 

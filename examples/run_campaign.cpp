@@ -35,13 +35,13 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
+#include "core/env.hpp"
 #include "core/scenario.hpp"
-#include "core/scenario_file.hpp"
 #include "core/sweep.hpp"
 #include "metrics/stats.hpp"
 #include "sim/logging.hpp"
@@ -53,12 +53,10 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--file SCENARIO] [--topo KIND] [--size N] [--sizes A,B,C] "
-      "[--event tdown|tlong|tup|flap] [--proto bgp|ssld|wrate|assertion|ghost] "
-      "[--mrai SECONDS] [--seed S] [--policy] [--trials K] [--unit-trials U] "
+      "usage: %s %s [--sizes A,B,C] [--trials K] [--unit-trials U] "
       "[--workers N] [--deadline-s D] [--tcp] [--listen PORT] "
       "[--worker-bin PATH] [--fork] [--check-serial] [--verbose]\n",
-      argv0);
+      argv0, bgpsim::cli::kScenarioUsage);
   std::exit(2);
 }
 
@@ -105,8 +103,7 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> sizes;
   std::size_t trials = 4;
   std::size_t unit_trials = 1;
-  std::size_t workers =
-      core::env_or("BGPSIM_WORKERS", core::env_or("BGPSIM_JOBS", 0));
+  std::size_t workers = 0;  // 0: BGPSIM_WORKERS, else BGPSIM_JOBS, else cores
   double deadline_s = 0;
   bool use_tcp = false;
   bool use_fork = false;
@@ -114,62 +111,26 @@ int main(int argc, char** argv) {
   int listen_port = -1;
   std::string worker_bin;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (arg == "--file") {
-      base = core::load_scenario_file(value());
-    } else if (arg == "--topo") {
-      const std::string v = value();
-      if (v == "clique") base.topology.kind = core::TopologyKind::kClique;
-      else if (v == "bclique") base.topology.kind = core::TopologyKind::kBClique;
-      else if (v == "chain") base.topology.kind = core::TopologyKind::kChain;
-      else if (v == "ring") base.topology.kind = core::TopologyKind::kRing;
-      else if (v == "internet") base.topology.kind = core::TopologyKind::kInternet;
-      else usage(argv[0]);
-    } else if (arg == "--size") {
-      base.topology.size = std::strtoul(value(), nullptr, 10);
-    } else if (arg == "--sizes") {
-      sizes = parse_sizes(value());
-    } else if (arg == "--event") {
-      const std::string v = value();
-      if (v == "tdown") base.event = core::EventKind::kTdown;
-      else if (v == "tlong") base.event = core::EventKind::kTlong;
-      else if (v == "tup") base.event = core::EventKind::kTup;
-      else if (v == "flap") base.event = core::EventKind::kFlap;
-      else usage(argv[0]);
-    } else if (arg == "--proto") {
-      const std::string v = value();
-      if (v == "bgp") base.bgp = base.bgp.with(bgp::Enhancement::kStandard);
-      else if (v == "ssld") base.bgp = base.bgp.with(bgp::Enhancement::kSsld);
-      else if (v == "wrate") base.bgp = base.bgp.with(bgp::Enhancement::kWrate);
-      else if (v == "assertion") base.bgp = base.bgp.with(bgp::Enhancement::kAssertion);
-      else if (v == "ghost") base.bgp = base.bgp.with(bgp::Enhancement::kGhostFlushing);
-      else usage(argv[0]);
-    } else if (arg == "--mrai") {
-      base.bgp.mrai = sim::SimTime::seconds(std::strtod(value(), nullptr));
-    } else if (arg == "--seed") {
-      base.seed = std::strtoull(value(), nullptr, 10);
-      base.topology.topo_seed = base.seed;
-    } else if (arg == "--policy") {
-      base.policy_routing = true;
+  cli::Args args{argc, argv, usage};
+  while (args.next()) {
+    if (cli::apply_scenario_flag(args, base)) continue;
+    const std::string& arg = args.arg();
+    if (arg == "--sizes") {
+      sizes = parse_sizes(args.value());
     } else if (arg == "--trials") {
-      trials = std::strtoul(value(), nullptr, 10);
+      trials = args.value_size();
     } else if (arg == "--unit-trials") {
-      unit_trials = std::strtoul(value(), nullptr, 10);
+      unit_trials = args.value_size();
     } else if (arg == "--workers") {
-      workers = std::strtoul(value(), nullptr, 10);
+      workers = args.value_size();
     } else if (arg == "--deadline-s") {
-      deadline_s = std::strtod(value(), nullptr);
+      deadline_s = args.value_double();
     } else if (arg == "--tcp") {
       use_tcp = true;
     } else if (arg == "--listen") {
-      listen_port = std::atoi(value());
+      listen_port = static_cast<int>(args.value_size());
     } else if (arg == "--worker-bin") {
-      worker_bin = value();
+      worker_bin = args.value();
     } else if (arg == "--fork") {
       use_fork = true;
     } else if (arg == "--check-serial") {
@@ -177,15 +138,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--verbose") {
       sim::Log::set_level(sim::LogLevel::kInfo);
     } else {
-      usage(argv[0]);
+      args.fail();
     }
   }
 
-  if (workers == 0) workers = core::default_jobs();
+  if (workers == 0) workers = core::env::workers();
   if (worker_bin.empty()) worker_bin = default_worker_bin(argv[0]);
 
   svc::CampaignSpec spec;
-  spec.trials = trials;
+  spec.run.trials = trials;
   spec.unit_trials = unit_trials;
   if (sizes.empty()) {
     spec.scenarios.push_back(base);
@@ -281,7 +242,7 @@ int main(int argc, char** argv) {
     std::vector<core::TrialSet> serial;
     serial.reserve(spec.scenarios.size());
     for (const core::Scenario& s : spec.scenarios) {
-      serial.push_back(core::run_trials_parallel(s, trials));
+      serial.push_back(core::run_trials(s, spec.run));
     }
     const std::uint64_t serial_digest = svc::campaign_digest(serial);
     const bool ok = serial_digest == result.digest;

@@ -19,13 +19,12 @@
 // state file captures exactly one run.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <string>
 
+#include "cli.hpp"
 #include "core/scenario.hpp"
-#include "core/scenario_file.hpp"
 #include "core/sweep.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/trace.hpp"
@@ -36,13 +35,9 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--file SCENARIO] "
-               "[--topo clique|bclique|chain|ring|internet] "
-               "[--size N] [--event tdown|tlong|tup|flap] "
-               "[--proto bgp|ssld|wrate|assertion|ghost] [--mrai SECONDS] "
-               "[--seed S] [--trials K] [--jobs J] [--policy] [--trace FILE] "
+               "usage: %s %s [--trials K] [--jobs J] [--trace FILE] "
                "[--save-state FILE] [--load-state FILE] [--verbose]\n",
-               argv0);
+               argv0, bgpsim::cli::kScenarioUsage);
   std::exit(2);
 }
 
@@ -60,61 +55,24 @@ int main(int argc, char** argv) {
   std::string save_state_path;
   std::string load_state_path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (arg == "--file") {
-      // Load everything from a scenario file; later flags may override.
-      s = core::load_scenario_file(value());
-    } else if (arg == "--topo") {
-      const std::string v = value();
-      if (v == "clique") s.topology.kind = core::TopologyKind::kClique;
-      else if (v == "bclique") s.topology.kind = core::TopologyKind::kBClique;
-      else if (v == "chain") s.topology.kind = core::TopologyKind::kChain;
-      else if (v == "ring") s.topology.kind = core::TopologyKind::kRing;
-      else if (v == "internet") s.topology.kind = core::TopologyKind::kInternet;
-      else usage(argv[0]);
-    } else if (arg == "--size") {
-      s.topology.size = std::strtoul(value(), nullptr, 10);
-    } else if (arg == "--event") {
-      const std::string v = value();
-      if (v == "tdown") s.event = core::EventKind::kTdown;
-      else if (v == "tlong") s.event = core::EventKind::kTlong;
-      else if (v == "tup") s.event = core::EventKind::kTup;
-      else if (v == "flap") s.event = core::EventKind::kFlap;
-      else usage(argv[0]);
-    } else if (arg == "--proto") {
-      const std::string v = value();
-      if (v == "bgp") s.bgp = s.bgp.with(bgp::Enhancement::kStandard);
-      else if (v == "ssld") s.bgp = s.bgp.with(bgp::Enhancement::kSsld);
-      else if (v == "wrate") s.bgp = s.bgp.with(bgp::Enhancement::kWrate);
-      else if (v == "assertion") s.bgp = s.bgp.with(bgp::Enhancement::kAssertion);
-      else if (v == "ghost") s.bgp = s.bgp.with(bgp::Enhancement::kGhostFlushing);
-      else usage(argv[0]);
-    } else if (arg == "--mrai") {
-      s.bgp.mrai = sim::SimTime::seconds(std::strtod(value(), nullptr));
-    } else if (arg == "--seed") {
-      s.seed = std::strtoull(value(), nullptr, 10);
-      s.topology.topo_seed = s.seed;
-    } else if (arg == "--trials") {
-      trials = std::strtoul(value(), nullptr, 10);
+  cli::Args args{argc, argv, usage};
+  while (args.next()) {
+    if (cli::apply_scenario_flag(args, s)) continue;
+    const std::string& arg = args.arg();
+    if (arg == "--trials") {
+      trials = args.value_size();
     } else if (arg == "--jobs") {
-      jobs = std::strtoul(value(), nullptr, 10);
-    } else if (arg == "--policy") {
-      s.policy_routing = true;
+      jobs = args.value_size();
     } else if (arg == "--trace") {
-      trace_path = value();
+      trace_path = args.value();
     } else if (arg == "--save-state") {
-      save_state_path = value();
+      save_state_path = args.value();
     } else if (arg == "--load-state") {
-      load_state_path = value();
+      load_state_path = args.value();
     } else if (arg == "--verbose") {
       sim::Log::set_level(sim::LogLevel::kDebug);
     } else {
-      usage(argv[0]);
+      args.fail();
     }
   }
 
@@ -153,7 +111,7 @@ int main(int argc, char** argv) {
 
   core::TrialSet set;
   try {
-    set = core::run_trials_parallel(s, trials, jobs);
+    set = core::run_trials(s, core::RunOptions{.trials = trials, .jobs = jobs});
   } catch (const std::invalid_argument& e) {
     // A stale or mismatched --load-state file is a user error, not a crash:
     // the snapshot's driver/topology/config/seed meta must match the flags.

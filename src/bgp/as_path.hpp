@@ -5,74 +5,177 @@
 // the destination at node 0 through node 4 holds path (6 4 0). Paths are
 // advertised verbatim — the receiver sees a path whose first hop is the
 // sender — and a receiver adopting a neighbor's path P stores (self)·P.
+//
+// Representation: an AsPath is a pointer to an immutable, refcounted,
+// structurally-shared cons list (see path_store.hpp). prepended() is an
+// O(1) cons, copies are refcount bumps, and under a PathStore scope
+// structurally-equal paths are pointer-equal. The public surface — and in
+// particular the save()/load() codec bytes — is unchanged from the vector
+// representation.
 #pragma once
 
 #include <compare>
 #include <cstddef>
-#include <span>
+#include <initializer_list>
+#include <iterator>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bgp/path_store.hpp"
 #include "net/types.hpp"
 #include "snap/codec.hpp"
 
 namespace bgpsim::bgp {
 
+/// Lightweight forward range over a path's hops, front (advertising AS) to
+/// back (origin). Iteration is O(1) per hop; operator[] is O(i) — fine for
+/// the engine's uses (index 1, and short-path double loops in tests).
+class HopView {
+ public:
+  class iterator {
+   public:
+    using value_type = net::NodeId;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    iterator() = default;
+    explicit iterator(const detail::PathNode* node) : node_{node} {}
+
+    net::NodeId operator*() const { return node_->head; }
+    iterator& operator++() {
+      node_ = node_->parent;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      node_ = node_->parent;
+      return tmp;
+    }
+    friend bool operator==(iterator, iterator) = default;
+
+   private:
+    const detail::PathNode* node_ = nullptr;
+  };
+
+  HopView() = default;
+  explicit HopView(const detail::PathNode* node) : node_{node} {}
+
+  [[nodiscard]] iterator begin() const { return iterator{node_}; }
+  [[nodiscard]] iterator end() const { return iterator{}; }
+
+  [[nodiscard]] std::size_t size() const {
+    return node_ != nullptr ? node_->length : 0;
+  }
+  [[nodiscard]] bool empty() const { return node_ == nullptr; }
+
+  /// i-th hop from the front. O(i). Requires i < size().
+  [[nodiscard]] net::NodeId operator[](std::size_t i) const {
+    const detail::PathNode* n = node_;
+    for (; i > 0; --i) n = n->parent;
+    return n->head;
+  }
+
+  [[nodiscard]] net::NodeId front() const { return node_->head; }
+  [[nodiscard]] net::NodeId back() const { return node_->origin; }
+
+ private:
+  const detail::PathNode* node_ = nullptr;
+};
+
 class AsPath {
  public:
   AsPath() = default;
-  explicit AsPath(std::vector<net::NodeId> hops) : hops_{std::move(hops)} {}
-  AsPath(std::initializer_list<net::NodeId> hops) : hops_{hops} {}
+  explicit AsPath(const std::vector<net::NodeId>& hops)
+      : AsPath(hops.data(), hops.size()) {}
+  AsPath(std::initializer_list<net::NodeId> hops)
+      : AsPath(hops.begin(), hops.size()) {}
 
-  [[nodiscard]] std::size_t length() const { return hops_.size(); }
-  [[nodiscard]] bool empty() const { return hops_.empty(); }
+  AsPath(const AsPath& other) : node_{detail::retain(other.node_)} {}
+  AsPath(AsPath&& other) noexcept : node_{std::exchange(other.node_, nullptr)} {}
+  AsPath& operator=(const AsPath& other) {
+    if (this != &other) {
+      detail::release(node_);
+      node_ = detail::retain(other.node_);
+    }
+    return *this;
+  }
+  AsPath& operator=(AsPath&& other) noexcept {
+    if (this != &other) {
+      detail::release(node_);
+      node_ = std::exchange(other.node_, nullptr);
+    }
+    return *this;
+  }
+  ~AsPath() { detail::release(node_); }
+
+  [[nodiscard]] std::size_t length() const {
+    return node_ != nullptr ? node_->length : 0;
+  }
+  [[nodiscard]] bool empty() const { return node_ == nullptr; }
 
   /// True if `node` appears anywhere in the path — the path-based
   /// poison-reverse test.
   [[nodiscard]] bool contains(net::NodeId node) const;
 
   /// The advertising AS (front of the path). Requires !empty().
-  [[nodiscard]] net::NodeId first_hop() const { return hops_.front(); }
+  [[nodiscard]] net::NodeId first_hop() const { return node_->head; }
 
   /// The origin AS (back of the path). Requires !empty().
-  [[nodiscard]] net::NodeId origin() const { return hops_.back(); }
+  [[nodiscard]] net::NodeId origin() const { return node_->origin; }
 
-  /// A copy with `node` prepended: (node)·this.
-  [[nodiscard]] AsPath prepended(net::NodeId node) const;
+  /// A copy with `node` prepended: (node)·this. O(1): a cons onto this
+  /// path's (shared) storage.
+  [[nodiscard]] AsPath prepended(net::NodeId node) const {
+    return AsPath{detail::cons(node, node_)};
+  }
 
   /// The sub-path starting at the first occurrence of `node` (inclusive),
   /// or an empty path if `node` is absent. Used by the Assertion check to
-  /// compare what another route claims about `node`'s route.
+  /// compare what another route claims about `node`'s route. O(position),
+  /// and the result shares this path's storage.
   [[nodiscard]] AsPath suffix_from(net::NodeId node) const;
 
-  [[nodiscard]] std::span<const net::NodeId> hops() const { return hops_; }
+  [[nodiscard]] HopView hops() const { return HopView{node_}; }
 
   /// "(6 4 0)" — the paper's notation.
   [[nodiscard]] std::string to_string() const;
 
-  /// Checkpoint codec: hop count followed by the hops.
+  /// Checkpoint codec: hop count followed by the hops. Byte-identical to
+  /// the historical vector representation.
   void save(snap::Writer& w) const {
-    w.u64(hops_.size());
-    for (const net::NodeId hop : hops_) w.u32(hop);
+    w.u64(length());
+    for (const detail::PathNode* n = node_; n != nullptr; n = n->parent) {
+      w.u32(n->head);
+    }
   }
   [[nodiscard]] static AsPath load(snap::Reader& r) {
     const std::uint64_t n = r.u64();
     std::vector<net::NodeId> hops;
     hops.reserve(static_cast<std::size_t>(n));
     for (std::uint64_t i = 0; i < n; ++i) hops.push_back(r.u32());
-    return AsPath{std::move(hops)};
+    return AsPath{hops};
   }
 
-  friend bool operator==(const AsPath&, const AsPath&) = default;
+  /// Structural equality on the hop sequence. Pointer comparison when both
+  /// sides were interned by the same PathStore (the hot path).
+  friend bool operator==(const AsPath& a, const AsPath& b) {
+    if (a.node_ == b.node_) return true;
+    return a.equal_slow(b);
+  }
 
   /// Lexicographic order on the hop sequence (not a preference order; see
   /// decision.hpp for route preference).
-  friend auto operator<=>(const AsPath& a, const AsPath& b) {
-    return a.hops_ <=> b.hops_;
-  }
+  friend std::strong_ordering operator<=>(const AsPath& a, const AsPath& b);
 
  private:
-  std::vector<net::NodeId> hops_;
+  AsPath(const net::NodeId* hops, std::size_t n);
+  /// Adopts `owned` (a reference the caller already holds).
+  explicit AsPath(const detail::PathNode* owned) : node_{owned} {}
+
+  [[nodiscard]] bool equal_slow(const AsPath& other) const;
+
+  const detail::PathNode* node_ = nullptr;
 };
 
 }  // namespace bgpsim::bgp

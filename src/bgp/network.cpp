@@ -1,6 +1,6 @@
 #include "bgp/network.hpp"
 
-#include <any>
+#include <utility>
 
 #include "bgp/messages.hpp"
 
@@ -26,8 +26,8 @@ BgpNetwork::BgpNetwork(sim::Simulator& simulator, net::Topology& topology,
   }
 
   // Wire: transport delivery -> receiver's processing queue -> speaker.
-  transport_.set_delivery_handler([this](const net::Envelope& env) {
-    queues_[env.to]->accept(env);
+  transport_.set_delivery_handler([this](net::Envelope env) {
+    queues_[env.to]->accept(std::move(env));
   });
   transport_.set_session_handler(
       [this](net::NodeId self, net::NodeId peer, bool up) {
@@ -38,7 +38,7 @@ BgpNetwork::BgpNetwork(sim::Simulator& simulator, net::Topology& topology,
   for (net::NodeId node = 0; node < n; ++node) {
     queues_[node]->set_message_handler([this, node](const net::Envelope& env) {
       speakers_[node]->handle_update(
-          env.from, std::any_cast<const UpdateMsg&>(env.payload));
+          env.from, env.payload.get<UpdateMsg>());
     });
     queues_[node]->set_session_handler(
         [this, node](const net::ProcessingQueue::SessionEvent& ev) {
@@ -76,18 +76,18 @@ bool BgpNetwork::timers_running() const {
 
 namespace {
 
-void save_update_payload(snap::Writer& w, const std::any& payload) {
-  const auto& msg = std::any_cast<const UpdateMsg&>(payload);
+void save_update_payload(snap::Writer& w, const net::Payload& payload) {
+  const auto& msg = payload.get<UpdateMsg>();
   w.u32(msg.prefix);
   w.b(msg.path.has_value());
   if (msg.path) msg.path->save(w);
 }
 
-std::any load_update_payload(snap::Reader& r) {
+net::Payload load_update_payload(snap::Reader& r) {
   UpdateMsg msg;
   msg.prefix = r.u32();
   if (r.b()) msg.path = AsPath::load(r);
-  return std::any{std::move(msg)};
+  return net::Payload{std::move(msg)};
 }
 
 }  // namespace

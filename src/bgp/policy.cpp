@@ -26,8 +26,10 @@ bool valley_free(const net::RelationshipTable& rel, const AsPath& path) {
   // Phase 2: descending (to customers). Any regression is a valley.
   int phase = 0;
   const auto hops = path.hops();
-  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
-    const auto r = rel.relationship(hops[i], hops[i + 1]);
+  for (auto it = hops.begin(); it != hops.end();) {
+    const net::NodeId a = *it;
+    if (++it == hops.end()) break;
+    const auto r = rel.relationship(a, *it);
     const net::Relationship step = r.value_or(net::Relationship::kPeer);
     switch (step) {
       case net::Relationship::kProvider:  // climbing

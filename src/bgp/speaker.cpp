@@ -1,6 +1,5 @@
 #include "bgp/speaker.hpp"
 
-#include <any>
 
 #include "bgp/assertion.hpp"
 #include "bgp/policy.hpp"
@@ -142,8 +141,8 @@ void Speaker::run_decision(net::Prefix prefix) {
   }
 
   const AsPath* old = loc_rib_.get(prefix);
-  const std::optional<AsPath> old_loc =
-      old ? std::optional{*old} : std::nullopt;
+  // 0 = no previous route (an installed path is never empty).
+  const std::size_t old_len = old != nullptr ? old->length() : 0;
   if (!loc_rib_.set(prefix, new_loc)) return;  // decision unchanged
   ++counters_.best_path_changes;
 
@@ -160,8 +159,8 @@ void Speaker::run_decision(net::Prefix prefix) {
   // Ghost Flushing: the path just got *worse*; peers still holding our old
   // (better, now ghost) path whose refresh is stuck behind MRAI get an
   // immediate withdrawal so the stale information stops spreading.
-  if (config_.ghost_flushing && old_loc && new_loc &&
-      new_loc->length() > old_loc->length()) {
+  if (config_.ghost_flushing && old_len != 0 && new_loc &&
+      new_loc->length() > old_len) {
     ghost_flush(prefix);
   }
 
@@ -240,7 +239,7 @@ void Speaker::send_update(net::NodeId peer, net::Prefix prefix,
   // A bypassing withdrawal supersedes any decision held behind the timer.
   mrai_.set_pending(peer, prefix, false);
 
-  transport_.send(self_, peer, std::any{update});
+  transport_.send(self_, peer, update);
   if (hooks_.on_update_sent) hooks_.on_update_sent(self_, peer, update);
 
   if (start_timer) mrai_.start(peer, prefix, jittered_mrai(), sim_);

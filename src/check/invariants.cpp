@@ -1,5 +1,6 @@
 #include "check/invariants.hpp"
 
+#include <iterator>
 #include <string>
 
 #include "check/reference.hpp"
@@ -30,22 +31,24 @@ void PathSanityInvariant::on_route_installed(
     report(at, node, "adopted path " + best->to_string() +
                          " does not start at the adopter");
   }
-  for (std::size_t i = 0; i < hops.size(); ++i) {
-    for (std::size_t j = i + 1; j < hops.size(); ++j) {
-      if (hops[i] == hops[j]) {
+  for (auto it = hops.begin(); it != hops.end(); ++it) {
+    for (auto jt = std::next(it); jt != hops.end(); ++jt) {
+      if (*it == *jt) {
         report(at, node,
-               "AS " + node_str(hops[i]) + " appears twice in adopted path " +
+               "AS " + node_str(*it) + " appears twice in adopted path " +
                    best->to_string() +
-                   (hops[i] == node ? " (poison-reverse breach)" : ""));
+                   (*it == node ? " (poison-reverse breach)" : ""));
       }
     }
   }
   if (ctx_.topology) {
-    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
-      if (!ctx_.topology->link_between(hops[i], hops[i + 1])) {
+    for (auto it = hops.begin(); it != hops.end();) {
+      const net::NodeId a = *it;
+      if (++it == hops.end()) break;
+      if (!ctx_.topology->link_between(a, *it)) {
         report(at, node, "adopted path " + best->to_string() +
-                             " crosses the non-edge " + node_str(hops[i]) +
-                             "—" + node_str(hops[i + 1]));
+                             " crosses the non-edge " + node_str(a) + "—" +
+                             node_str(*it));
       }
     }
   }

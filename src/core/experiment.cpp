@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
 #include "bgp/network.hpp"
+#include "bgp/path_store.hpp"
 #include "check/oracle.hpp"
+#include "core/run_options.hpp"
 #include "core/snap_support.hpp"
 #include "fwd/engine.hpp"
 #include "fwd/traffic.hpp"
@@ -99,6 +102,18 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
   if (scenario.settle_margin <= scenario.traffic_lead) {
     throw std::invalid_argument{
         "Scenario: settle_margin must exceed traffic_lead"};
+  }
+
+  // Per-experiment AS-path interning: every path this run conses —
+  // including ones decoded from a warm-start snapshot — lands in one
+  // store, so structurally-equal paths are pointer-equal for the run's
+  // whole lifetime. Purely a storage decision; outputs are bit-identical
+  // with the toggle off (RunOptions::path_interning / BGPSIM_PATH_INTERN).
+  std::optional<bgp::PathStore> path_store;
+  std::optional<bgp::PathStore::Scope> path_scope;
+  if (detail::path_interning_enabled()) {
+    path_store.emplace();
+    path_scope.emplace(*path_store);
   }
 
   net::Topology topo;

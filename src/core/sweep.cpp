@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "core/env.hpp"
 #include "sim/logging.hpp"
 #include "sim/thread_pool.hpp"
 #include "snap/cache.hpp"
@@ -81,10 +82,13 @@ std::uint64_t prelude_key(const Scenario& s) {
 // Shared by the serial and parallel runners (and the campaign service's
 // workers) so all produce bit-identical results whether a trial hits or
 // misses the cache.
-ExperimentOutcome run_single_trial(const Scenario& base, std::size_t i) {
+ExperimentOutcome run_single_trial(const Scenario& base, std::size_t i,
+                                   bool use_snap_cache) {
   Scenario s = trial_scenario(base, i);
   auto& cache = snap::PreludeCache::instance();
-  if (!cache.enabled() || !cacheable(s)) return run_experiment(s);
+  if (!use_snap_cache || !cache.enabled() || !cacheable(s)) {
+    return run_experiment(s);
+  }
 
   const std::uint64_t key = prelude_key(s);
   if (const std::shared_ptr<const snap::Snapshot> hit = cache.find(key)) {
@@ -118,48 +122,56 @@ TrialSet assemble_trials(Scenario base, std::vector<ExperimentOutcome> runs) {
   return set;
 }
 
-TrialSet run_trials(Scenario base, std::size_t trials) {
-  TrialSet set;
-  set.scenario = base;
-  set.runs.reserve(trials);
-  for (std::size_t i = 0; i < trials; ++i) {
-    set.runs.push_back(run_single_trial(base, i));
-  }
-  summarize_trials(set);
-  return set;
-}
+TrialSet run_trials(const Scenario& base, const RunOptions& options) {
+  // Effective scenario: RunOptions-attached sinks override the scenario's
+  // own (both remain supported; the scenario fields predate RunOptions).
+  Scenario s = base;
+  if (options.trace != nullptr) s.trace = options.trace;
+  if (options.oracle != nullptr) s.oracle = options.oracle;
 
-TrialSet run_trials_parallel(Scenario base, std::size_t trials,
-                             std::size_t jobs) {
-  if (jobs == 0) jobs = default_jobs();
+  // The BGPSIM_PATH_INTERN knob gates the option (off always wins); the
+  // BGP driver reads the resolved toggle when opening its PathStore scope.
+  detail::PathInterningGuard interning{options.path_interning &&
+                                       env::path_interning()};
+
+  const std::size_t trials = options.trials;
+  const std::size_t jobs = options.jobs == 0 ? default_jobs() : options.jobs;
+  const bool sinks = s.trace != nullptr || s.oracle != nullptr;
+
   // The trace recorder and the invariant oracle are caller-owned,
   // unsynchronized sinks; honor them by running serially rather than
   // interleaving trials into them. Say so — a silent fallback reads as a
   // parallel run that mysteriously used one core.
-  if (jobs > 1 && trials > 1 &&
-      (base.trace != nullptr || base.oracle != nullptr)) {
+  if (jobs > 1 && trials > 1 && sinks) {
     sim::LogLine{sim::LogLevel::kInfo, "core", sim::SimTime::zero()}
         << "run_trials_parallel: falling back to serial execution because "
-        << (base.trace != nullptr ? "a trace recorder" : "an invariant oracle")
+        << (s.trace != nullptr ? "a trace recorder" : "an invariant oracle")
         << " is attached (caller-owned sinks are not synchronized across "
            "worker threads)";
   }
-  if (jobs <= 1 || trials <= 1 || base.trace != nullptr ||
-      base.oracle != nullptr) {
-    return run_trials(base, trials);
+
+  if (jobs <= 1 || trials <= 1 || sinks) {
+    TrialSet set;
+    set.scenario = s;
+    set.runs.reserve(trials);
+    for (std::size_t i = 0; i < trials; ++i) {
+      set.runs.push_back(run_single_trial(s, i, options.snap_cache));
+    }
+    summarize_trials(set);
+    return set;
   }
 
   TrialSet set;
-  set.scenario = base;
+  set.scenario = s;
   set.runs.resize(trials);  // slot per trial: collected in trial order
   std::vector<std::exception_ptr> errors(trials);
 
   {
     sim::ThreadPool pool{std::min(jobs, trials)};
     for (std::size_t i = 0; i < trials; ++i) {
-      pool.submit([&base, &set, &errors, i] {
+      pool.submit([&s, &set, &errors, &options, i] {
         try {
-          set.runs[i] = run_single_trial(base, i);
+          set.runs[i] = run_single_trial(s, i, options.snap_cache);
         } catch (...) {
           errors[i] = std::current_exception();
         }
@@ -177,23 +189,25 @@ TrialSet run_trials_parallel(Scenario base, std::size_t trials,
   return set;
 }
 
-std::size_t default_jobs() {
-  return env_or("BGPSIM_JOBS", sim::ThreadPool::default_workers());
+TrialSet run_trials(Scenario base, std::size_t trials) {
+  RunOptions options;
+  options.trials = trials;
+  options.jobs = 1;
+  return run_trials(static_cast<const Scenario&>(base), options);
 }
 
+TrialSet run_trials_parallel(Scenario base, std::size_t trials,
+                             std::size_t jobs) {
+  RunOptions options;
+  options.trials = trials;
+  options.jobs = jobs;
+  return run_trials(static_cast<const Scenario&>(base), options);
+}
+
+std::size_t default_jobs() { return env::jobs(); }
+
 std::size_t env_or(const char* name, std::size_t fallback) {
-  const char* raw = std::getenv(name);
-  if (!raw || !*raw) return fallback;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0') {
-    std::fprintf(stderr,
-                 "bgpsim: ignoring %s=\"%s\" (not an unsigned integer), "
-                 "using %zu\n",
-                 name, raw, fallback);
-    return fallback;
-  }
-  return static_cast<std::size_t>(v);
+  return env::u64_or(name, fallback);
 }
 
 }  // namespace bgpsim::core

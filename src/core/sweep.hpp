@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/run_options.hpp"
 #include "core/scenario.hpp"
 #include "metrics/stats.hpp"
 
@@ -25,42 +26,49 @@ struct TrialSet {
   metrics::Summary max_loop_duration_s;
 };
 
-/// Run `trials` independent repetitions. Trial i uses seed base.seed + i;
-/// for Internet topologies the topology seed also advances so each trial
-/// draws a fresh graph, destination, and failed link (as in the paper).
-[[nodiscard]] TrialSet run_trials(Scenario base, std::size_t trials);
+/// Run options.trials independent repetitions of `base`. Trial i uses
+/// seed base.seed + i; for Internet topologies the topology seed also
+/// advances so each trial draws a fresh graph, destination, and failed
+/// link (as in the paper).
+///
+/// Execution is governed entirely by `options` (see run_options.hpp):
+/// trials fan out across options.jobs worker threads, yet results are
+/// collected in trial order and every Summary is computed by the same
+/// aggregation code — the returned TrialSet is bit-identical at any job
+/// count. Runs with a trace or oracle attached (via options or the
+/// scenario) degrade to serial with a logged notice, since those are
+/// caller-owned unsynchronized sinks.
+///
+/// If any trial throws, the exception of the lowest-index failing trial
+/// is rethrown after all in-flight trials finish (matching what a serial
+/// run would have reported first).
+[[nodiscard]] TrialSet run_trials(const Scenario& base,
+                                  const RunOptions& options);
 
-/// Like run_trials, but distributes trials across `jobs` worker threads.
-///
-/// Deterministic: trial i always runs with seed base.seed + i and results
-/// are collected in trial order regardless of completion order, so the
-/// returned TrialSet — including every Summary — is bit-identical to the
-/// serial path at any job count.
-///
-/// jobs == 0 resolves to default_jobs() (BGPSIM_JOBS env var, else
-/// hardware_concurrency). Falls back to the serial path when jobs <= 1,
-/// trials <= 1, or base.trace is set (the trace recorder is a single
-/// caller-owned sink and is not synchronized).
-///
-/// If any trial throws, the exception of the lowest-index failing trial is
-/// rethrown after all in-flight trials finish (matching the serial path,
-/// which would have failed on that trial first).
-[[nodiscard]] TrialSet run_trials_parallel(Scenario base, std::size_t trials,
-                                           std::size_t jobs = 0);
+/// Deprecated shim: run_trials(base, {.trials = trials, .jobs = 1}).
+[[deprecated("use run_trials(base, RunOptions{...})")]] [[nodiscard]]
+TrialSet run_trials(Scenario base, std::size_t trials);
 
-/// Worker count used by run_trials_parallel when jobs == 0: the
+/// Deprecated shim: run_trials(base, {.trials = trials, .jobs = jobs}).
+[[deprecated("use run_trials(base, RunOptions{...})")]] [[nodiscard]]
+TrialSet run_trials_parallel(Scenario base, std::size_t trials,
+                             std::size_t jobs = 0);
+
+/// Worker count used when RunOptions::jobs == 0: env::jobs() — the
 /// BGPSIM_JOBS environment variable if set and valid, otherwise
 /// std::thread::hardware_concurrency(); never less than 1.
 [[nodiscard]] std::size_t default_jobs();
 
 /// One trial of a TrialSet, exactly as run_trials would execute it: seed
 /// layout seed = base.seed + index (plus topo_seed advance on Internet
-/// topologies) and warm-started from the process-wide snap::PreludeCache
-/// when the scenario is cacheable. This is the unit of work the campaign
-/// service (src/svc/) ships to worker processes — a merged campaign is
-/// bit-identical to run_trials precisely because both run this function.
+/// topologies) and — when `use_snap_cache` and the scenario is cacheable —
+/// warm-started from the process-wide snap::PreludeCache. This is the unit
+/// of work the campaign service (src/svc/) ships to worker processes — a
+/// merged campaign is bit-identical to run_trials precisely because both
+/// run this function.
 [[nodiscard]] ExperimentOutcome run_single_trial(const Scenario& base,
-                                                 std::size_t index);
+                                                 std::size_t index,
+                                                 bool use_snap_cache = true);
 
 /// A contiguous slice of a TrialSet's trial index space.
 struct TrialRange {
@@ -85,7 +93,8 @@ struct TrialRange {
 /// Environment-variable override for bench scaling (e.g. BGPSIM_TRIALS).
 /// Returns `fallback` when unset or unparsable; a set-but-garbled value
 /// ("8x", "two") additionally warns on stderr so a misspelled knob is
-/// never silently ignored.
+/// never silently ignored. Legacy forwarder for core::env::u64_or — the
+/// documented knob registry lives in core/env.hpp.
 [[nodiscard]] std::size_t env_or(const char* name, std::size_t fallback);
 
 }  // namespace bgpsim::core

@@ -1,6 +1,6 @@
 #include "dv/network.hpp"
 
-#include <any>
+#include <utility>
 
 namespace bgpsim::dv {
 
@@ -23,8 +23,8 @@ DvNetwork::DvNetwork(sim::Simulator& simulator, net::Topology& topology,
     speakers_.back()->set_peers(topo_.up_neighbors(node));
   }
 
-  transport_.set_delivery_handler([this](const net::Envelope& env) {
-    queues_[env.to]->accept(env);
+  transport_.set_delivery_handler([this](net::Envelope env) {
+    queues_[env.to]->accept(std::move(env));
   });
   transport_.set_session_handler(
       [this](net::NodeId self, net::NodeId peer, bool up) {
@@ -35,7 +35,7 @@ DvNetwork::DvNetwork(sim::Simulator& simulator, net::Topology& topology,
   for (net::NodeId node = 0; node < n; ++node) {
     queues_[node]->set_message_handler([this, node](const net::Envelope& env) {
       speakers_[node]->handle_update(env.from,
-                                     std::any_cast<const DvUpdate&>(env.payload));
+                                     env.payload.get<DvUpdate>());
     });
     queues_[node]->set_session_handler(
         [this, node](const net::ProcessingQueue::SessionEvent& ev) {
@@ -61,8 +61,8 @@ bool DvNetwork::busy() const {
 
 namespace {
 
-void save_dv_payload(snap::Writer& w, const std::any& payload) {
-  const auto& msg = std::any_cast<const DvUpdate&>(payload);
+void save_dv_payload(snap::Writer& w, const net::Payload& payload) {
+  const auto& msg = payload.get<DvUpdate>();
   w.u64(msg.routes.size());
   for (const auto& [prefix, metric] : msg.routes) {
     w.u32(prefix);
@@ -70,7 +70,7 @@ void save_dv_payload(snap::Writer& w, const std::any& payload) {
   }
 }
 
-std::any load_dv_payload(snap::Reader& r) {
+net::Payload load_dv_payload(snap::Reader& r) {
   DvUpdate msg;
   const std::uint64_t n = r.u64();
   msg.routes.reserve(static_cast<std::size_t>(n));
@@ -78,7 +78,7 @@ std::any load_dv_payload(snap::Reader& r) {
     const net::Prefix prefix = r.u32();
     msg.routes.emplace_back(prefix, static_cast<int>(r.i64()));
   }
-  return std::any{std::move(msg)};
+  return net::Payload{std::move(msg)};
 }
 
 }  // namespace

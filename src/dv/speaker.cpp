@@ -1,7 +1,6 @@
 #include "dv/speaker.hpp"
 
 #include <algorithm>
-#include <any>
 
 namespace bgpsim::dv {
 
@@ -113,7 +112,7 @@ void DvSpeaker::send_full_table() {
     if (update.routes.empty()) continue;
     counters_.routes_advertised += update.routes.size();
     ++counters_.updates_sent;
-    transport_.send(self_, peer, std::any{update});
+    transport_.send(self_, peer, update);
     if (hooks_.on_update_sent) hooks_.on_update_sent(self_, peer, update);
   }
 }

@@ -11,13 +11,20 @@ DataPlane::DataPlane(sim::Simulator& simulator, const net::Topology& topology,
     : sim_{simulator},
       topo_{topology},
       fibs_{fibs},
-      primary_prefix_{prefix} {
+      primary_prefix_{prefix},
+      primary_destination_{destination} {
   assert(fibs_.size() == topo_.node_count());
   destinations_.emplace(prefix, destination);
+  sim_.set_external_handler([this] {
+    bridge_armed_ = false;
+    drain_due();
+    rearm();
+  });
 }
 
 void DataPlane::add_destination(net::Prefix prefix, net::NodeId node) {
   destinations_[prefix] = node;
+  if (prefix == primary_prefix_) primary_destination_ = node;
 }
 
 std::uint64_t DataPlane::inject(net::NodeId source, int ttl) {
@@ -41,10 +48,19 @@ std::uint64_t DataPlane::inject_for(net::Prefix prefix, net::NodeId source,
 }
 
 void DataPlane::arrive(net::NodeId node, Packet packet) {
-  auto dest = destinations_.find(packet.prefix);
-  if (dest != destinations_.end() && node == dest->second) {
-    finish(packet, PacketFate::kDelivered, node);
-    return;
+  // Single-destination scenarios (the study's setting) never touch the
+  // map: every packet is for the primary prefix.
+  if (packet.prefix == primary_prefix_) {
+    if (node == primary_destination_) {
+      finish(packet, PacketFate::kDelivered, node);
+      return;
+    }
+  } else {
+    auto dest = destinations_.find(packet.prefix);
+    if (dest != destinations_.end() && node == dest->second) {
+      finish(packet, PacketFate::kDelivered, node);
+      return;
+    }
   }
   const std::optional<net::NodeId> nh = fibs_[node].next_hop(packet.prefix);
   if (!nh) {
@@ -98,7 +114,6 @@ void DataPlane::save_state(snap::Writer& w) const {
   w.u64(counters_.hops);
   w.b(bridge_armed_);
   w.time(bridge_time_);
-  w.u64(bridge_id_.value);
   auto heap = heap_;  // drain a copy: ascending, deterministic order
   w.u64(heap.size());
   while (!heap.empty()) {
@@ -128,7 +143,6 @@ void DataPlane::restore_state(snap::Reader& r) {
   counters_.hops = r.u64();
   bridge_armed_ = r.b();
   bridge_time_ = r.time();
-  bridge_id_ = sim::EventId{r.u64()};
   heap_ = {};
   const std::uint64_t n = r.u64();
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -154,17 +168,12 @@ void DataPlane::push_hop(sim::SimTime at, net::NodeId node, Packet packet) {
 void DataPlane::rearm() {
   if (heap_.empty()) return;
   const sim::SimTime next = heap_.top().at;
-  if (bridge_armed_) {
-    if (bridge_time_ <= next) return;  // already armed early enough
-    sim_.cancel(bridge_id_);
-  }
+  if (bridge_armed_ && bridge_time_ <= next) return;  // armed early enough
+  // arm_external replaces any previous arming with a fresh tie-break seq
+  // — exactly the ordering the old cancel-and-reschedule produced.
   bridge_armed_ = true;
   bridge_time_ = next;
-  bridge_id_ = sim_.schedule_at(next, [this] {
-    bridge_armed_ = false;
-    drain_due();
-    rearm();
-  });
+  sim_.arm_external(next);
 }
 
 void DataPlane::drain_due() {

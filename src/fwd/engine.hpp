@@ -23,8 +23,11 @@ namespace bgpsim::fwd {
 ///
 /// Because a scenario moves millions of packet hops, the engine keeps its
 /// own flat binary heap of packet events and surfaces only the earliest one
-/// to the shared Simulator ("bridge event"). A hop then costs one heap
-/// push/pop instead of a heap-allocated std::function in the global queue.
+/// to the shared Simulator through its external event slot ("bridge").
+/// A hop then costs one local heap push/pop; arming the bridge is a few
+/// stores — no event-queue traffic, no allocation. The slot draws its
+/// FIFO tie-break seq from the simulator's counter, so firing order
+/// against control-plane events is identical to scheduling a real event.
 class DataPlane {
  public:
   using FateHandler = std::function<void(const Packet&, PacketFate,
@@ -64,7 +67,7 @@ class DataPlane {
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
   /// Checkpoint packet-event heap, id/seq counters, packet counters, and
-  /// the bridge-event bookkeeping (sorted heap order: deterministic bytes).
+  /// the bridge bookkeeping (sorted heap order: deterministic bytes).
   void save_state(snap::Writer& w) const;
 
   /// Inverse of save_state, replacing the heap contents. Valid in place
@@ -103,9 +106,9 @@ class DataPlane {
   std::size_t in_flight_ = 0;
   Counters counters_;
 
+  net::NodeId primary_destination_ = net::kInvalidNode;
   bool bridge_armed_ = false;
   sim::SimTime bridge_time_;
-  sim::EventId bridge_id_{};
 };
 
 }  // namespace bgpsim::fwd

@@ -11,6 +11,7 @@ bool Fib::set_next_hop(net::Prefix prefix, net::NodeId next_hop) {
   const std::optional<net::NodeId> previous =
       inserted ? std::nullopt : std::optional{it->second};
   it->second = next_hop;
+  if (hot_valid_ && hot_prefix_ == prefix) hot_next_hop_ = next_hop;
   notify(prefix, previous, next_hop);
   return true;
 }
@@ -20,13 +21,18 @@ bool Fib::clear_route(net::Prefix prefix) {
   if (it == routes_.end()) return false;
   const net::NodeId previous = it->second;
   routes_.erase(it);
+  if (hot_valid_ && hot_prefix_ == prefix) hot_valid_ = false;
   notify(prefix, previous, std::nullopt);
   return true;
 }
 
 std::optional<net::NodeId> Fib::next_hop(net::Prefix prefix) const {
+  if (hot_valid_ && hot_prefix_ == prefix) return hot_next_hop_;
   auto it = routes_.find(prefix);
   if (it == routes_.end()) return std::nullopt;
+  hot_prefix_ = prefix;
+  hot_next_hop_ = it->second;
+  hot_valid_ = true;
   return it->second;
 }
 

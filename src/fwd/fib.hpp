@@ -61,6 +61,12 @@ class Fib {
 
   std::unordered_map<net::Prefix, net::NodeId> routes_;
   std::vector<Observer> observers_;
+  /// One-entry lookup cache. The data plane asks for the same (single)
+  /// prefix on every packet hop; this skips the hash probe. Mutators keep
+  /// it coherent, so it is invisible to observers and checkpoints.
+  mutable net::Prefix hot_prefix_ = 0;
+  mutable net::NodeId hot_next_hop_ = net::kInvalidNode;
+  mutable bool hot_valid_ = false;
 };
 
 }  // namespace bgpsim::fwd

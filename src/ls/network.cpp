@@ -1,6 +1,6 @@
 #include "ls/network.hpp"
 
-#include <any>
+#include <utility>
 
 namespace bgpsim::ls {
 
@@ -23,8 +23,8 @@ LsNetwork::LsNetwork(sim::Simulator& simulator, net::Topology& topology,
     speakers_.back()->set_peers(topo_.up_neighbors(node));
   }
 
-  transport_.set_delivery_handler([this](const net::Envelope& env) {
-    queues_[env.to]->accept(env);
+  transport_.set_delivery_handler([this](net::Envelope env) {
+    queues_[env.to]->accept(std::move(env));
   });
   transport_.set_session_handler(
       [this](net::NodeId self, net::NodeId peer, bool up) {
@@ -35,7 +35,7 @@ LsNetwork::LsNetwork(sim::Simulator& simulator, net::Topology& topology,
   for (net::NodeId node = 0; node < n; ++node) {
     queues_[node]->set_message_handler([this, node](const net::Envelope& env) {
       speakers_[node]->handle_lsa(
-          env.from, std::any_cast<const LsaMsg&>(env.payload).lsa);
+          env.from, env.payload.get<LsaMsg>().lsa);
     });
     queues_[node]->set_session_handler(
         [this, node](const net::ProcessingQueue::SessionEvent& ev) {
@@ -65,8 +65,8 @@ bool LsNetwork::busy() const {
 
 namespace {
 
-void save_lsa_payload(snap::Writer& w, const std::any& payload) {
-  const Lsa& lsa = std::any_cast<const LsaMsg&>(payload).lsa;
+void save_lsa_payload(snap::Writer& w, const net::Payload& payload) {
+  const Lsa& lsa = payload.get<LsaMsg>().lsa;
   w.u32(lsa.origin);
   w.u64(lsa.seq);
   w.u64(lsa.neighbors.size());
@@ -75,7 +75,7 @@ void save_lsa_payload(snap::Writer& w, const std::any& payload) {
   for (const net::Prefix p : lsa.prefixes) w.u32(p);
 }
 
-std::any load_lsa_payload(snap::Reader& r) {
+net::Payload load_lsa_payload(snap::Reader& r) {
   LsaMsg msg;
   msg.lsa.origin = r.u32();
   msg.lsa.seq = r.u64();
@@ -89,7 +89,7 @@ std::any load_lsa_payload(snap::Reader& r) {
   for (std::uint64_t i = 0; i < n_prefixes; ++i) {
     msg.lsa.prefixes.push_back(r.u32());
   }
-  return std::any{std::move(msg)};
+  return net::Payload{std::move(msg)};
 }
 
 }  // namespace

@@ -1,7 +1,6 @@
 #include "ls/speaker.hpp"
 
 #include <algorithm>
-#include <any>
 #include <deque>
 #include <limits>
 
@@ -49,7 +48,7 @@ void LsSpeaker::flood(const Lsa& lsa, std::optional<net::NodeId> except) {
   for (const net::NodeId peer : peers_) {
     if (except && peer == *except) continue;
     ++counters_.lsas_flooded;
-    transport_.send(self_, peer, std::any{LsaMsg{lsa}});
+    transport_.send(self_, peer, LsaMsg{lsa});
     if (hooks_.on_lsa_sent) hooks_.on_lsa_sent(self_, peer, lsa);
   }
 }
@@ -72,7 +71,7 @@ void LsSpeaker::handle_session(net::NodeId peer, bool up) {
     // Database exchange: offer everything we know to the new neighbor.
     for (const auto& [origin, lsa] : lsdb_) {
       ++counters_.lsas_flooded;
-      transport_.send(self_, peer, std::any{LsaMsg{lsa}});
+      transport_.send(self_, peer, LsaMsg{lsa});
       if (hooks_.on_lsa_sent) hooks_.on_lsa_sent(self_, peer, lsa);
     }
   } else {

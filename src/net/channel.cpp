@@ -1,12 +1,13 @@
 #include "net/channel.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <memory>
 #include <utility>
 
 namespace bgpsim::net {
 
-bool Transport::send(NodeId from, NodeId to, std::any payload) {
+bool Transport::send(NodeId from, NodeId to, Payload payload) {
   const auto link_id = topo_.link_between(from, to);
   if (!link_id || !topo_.link(*link_id).up) return false;
 
@@ -14,26 +15,29 @@ bool Transport::send(NodeId from, NodeId to, std::any payload) {
   const Link& link = topo_.link(*link_id);
   auto& pending = in_flight_[*link_id];
 
-  // The event needs its own id to unregister itself from in_flight_; obtain
-  // it by scheduling first and patching the shared state afterwards.
+  // The event needs its own id to unregister itself from in_flight_; the
+  // scheduler exposes the id the next schedule call will assign, so the
+  // closure carries it by value — no shared heap state per message.
+  const sim::EventId id = sim_.next_schedule_id();
   Envelope env{from, to, std::move(payload)};
-  auto holder = std::make_shared<sim::EventId>();
-  const sim::EventId id = sim_.schedule_after(
-      link.delay, [this, link = *link_id, holder, env = std::move(env)]() {
-        deliver(link, *holder, env);
+  const sim::EventId scheduled = sim_.schedule_after(
+      link.delay,
+      [this, env = std::move(env), id, link = *link_id]() mutable {
+        deliver(link, id, std::move(env));
       });
-  *holder = id;
+  assert(scheduled == id);
+  (void)scheduled;
   pending.push_back(id);
   return true;
 }
 
-void Transport::deliver(LinkId link, sim::EventId self_id, const Envelope& env) {
+void Transport::deliver(LinkId link, sim::EventId self_id, Envelope env) {
   auto it = in_flight_.find(link);
   if (it != in_flight_.end()) {
     std::erase(it->second, self_id);
   }
   ++delivered_;
-  if (on_deliver_) on_deliver_(env);
+  if (on_deliver_) on_deliver_(std::move(env));
 }
 
 bool Transport::fail_link(LinkId id) {

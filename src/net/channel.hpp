@@ -1,12 +1,12 @@
 // Reliable, in-order, point-to-point message delivery (a TCP stand-in).
 #pragma once
 
-#include <any>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <vector>
 
+#include "net/payload.hpp"
 #include "net/topology.hpp"
 #include "net/types.hpp"
 #include "sim/scheduler.hpp"
@@ -18,7 +18,7 @@ namespace bgpsim::net {
 struct Envelope {
   NodeId from = kInvalidNode;
   NodeId to = kInvalidNode;
-  std::any payload;
+  Payload payload;
 };
 
 /// Delivers control-plane messages between adjacent nodes.
@@ -31,7 +31,7 @@ struct Envelope {
 ///    endpoints are notified at the failure instant (session reset).
 class Transport {
  public:
-  using DeliveryHandler = std::function<void(const Envelope&)>;
+  using DeliveryHandler = std::function<void(Envelope)>;
   /// self noticed that its session to peer went down/up.
   using SessionHandler = std::function<void(NodeId self, NodeId peer, bool up)>;
 
@@ -46,7 +46,7 @@ class Transport {
 
   /// Send `payload` from `from` to adjacent `to`. Returns false (drops the
   /// message) if there is no up link between them.
-  bool send(NodeId from, NodeId to, std::any payload);
+  bool send(NodeId from, NodeId to, Payload payload);
 
   /// Take the link down: drop in-flight messages on it and notify both
   /// endpoints. No-op (returns false) if already down.
@@ -78,7 +78,7 @@ class Transport {
   }
 
  private:
-  void deliver(LinkId link, sim::EventId self_id, const Envelope& env);
+  void deliver(LinkId link, sim::EventId self_id, Envelope env);
 
   sim::Simulator& sim_;
   Topology& topo_;

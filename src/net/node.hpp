@@ -1,7 +1,6 @@
 // Serialized control-plane message processing with per-message CPU delay.
 #pragma once
 
-#include <any>
 #include <deque>
 #include <functional>
 #include <utility>
@@ -47,9 +46,10 @@ class ProcessingQueue {
   using MessageHandler = std::function<void(const Envelope&)>;
   using SessionEventHandler = std::function<void(const SessionEvent&)>;
   /// Payload codecs for checkpointing: the queue stores protocol messages
-  /// as std::any, so the owning network supplies the concrete encoding.
-  using PayloadSaver = std::function<void(snap::Writer&, const std::any&)>;
-  using PayloadLoader = std::function<std::any(snap::Reader&)>;
+  /// type-erased as net::Payload, so the owning network supplies the
+  /// concrete encoding.
+  using PayloadSaver = std::function<void(snap::Writer&, const Payload&)>;
+  using PayloadLoader = std::function<Payload(snap::Reader&)>;
 
   ProcessingQueue(sim::Simulator& simulator, sim::Rng rng, ProcessingDelay d)
       : sim_{simulator}, rng_{std::move(rng)}, delay_{d} {}

@@ -10,11 +10,23 @@ namespace bgpsim::net {
 
 NodeId Topology::add_node() {
   adjacency_.emplace_back();
+  rebuild_matrix();
   return static_cast<NodeId>(adjacency_.size() - 1);
 }
 
 void Topology::add_nodes(std::size_t n) {
   adjacency_.resize(adjacency_.size() + n);
+  rebuild_matrix();
+}
+
+void Topology::rebuild_matrix() {
+  const std::size_t n = adjacency_.size();
+  matrix_.assign(n * n, kNoLink);
+  for (NodeId a = 0; a < n; ++a) {
+    for (const Adjacency& adj : adjacency_[a]) {
+      matrix_[a * n + adj.neighbor] = static_cast<std::int32_t>(adj.link);
+    }
+  }
 }
 
 LinkId Topology::add_link(NodeId a, NodeId b, sim::SimTime delay) {
@@ -29,15 +41,18 @@ LinkId Topology::add_link(NodeId a, NodeId b, sim::SimTime delay) {
   links_.push_back(Link{a, b, delay, true});
   adjacency_[a].push_back(Adjacency{b, id});
   adjacency_[b].push_back(Adjacency{a, id});
+  const std::size_t n = adjacency_.size();
+  matrix_[a * n + b] = static_cast<std::int32_t>(id);
+  matrix_[b * n + a] = static_cast<std::int32_t>(id);
   return id;
 }
 
 std::optional<LinkId> Topology::link_between(NodeId a, NodeId b) const {
-  if (a >= node_count()) return std::nullopt;
-  for (const auto& adj : adjacency_[a]) {
-    if (adj.neighbor == b) return adj.link;
-  }
-  return std::nullopt;
+  const std::size_t n = node_count();
+  if (a >= n || b >= n) return std::nullopt;
+  const std::int32_t id = matrix_[a * n + b];
+  if (id == kNoLink) return std::nullopt;
+  return static_cast<LinkId>(id);
 }
 
 bool Topology::link_up(NodeId a, NodeId b) const {

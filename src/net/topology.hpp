@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -85,8 +86,16 @@ class Topology {
   [[nodiscard]] std::string summary() const;
 
  private:
+  /// Rebuild matrix_ from adjacency_ (stride change after adding nodes).
+  void rebuild_matrix();
+
   std::vector<Link> links_;
   std::vector<std::vector<Adjacency>> adjacency_;
+  /// Dense (node, node) -> link lookup, kNoLink where absent. The data
+  /// plane calls link_between once per packet hop — tens of millions of
+  /// times per scenario — so it must be an array index, not a scan.
+  static constexpr std::int32_t kNoLink = -1;
+  std::vector<std::int32_t> matrix_;  // stride = node_count()
 };
 
 }  // namespace bgpsim::net

@@ -1,0 +1,28 @@
+#include "sim/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bgpsim::sim {
+
+const char* env_raw(const char* name) {
+  const char* raw = std::getenv(name);
+  return (raw != nullptr && *raw != '\0') ? raw : nullptr;
+}
+
+std::size_t env_u64_or(const char* name, std::size_t fallback) {
+  const char* raw = env_raw(name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    std::fprintf(stderr,
+                 "bgpsim: ignoring %s=\"%s\" (not an unsigned integer), "
+                 "using %zu\n",
+                 name, raw, fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace bgpsim::sim

@@ -1,0 +1,24 @@
+// Low-level environment-knob parsing.
+//
+// This is the single parser behind every BGPSIM_* knob. It lives at the
+// sim layer — the bottom of the library stack — so every layer (including
+// snap/, which sits below core/) reads knobs through the same code and the
+// same misconfiguration contract: a set-but-garbled value warns on stderr
+// and falls back, so a misspelled knob is never silently ignored.
+//
+// The documented knob registry and the typed accessors live in
+// core/env.hpp; use those unless you are below core in the link order.
+#pragma once
+
+#include <cstddef>
+
+namespace bgpsim::sim {
+
+/// Raw value of `name`, or nullptr when unset or empty.
+[[nodiscard]] const char* env_raw(const char* name);
+
+/// Unsigned-integer knob: `fallback` when unset; a set-but-unparsable
+/// value ("8x", "two") warns on stderr and falls back.
+[[nodiscard]] std::size_t env_u64_or(const char* name, std::size_t fallback);
+
+}  // namespace bgpsim::sim

@@ -1,31 +1,65 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
 
 namespace bgpsim::sim {
 
+EventId EventQueue::next_push_id() const {
+  const std::uint32_t slot = free_.empty()
+                                 ? static_cast<std::uint32_t>(slots_.size())
+                                 : free_.back();
+  const std::uint32_t gen = slot < slots_.size() ? slots_[slot].gen + 1 : 1;
+  return EventId{(static_cast<std::uint64_t>(slot) << kGenBits) | gen};
+}
+
 EventId EventQueue::push(SimTime when, Callback cb) {
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq});
-  callbacks_.emplace(seq, std::move(cb));
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.seq = seq;
+  ++s.gen;
+  heap_.push_back(HeapEntry{when, seq, slot});
+  std::push_heap(heap_.begin(), heap_.end(), heap_after);
   ++live_;
-  return EventId{seq};
+  return EventId{(static_cast<std::uint64_t>(slot) << kGenBits) | s.gen};
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb = Callback{};
+  s.seq = 0;
+  free_.push_back(slot);
+  assert(live_ > 0);
+  --live_;
 }
 
 bool EventQueue::cancel(EventId id) {
-  auto it = callbacks_.find(id.value);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  assert(live_ > 0);
-  --live_;
+  const std::uint32_t slot = static_cast<std::uint32_t>(id.value >> kGenBits);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id.value);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.seq == 0 || s.gen != gen) return false;
+  // The heap entry is left in place; pop()/next_time() recognize it as
+  // stale by its dead seq and drop it.
+  release_slot(slot);
   return true;
 }
 
 void EventQueue::drop_dead_prefix() {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().seq)) {
-    heap_.pop();
+  while (!heap_.empty() && stale(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+    heap_.pop_back();
   }
 }
 
@@ -35,26 +69,41 @@ SimTime EventQueue::next_time() const {
   auto* self = const_cast<EventQueue*>(this);
   self->drop_dead_prefix();
   if (heap_.empty()) throw std::logic_error{"EventQueue::next_time on empty queue"};
-  return heap_.top().time;
+  return heap_.front().time;
+}
+
+std::uint64_t EventQueue::next_event_seq() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_dead_prefix();
+  if (heap_.empty()) {
+    throw std::logic_error{"EventQueue::next_event_seq on empty queue"};
+  }
+  return heap_.front().seq;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_dead_prefix();
   if (heap_.empty()) throw std::logic_error{"EventQueue::pop on empty queue"};
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.seq);
-  assert(it != callbacks_.end());
-  Fired fired{top.time, std::move(it->second), EventId{top.seq}};
-  callbacks_.erase(it);
-  --live_;
+  const HeapEntry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+  heap_.pop_back();
+  Slot& s = slots_[top.slot];
+  assert(s.seq == top.seq);
+  Fired fired{top.time, std::move(s.cb),
+              EventId{(static_cast<std::uint64_t>(top.slot) << kGenBits) | s.gen}};
+  release_slot(top.slot);
   return fired;
 }
 
 void EventQueue::clear() {
-  heap_ = {};
-  callbacks_.clear();
-  live_ = 0;
+  // Free every live slot but keep the pool (and its generations): a stale
+  // EventId from before clear() must keep failing to cancel, even if its
+  // slot is recycled afterwards.
+  for (std::uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].seq != 0) release_slot(slot);
+  }
+  heap_.clear();
+  assert(live_ == 0);
 }
 
 }  // namespace bgpsim::sim

@@ -2,16 +2,15 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace bgpsim::sim {
 
 /// Opaque handle identifying a scheduled event; usable for cancellation.
+/// Encodes (slot index, per-slot generation); 0 is never a valid handle.
 struct EventId {
   std::uint64_t value = 0;
   friend constexpr bool operator==(EventId, EventId) = default;
@@ -21,14 +20,30 @@ struct EventId {
 ///
 /// Ordering is by time, with insertion order (a monotonically increasing
 /// sequence number) breaking ties, so simultaneous events fire FIFO — a
-/// property several protocol tests rely on. Cancellation is O(1) via a
-/// tombstone set; tombstoned entries are skipped (and reclaimed) on pop.
+/// property several protocol tests rely on.
+///
+/// Storage is a slot pool recycled through a free list: a callback lives
+/// inline in its slot (sim::Callback small-buffer storage) and the heap
+/// orders lightweight (time, seq, slot) entries with std::push_heap /
+/// std::pop_heap. Once the pool has grown to the schedule's high-water
+/// mark, push/pop/cancel perform no allocation at all. Cancellation is
+/// O(1): the slot is freed immediately and the orphaned heap entry is
+/// skipped (and reclaimed) on pop, recognized by its stale seq.
+///
+/// Determinism: slot assignment (LIFO free list), generations, and seqs
+/// are pure functions of the push/cancel/pop history, so identical
+/// schedules produce identical EventIds and identical FIFO tie-breaks.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   /// Insert `cb` to fire at `when`. Returns a handle for cancel().
   EventId push(SimTime when, Callback cb);
+
+  /// The handle the next push() will return (pure observation). Lets a
+  /// caller bake the id into the scheduled closure itself instead of
+  /// routing it through shared heap state.
+  [[nodiscard]] EventId next_push_id() const;
 
   /// Cancel a pending event. Returns false if the event already fired,
   /// was popped, or was cancelled before.
@@ -43,6 +58,16 @@ class EventQueue {
   /// Time of the earliest live event. Requires !empty().
   [[nodiscard]] SimTime next_time() const;
 
+  /// FIFO tie-break seq of the earliest live event. Requires !empty().
+  /// The simulator compares it against its external slot's seq to decide
+  /// which fires first at equal times.
+  [[nodiscard]] std::uint64_t next_event_seq() const;
+
+  /// Consume one sequence number without pushing an event. Used by the
+  /// simulator's external event slot so that arming it orders against
+  /// queued events exactly as a push at the same moment would.
+  std::uint64_t take_seq() { return next_seq_++; }
+
   /// Remove and return the earliest live event's callback, along with its
   /// firing time. Requires !empty().
   struct Fired {
@@ -52,30 +77,50 @@ class EventQueue {
   };
   Fired pop();
 
-  /// Drop all pending events.
+  /// Drop all pending events. Slot storage (and outstanding EventId
+  /// generations) are retained so stale handles can never alias a new
+  /// event.
   void clear();
 
   /// Sequence number the next push() will use. Checkpointed so a restored
-  /// run assigns the same EventIds (and FIFO tie-breaks) as the original.
+  /// run assigns the same FIFO tie-breaks as the original.
   [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
 
   /// Restore the push counter (checkpoint restore only; requires empty()).
   void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;  // doubles as the EventId value
-    friend bool operator>(const Entry& a, const Entry& b) {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  static constexpr std::uint32_t kGenBits = 32;
+
+  struct Slot {
+    Callback cb;
+    std::uint64_t seq = 0;  // seq of current occupant; 0 = slot free
+    std::uint32_t gen = 0;  // bumped on every occupancy; EventId disambiguator
   };
 
-  void drop_dead_prefix();
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  // std::push_heap builds a max-heap; invert to get earliest-(time, seq)
+  // at the front.
+  static bool heap_after(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return b.time < a.time;
+    return b.seq < a.seq;
+  }
+
+  [[nodiscard]] bool stale(const HeapEntry& e) const {
+    return slots_[e.slot].seq != e.seq;
+  }
+
+  void drop_dead_prefix();
+  void release_slot(std::uint32_t slot);
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // LIFO recycled slot indices
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
 };

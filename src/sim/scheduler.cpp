@@ -19,9 +19,37 @@ EventId Simulator::schedule_after(SimTime delay, Callback cb) {
   return queue_.push(now_ + delay, std::move(cb));
 }
 
+void Simulator::set_external_handler(Callback handler) {
+  if (ext_handler_) {
+    throw std::logic_error{
+        "Simulator::set_external_handler: slot already owned"};
+  }
+  ext_handler_ = std::move(handler);
+}
+
+void Simulator::arm_external(SimTime when) {
+  if (!ext_handler_) {
+    throw std::logic_error{"Simulator::arm_external: no handler installed"};
+  }
+  if (when < now_) {
+    throw std::invalid_argument{"Simulator::arm_external: time in the past"};
+  }
+  ext_time_ = when;
+  ext_seq_ = queue_.take_seq();
+  ext_armed_ = true;
+}
+
 std::uint64_t Simulator::run_until(SimTime limit) {
   std::uint64_t n = 0;
-  while (!queue_.empty() && queue_.next_time() <= limit) {
+  for (;;) {
+    const bool has_queue = !queue_.empty();
+    if (ext_armed_ && (!has_queue || external_first())) {
+      if (ext_time_ > limit) break;
+      fire_external();
+      ++n;
+      continue;
+    }
+    if (!has_queue || queue_.next_time() > limit) break;
     auto fired = queue_.pop();
     now_ = fired.time;
     ++fired_;
@@ -32,7 +60,12 @@ std::uint64_t Simulator::run_until(SimTime limit) {
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
+  const bool has_queue = !queue_.empty();
+  if (ext_armed_ && (!has_queue || external_first())) {
+    fire_external();
+    return true;
+  }
+  if (!has_queue) return false;
   auto fired = queue_.pop();
   now_ = fired.time;
   ++fired_;

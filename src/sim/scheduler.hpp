@@ -28,6 +28,11 @@ class Simulator {
   /// Schedule `cb` after `delay` from now (delay must be >= 0).
   EventId schedule_after(SimTime delay, Callback cb);
 
+  /// The handle the next schedule_at/schedule_after call will return
+  /// (pure observation; see EventQueue::next_push_id). Lets a caller bake
+  /// the id into the scheduled closure itself.
+  [[nodiscard]] EventId next_schedule_id() const { return queue_.next_push_id(); }
+
   /// Cancel a pending event; returns false if it already fired/cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
@@ -43,14 +48,45 @@ class Simulator {
   /// Fire exactly one event if any is pending. Returns true if one fired.
   bool step();
 
-  /// Number of pending (live) events.
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  /// --- external event slot ------------------------------------------
+  ///
+  /// A component that manages many internal timed items behind one
+  /// deadline — the data plane keeps its own heap of millions of packet
+  /// hops — registers a handler once and arms the slot for its earliest
+  /// internal time. Arming draws a FIFO tie-break seq from the same
+  /// counter as schedule_at, so the handler fires in exactly the order a
+  /// freshly pushed event would — but arming and re-arming are a few
+  /// stores, with no queue traffic and no allocation. One slot per
+  /// simulator; the run loop merges it with the queue.
+
+  /// Register the external handler (must be set before arm_external; may
+  /// only be installed once — the slot has a single owner).
+  void set_external_handler(Callback handler);
+
+  /// Arm the slot at absolute time `when` (>= now()), replacing any
+  /// previous arming and assigning a fresh tie-break seq — the ordering a
+  /// cancel-and-reschedule through the queue would produce.
+  void arm_external(SimTime when);
+
+  /// Disarm without firing. No-op if not armed.
+  void disarm_external() { ext_armed_ = false; }
+
+  [[nodiscard]] bool external_armed() const { return ext_armed_; }
+
+  /// Number of pending (live) events, counting an armed external slot.
+  [[nodiscard]] std::size_t pending() const {
+    return queue_.size() + (ext_armed_ ? 1 : 0);
+  }
 
   /// Total events fired since construction.
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
 
-  /// Drop all pending events (the clock is not reset).
-  void clear_pending() { queue_.clear(); }
+  /// Drop all pending events, including an armed external slot (the
+  /// clock is not reset).
+  void clear_pending() {
+    queue_.clear();
+    ext_armed_ = false;
+  }
 
   /// Sequence number the next scheduled event will receive — part of the
   /// deterministic-replay state alongside now() and events_fired().
@@ -68,9 +104,29 @@ class Simulator {
   }
 
  private:
+  /// True when the external slot fires before the queue's earliest event
+  /// — earlier time, or equal time with the earlier seq. Requires the
+  /// slot armed and the queue non-empty.
+  [[nodiscard]] bool external_first() const {
+    const SimTime qt = queue_.next_time();
+    if (ext_time_ != qt) return ext_time_ < qt;
+    return ext_seq_ < queue_.next_event_seq();
+  }
+
+  void fire_external() {
+    ext_armed_ = false;
+    now_ = ext_time_;
+    ++fired_;
+    ext_handler_();
+  }
+
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
   std::uint64_t fired_ = 0;
+  Callback ext_handler_;
+  SimTime ext_time_ = SimTime::zero();
+  std::uint64_t ext_seq_ = 0;
+  bool ext_armed_ = false;
 };
 
 }  // namespace bgpsim::sim

@@ -1,32 +1,17 @@
 #include "snap/cache.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <utility>
 
+#include "sim/env.hpp"
+
 namespace bgpsim::snap {
-namespace {
 
-// Local parse of BGPSIM_SNAP_CACHE (snap sits below core, so it cannot
-// use core::env_or); same contract: warn on garbage, fall back.
-std::size_t capacity_from_env() {
-  const char* raw = std::getenv("BGPSIM_SNAP_CACHE");
-  if (!raw || !*raw) return PreludeCache::kDefaultCapacity;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0') {
-    std::fprintf(stderr,
-                 "bgpsim: ignoring BGPSIM_SNAP_CACHE=\"%s\" (not an unsigned "
-                 "integer), using %zu\n",
-                 raw, PreludeCache::kDefaultCapacity);
-    return PreludeCache::kDefaultCapacity;
-  }
-  return static_cast<std::size_t>(v);
-}
-
-}  // namespace
-
-PreludeCache::PreludeCache() : capacity_{capacity_from_env()} {}
+// snap sits below core, so the knob is read through the shared sim-level
+// parser (same contract: warn on garbage, fall back); the registry entry
+// documenting BGPSIM_SNAP_CACHE lives in core/env.cpp.
+PreludeCache::PreludeCache()
+    : capacity_{sim::env_u64_or("BGPSIM_SNAP_CACHE",
+                                PreludeCache::kDefaultCapacity)} {}
 
 PreludeCache& PreludeCache::instance() {
   static PreludeCache cache;

@@ -30,7 +30,10 @@
 namespace bgpsim::snap {
 
 /// Bump on any change to the meta or payload layout.
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: pooled-queue EventId encoding (slot|generation) inside serialized
+/// MRAI timers; the data plane's bridge event moved to the simulator's
+/// external slot and its EventId left the record.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// Byte offset of the format-version field inside encode() output —
 /// stable across versions (it sits directly behind the magic).

@@ -71,10 +71,10 @@ Coordinator::Coordinator(CampaignSpec spec, CampaignOptions options)
     write_scenario(probe, s);
   }
   merged_.resize(spec_.scenarios.size());
-  for (auto& slots : merged_) slots.resize(spec_.trials);
+  for (auto& slots : merged_) slots.resize(spec_.run.trials);
   for (std::size_t si = 0; si < spec_.scenarios.size(); ++si) {
     for (const core::TrialRange& range :
-         core::decompose_trials(spec_.trials, spec_.unit_trials)) {
+         core::decompose_trials(spec_.run.trials, spec_.unit_trials)) {
       Unit u;
       u.scenario_index = si;
       u.trial_begin = range.begin;

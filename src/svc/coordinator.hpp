@@ -35,13 +35,22 @@
 
 namespace bgpsim::svc {
 
-/// What to run: a sweep of scenarios, each repeated `trials` times with
+/// What to run: a sweep of scenarios, each repeated run.trials times with
 /// the run_trials seed layout. unit_trials sets work-unit granularity
 /// (trials per unit; smaller units steal better, larger units amortize
 /// dispatch and share prelude-cache hits within a worker).
+///
+/// `run` is the same core::RunOptions the in-process runners take; the
+/// coordinator consumes run.trials directly and uses the full struct for
+/// serial cross-checks (run_campaign --check-serial replays the campaign
+/// through core::run_trials(s, spec.run)). Fields that configure
+/// *in-process* execution (jobs, snap_cache, path_interning, trace,
+/// oracle) do not travel to worker processes — workers follow their own
+/// environment defaults — which is safe precisely because every one of
+/// those knobs is output-invariant (digests are bit-identical regardless).
 struct CampaignSpec {
   std::vector<core::Scenario> scenarios;
-  std::size_t trials = 1;
+  core::RunOptions run;
   std::size_t unit_trials = 1;
 };
 

@@ -1,0 +1,173 @@
+// PathStore unit suite: node refcounting, intern hits/misses, structural
+// sharing across prepended()/suffix_from(), scope nesting, codec bytes,
+// and the pointer-equality fast path.
+#include "bgp/path_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/as_path.hpp"
+#include "snap/codec.hpp"
+
+namespace bgpsim::bgp {
+namespace {
+
+TEST(PathNode, RefcountLifecycle) {
+  const detail::PathNode* n = detail::cons(5, nullptr);
+  EXPECT_EQ(n->refs.load(), 1u);
+  detail::retain(n);
+  EXPECT_EQ(n->refs.load(), 2u);
+  detail::release(n);
+  EXPECT_EQ(n->refs.load(), 1u);
+  detail::release(n);  // frees
+}
+
+TEST(PathNode, ConsDenormalizesOriginAndLength) {
+  const detail::PathNode* origin = detail::cons(0, nullptr);
+  const detail::PathNode* mid = detail::cons(4, origin);
+  const detail::PathNode* top = detail::cons(6, mid);
+  EXPECT_EQ(top->head, 6u);
+  EXPECT_EQ(top->origin, 0u);
+  EXPECT_EQ(top->length, 3u);
+  EXPECT_EQ(mid->length, 2u);
+  // cons retains the parent: each inner node carries its child's reference
+  // on top of the one this test holds.
+  EXPECT_EQ(origin->refs.load(), 2u);
+  detail::release(top);
+  detail::release(mid);
+  detail::release(origin);
+}
+
+TEST(PathStore, InterningReturnsTheSameNode) {
+  PathStore store;
+  PathStore::Scope scope{store};
+  const detail::PathNode* a = detail::cons(7, nullptr);
+  const detail::PathNode* b = detail::cons(7, nullptr);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.misses(), 1u);
+  EXPECT_EQ(store.hits(), 1u);
+  // One reference held by the table, one per cons() return.
+  EXPECT_EQ(a->refs.load(), 3u);
+  detail::release(a);
+  detail::release(b);
+}
+
+TEST(PathStore, WithoutAScopeConsDoesNotIntern) {
+  ASSERT_EQ(PathStore::current(), nullptr);
+  const detail::PathNode* a = detail::cons(7, nullptr);
+  const detail::PathNode* b = detail::cons(7, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a->refs.load(), 1u);
+  detail::release(a);
+  detail::release(b);
+}
+
+TEST(PathStore, ScopesNestAndRestore) {
+  EXPECT_EQ(PathStore::current(), nullptr);
+  PathStore outer;
+  {
+    PathStore::Scope outer_scope{outer};
+    EXPECT_EQ(PathStore::current(), &outer);
+    PathStore inner;
+    {
+      PathStore::Scope inner_scope{inner};
+      EXPECT_EQ(PathStore::current(), &inner);
+    }
+    EXPECT_EQ(PathStore::current(), &outer);
+  }
+  EXPECT_EQ(PathStore::current(), nullptr);
+}
+
+TEST(PathStore, EqualPathsBuiltDifferentlyShareStorage) {
+  PathStore store;
+  PathStore::Scope scope{store};
+  // (5 4 0) via a vector, via prepended(), via an initializer list: all
+  // three must resolve to the same three interned nodes.
+  const AsPath direct{std::vector<net::NodeId>{5, 4, 0}};
+  const AsPath prepended = AsPath{4, 0}.prepended(5);
+  const AsPath list{5, 4, 0};
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.misses(), 3u);
+  EXPECT_GE(store.hits(), 4u);
+  EXPECT_EQ(direct, prepended);
+  EXPECT_EQ(prepended, list);
+}
+
+TEST(PathStore, SuffixFromSharesStorageWithoutConsing) {
+  PathStore store;
+  PathStore::Scope scope{store};
+  const AsPath p{6, 4, 0};
+  const std::uint64_t misses_before = store.misses();
+  const AsPath suffix = p.suffix_from(4);
+  EXPECT_EQ(store.misses(), misses_before);  // no new nodes
+  EXPECT_EQ(suffix, (AsPath{4, 0}));
+  EXPECT_TRUE(p.suffix_from(9).empty());
+}
+
+TEST(PathStore, ClearReleasesTableButLivePathsSurvive) {
+  PathStore store;
+  PathStore::Scope scope{store};
+  AsPath p{6, 4, 0};
+  ASSERT_EQ(store.size(), 3u);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(p.to_string(), "(6 4 0)");
+  EXPECT_EQ(p.origin(), 0u);
+}
+
+TEST(PathStore, PathsOutliveTheStoreThatInternedThem) {
+  AsPath p;
+  {
+    PathStore store;
+    PathStore::Scope scope{store};
+    p = AsPath{6, 4, 0}.prepended(5);
+  }  // store destroyed; p must keep its (un-interned) nodes alive
+  EXPECT_EQ(p.length(), 4u);
+  EXPECT_EQ(p.first_hop(), 5u);
+  EXPECT_EQ(p.origin(), 0u);
+}
+
+TEST(PathStore, CodecBytesIdenticalWithAndWithoutInterning) {
+  const auto encode = [](const AsPath& p) {
+    snap::Writer w;
+    p.save(w);
+    return w.bytes();
+  };
+  std::vector<std::uint8_t> interned_bytes;
+  {
+    PathStore store;
+    PathStore::Scope scope{store};
+    interned_bytes = encode(AsPath{4, 0}.prepended(6));
+  }
+  const std::vector<std::uint8_t> plain_bytes = encode(AsPath{6, 4, 0});
+  EXPECT_EQ(interned_bytes, plain_bytes);
+
+  snap::Reader r{plain_bytes};
+  const AsPath decoded = AsPath::load(r);
+  r.finish();
+  EXPECT_EQ(decoded, (AsPath{6, 4, 0}));
+}
+
+TEST(PathStore, EqualityFastAndSlowPathsAgree) {
+  // Interned: structurally-equal paths are pointer-equal (the fast path).
+  PathStore store;
+  AsPath interned_a, interned_b;
+  {
+    PathStore::Scope scope{store};
+    interned_a = AsPath{5, 4, 0};
+    interned_b = AsPath{4, 0}.prepended(5);
+  }
+  EXPECT_EQ(interned_a, interned_b);
+  // Un-interned copies of the same hops take the structural slow path and
+  // must agree with the fast path's verdict — in both directions.
+  const AsPath plain{5, 4, 0};
+  EXPECT_EQ(interned_a, plain);
+  EXPECT_NE(plain, (AsPath{5, 4, 1}));
+  EXPECT_NE(plain, (AsPath{5, 4}));
+}
+
+}  // namespace
+}  // namespace bgpsim::bgp

@@ -65,18 +65,22 @@ void expect_identical(const TrialSet& a, const TrialSet& b) {
 }
 
 TEST(SweepParallelTest, CliqueTdownMatchesSerialAtAnyJobCount) {
-  const TrialSet serial = run_trials(clique_tdown(), 4);
-  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+  const TrialSet serial =
+      run_trials(clique_tdown(), RunOptions{.trials = 4, .jobs = 1});
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
     SCOPED_TRACE("jobs=" + std::to_string(jobs));
-    expect_identical(serial, run_trials_parallel(clique_tdown(), 4, jobs));
+    expect_identical(serial, run_trials(clique_tdown(),
+                                        RunOptions{.trials = 4, .jobs = jobs}));
   }
 }
 
 TEST(SweepParallelTest, InternetTlongMatchesSerialAtAnyJobCount) {
-  const TrialSet serial = run_trials(internet_tlong(), 3);
-  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+  const TrialSet serial =
+      run_trials(internet_tlong(), RunOptions{.trials = 3, .jobs = 1});
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{8}}) {
     SCOPED_TRACE("jobs=" + std::to_string(jobs));
-    expect_identical(serial, run_trials_parallel(internet_tlong(), 3, jobs));
+    expect_identical(serial, run_trials(internet_tlong(),
+                                        RunOptions{.trials = 3, .jobs = jobs}));
   }
 }
 
@@ -86,7 +90,7 @@ TEST(SweepParallelTest, TraceScenarioFallsBackToSerial) {
   metrics::TraceRecorder trace;
   Scenario s = clique_tdown();
   s.trace = &trace;
-  const TrialSet set = run_trials_parallel(s, 2, 8);
+  const TrialSet set = run_trials(s, RunOptions{.trials = 2, .jobs = 8});
   EXPECT_EQ(set.runs.size(), 2u);
   EXPECT_GT(trace.size(), 0u);
 }
@@ -94,6 +98,19 @@ TEST(SweepParallelTest, TraceScenarioFallsBackToSerial) {
 TEST(SweepParallelTest, DefaultJobsIsAtLeastOne) {
   EXPECT_GE(default_jobs(), 1u);
 }
+
+// The pre-RunOptions entry points are [[deprecated]] thin shims; until they
+// are removed they must keep producing the exact same results as the
+// canonical run_trials(base, RunOptions) call they forward to.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(SweepParallelTest, DeprecatedShimsMatchTheRunOptionsEngine) {
+  const TrialSet canonical =
+      run_trials(clique_tdown(), RunOptions{.trials = 3, .jobs = 1});
+  expect_identical(canonical, run_trials(clique_tdown(), 3));
+  expect_identical(canonical, run_trials_parallel(clique_tdown(), 3, 2));
+}
+#pragma GCC diagnostic pop
 
 TEST(SweepParallelTest, EnvOrRejectsTrailingGarbageWithFallback) {
   ::setenv("BGPSIM_TEST_KNOB", "8x", 1);

@@ -1,4 +1,4 @@
-// run_trials_parallel must say why it degrades to serial execution: a
+// run_trials must say why it degrades to serial execution: a
 // caller who attached a trace recorder or an invariant oracle and asked
 // for N jobs should find the reason in the log, not a silent one-core run.
 #include <string>
@@ -58,7 +58,7 @@ TEST(SweepWarning, OracleFallbackIsAnnounced) {
   check::Oracle oracle = check::Oracle::standard();
   s.oracle = &oracle;
 
-  const TrialSet set = run_trials_parallel(s, 2, 2);
+  const TrialSet set = run_trials(s, RunOptions{.trials = 2, .jobs = 2});
   EXPECT_EQ(set.runs.size(), 2U);  // fallback still runs every trial
   EXPECT_TRUE(capture.contains("falling back to serial"));
   EXPECT_TRUE(capture.contains("invariant oracle"));
@@ -70,7 +70,7 @@ TEST(SweepWarning, TraceFallbackNamesTheRecorder) {
   metrics::TraceRecorder trace;
   s.trace = &trace;
 
-  const TrialSet set = run_trials_parallel(s, 2, 2);
+  const TrialSet set = run_trials(s, RunOptions{.trials = 2, .jobs = 2});
   EXPECT_EQ(set.runs.size(), 2U);
   EXPECT_TRUE(capture.contains("falling back to serial"));
   EXPECT_TRUE(capture.contains("trace recorder"));
@@ -78,7 +78,8 @@ TEST(SweepWarning, TraceFallbackNamesTheRecorder) {
 
 TEST(SweepWarning, GenuineParallelRunStaysQuiet) {
   LogCapture capture;
-  const TrialSet set = run_trials_parallel(small_scenario(), 2, 2);
+  const TrialSet set =
+      run_trials(small_scenario(), RunOptions{.trials = 2, .jobs = 2});
   EXPECT_EQ(set.runs.size(), 2U);
   EXPECT_FALSE(capture.contains("falling back to serial"));
 }

@@ -139,7 +139,8 @@ TEST(Experiment, ZeroMraiStillConverges) {
 }
 
 TEST(Sweep, TrialsVarySeedsAndAggregate) {
-  const TrialSet set = run_trials(small_clique_tdown(), 3);
+  const TrialSet set =
+      run_trials(small_clique_tdown(), RunOptions{.trials = 3, .jobs = 1});
   ASSERT_EQ(set.runs.size(), 3u);
   EXPECT_EQ(set.convergence_time_s.n, 3u);
   EXPECT_GT(set.convergence_time_s.mean, 0.0);

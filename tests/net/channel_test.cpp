@@ -2,7 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include <any>
 #include <string>
 #include <vector>
 
@@ -25,7 +24,7 @@ class TransportTest : public ::testing::Test {
     link12_ = topo_.add_link(1, 2, sim::SimTime::millis(2));
     transport_.set_delivery_handler([this](const Envelope& env) {
       deliveries_.push_back(Delivery{env.from, env.to,
-                                     std::any_cast<std::string>(env.payload),
+                                     env.payload.get<std::string>(),
                                      sim_.now()});
     });
     transport_.set_session_handler([this](NodeId self, NodeId peer, bool up) {

@@ -9,7 +9,7 @@ namespace bgpsim::net {
 namespace {
 
 Envelope make_env(NodeId from, NodeId to, std::string payload) {
-  return Envelope{from, to, std::any{std::move(payload)}};
+  return Envelope{from, to, std::move(payload)};
 }
 
 class ProcessingQueueTest : public ::testing::Test {
@@ -18,7 +18,7 @@ class ProcessingQueueTest : public ::testing::Test {
       : queue_{sim_, sim::Rng{7}, ProcessingDelay{sim::SimTime::millis(100),
                                                   sim::SimTime::millis(500)}} {
     queue_.set_message_handler([this](const Envelope& env) {
-      messages_.emplace_back(std::any_cast<std::string>(env.payload),
+      messages_.emplace_back(env.payload.get<std::string>(),
                              sim_.now());
     });
     queue_.set_session_handler(
@@ -91,7 +91,7 @@ TEST(ProcessingQueueFixed, ZeroWidthDelayIsDeterministic) {
                                     sim::SimTime::millis(250)}};
   sim::SimTime processed;
   q.set_message_handler([&](const Envelope&) { processed = sim.now(); });
-  q.accept(Envelope{0, 1, std::any{std::string{"x"}}});
+  q.accept(Envelope{0, 1, std::string{"x"}});
   sim.run();
   EXPECT_EQ(processed, sim::SimTime::millis(250));
 }
@@ -104,10 +104,10 @@ TEST(ProcessingQueueFixed, WorkArrivingDuringProcessingQueues) {
   std::vector<sim::SimTime> times;
   q.set_message_handler([&](const Envelope&) { times.push_back(sim.now()); });
 
-  q.accept(Envelope{0, 1, std::any{std::string{"a"}}});
+  q.accept(Envelope{0, 1, std::string{"a"}});
   // Arrives while "a" is being processed.
   sim.schedule_at(sim::SimTime::millis(100), [&] {
-    q.accept(Envelope{0, 1, std::any{std::string{"b"}}});
+    q.accept(Envelope{0, 1, std::string{"b"}});
   });
   sim.run();
   ASSERT_EQ(times.size(), 2u);

@@ -29,7 +29,7 @@ TrialSet run_enhancement(bgp::Enhancement e) {
   s.event = EventKind::kTlong;
   s.seed = kSeed;
   s.bgp = s.bgp.with(e);
-  return run_trials_parallel(s, kTrials);
+  return run_trials(s, RunOptions{.trials = kTrials});
 }
 
 class PaperClaimsTlong : public ::testing::Test {

@@ -207,14 +207,16 @@ TEST(WarmStart, TrialSetsIdenticalAcrossCacheStatesAndRunners) {
   const core::Scenario base = bgp_scenario();
   constexpr std::size_t kTrials = 3;
 
-  const core::TrialSet cold = core::run_trials(base, kTrials);
+  const core::TrialSet cold =
+      core::run_trials(base, core::RunOptions{.trials = kTrials, .jobs = 1});
   EXPECT_EQ(cache.misses(), kTrials);  // one deposit per trial seed
 
-  const core::TrialSet warm_serial = core::run_trials(base, kTrials);
+  const core::TrialSet warm_serial =
+      core::run_trials(base, core::RunOptions{.trials = kTrials, .jobs = 1});
   EXPECT_EQ(cache.hits(), kTrials);  // second sweep forked every prelude
 
   const core::TrialSet warm_parallel =
-      core::run_trials_parallel(base, kTrials, 4);
+      core::run_trials(base, core::RunOptions{.trials = kTrials, .jobs = 4});
   EXPECT_EQ(cache.hits(), 2 * kTrials);
 
   ASSERT_EQ(cold.runs.size(), kTrials);

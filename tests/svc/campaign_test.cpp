@@ -31,7 +31,7 @@ core::Scenario clique(std::size_t size) {
 CampaignSpec small_sweep() {
   CampaignSpec spec;
   spec.scenarios = {clique(5), clique(6)};
-  spec.trials = 4;
+  spec.run.trials = 4;
   spec.unit_trials = 1;
   return spec;
 }
@@ -39,7 +39,7 @@ CampaignSpec small_sweep() {
 std::uint64_t serial_digest(const CampaignSpec& spec) {
   std::vector<core::TrialSet> sets;
   for (const core::Scenario& s : spec.scenarios) {
-    sets.push_back(core::run_trials_parallel(s, spec.trials));
+    sets.push_back(core::run_trials(s, spec.run));
   }
   return campaign_digest(sets);
 }
@@ -78,7 +78,7 @@ TEST(SvcCampaignTest, TrialSetsMatchTheInProcessRunnerFieldByField) {
   for (std::size_t si = 0; si < spec.scenarios.size(); ++si) {
     SCOPED_TRACE("scenario " + std::to_string(si));
     const core::TrialSet serial =
-        core::run_trials_parallel(spec.scenarios[si], spec.trials);
+        core::run_trials(spec.scenarios[si], spec.run);
     const core::TrialSet& merged = result.sets[si];
     ASSERT_EQ(merged.runs.size(), serial.runs.size());
     for (std::size_t i = 0; i < serial.runs.size(); ++i) {
@@ -136,7 +136,7 @@ TEST(SvcCampaignTest, DeterministicUnitFailureFailsTheCampaign) {
   core::Scenario s = clique(8);
   s.max_sim_time = sim::SimTime::seconds(1);
   spec.scenarios = {s};
-  spec.trials = 2;
+  spec.run.trials = 2;
   EXPECT_THROW((void)run_campaign(spec, 2), std::runtime_error);
 }
 

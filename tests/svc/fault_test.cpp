@@ -32,7 +32,7 @@ core::Scenario clique(std::size_t size) {
 CampaignSpec small_sweep() {
   CampaignSpec spec;
   spec.scenarios = {clique(5), clique(6)};
-  spec.trials = 4;
+  spec.run.trials = 4;
   spec.unit_trials = 1;
   return spec;
 }
@@ -40,7 +40,7 @@ CampaignSpec small_sweep() {
 std::uint64_t serial_digest(const CampaignSpec& spec) {
   std::vector<core::TrialSet> sets;
   for (const core::Scenario& s : spec.scenarios) {
-    sets.push_back(core::run_trials_parallel(s, spec.trials));
+    sets.push_back(core::run_trials(s, spec.run));
   }
   return campaign_digest(sets);
 }
@@ -100,7 +100,7 @@ TEST(SvcFaultTest, StalledWorkerBlowsItsDeadlineAndIsReplaced) {
   // the deadline must only ever fire for the stalled impostor below.
   CampaignSpec spec;
   spec.scenarios = {clique(5)};
-  spec.trials = 3;
+  spec.run.trials = 3;
   spec.unit_trials = 1;
   const std::uint64_t expected = serial_digest(spec);
 

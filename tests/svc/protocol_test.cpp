@@ -327,13 +327,16 @@ TEST(SvcProtocolTest, OutcomeRoundTripsBitIdentically) {
 }
 
 TEST(SvcProtocolTest, TrialsetDigestDetectsAnyDifference) {
-  const core::TrialSet a = core::run_trials(small_clique(), 2);
-  const core::TrialSet b = core::run_trials(small_clique(), 2);
+  const core::TrialSet a =
+      core::run_trials(small_clique(), core::RunOptions{.trials = 2, .jobs = 1});
+  const core::TrialSet b =
+      core::run_trials(small_clique(), core::RunOptions{.trials = 2, .jobs = 1});
   EXPECT_EQ(trialset_digest(a), trialset_digest(b));
 
   core::Scenario other = small_clique();
   other.seed = 12;
-  const core::TrialSet c = core::run_trials(other, 2);
+  const core::TrialSet c =
+      core::run_trials(other, core::RunOptions{.trials = 2, .jobs = 1});
   EXPECT_NE(trialset_digest(a), trialset_digest(c));
 
   EXPECT_NE(campaign_digest({a}), campaign_digest({a, a}));
