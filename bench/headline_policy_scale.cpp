@@ -1,0 +1,135 @@
+// Headline: transient route looping at Internet scale under Gao-Rexford
+// policy routing (synthetic AS graphs, topo/generators.cpp).
+//
+// The paper measures looping on 29-110 node abstractions of the 1997-2000
+// Internet; this bench asks whether its mechanism survives both the three
+// orders of magnitude of growth since and the valley-free policy filter:
+// loop count and duration vs AS-graph scale (1k/10k nodes, 75k under
+// BGPSIM_FULL=1 or any list via BGPSIM_POLICY_SIZES) and vs MRAI. Every
+// data point is executed through the campaign service (svc::run_campaign,
+// fork workers), so the numbers come from the exact path a distributed
+// campaign uses and the printed digests are bit-identical at any worker
+// count.
+//
+// Expected (and the headline finding): loops still form at Internet scale
+// — the mechanism is protocol-inherent, not an artifact of the paper's
+// small abstractions — but valley-free export makes them rare, small, and
+// short-lived: most trials see none, and the ones that loop resolve well
+// inside one MRAI window, so looping duration is near-flat in MRAI where
+// the paper's dense abstractions (Figure 5) grow linearly. Destinations
+// are low-degree (stub) ASes, matching the paper's methodology.
+#include "common.hpp"
+
+#include <cstdint>
+
+#include "svc/coordinator.hpp"
+
+namespace {
+
+bgpsim::core::Scenario policy_point(std::size_t nodes,
+                                    bgpsim::core::EventKind event,
+                                    double mrai_s) {
+  bgpsim::core::Scenario s;
+  s.topology.kind = bgpsim::core::TopologyKind::kAsGraph;
+  s.topology.size = nodes;
+  s.topology.topo_seed = 1;
+  s.event = event;
+  s.policy_routing = true;
+  s.bgp.mrai = bgpsim::sim::SimTime::seconds(mrai_s);
+  s.seed = 1;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bgpsim;
+  using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
+
+  print_header("Headline: policy-routed scale",
+               "loop count/duration vs AS-graph size and MRAI (Gao-Rexford)");
+
+  // Loops hit only a few percent of policy-routed trials, so meaningful
+  // means need more repetitions than the figure benches' default.
+  const std::vector<std::size_t> sizes = core::env::policy_sizes();
+  const std::size_t n_trials = trials(8);
+  constexpr double kMraiS = 30.0;  // the paper's default timer
+
+  // ---- loop behavior vs scale, Tdown and Tlong ---------------------------
+  svc::CampaignSpec scale;
+  for (const std::size_t n : sizes) {
+    for (const auto ev : {core::EventKind::kTdown, core::EventKind::kTlong}) {
+      scale.scenarios.push_back(policy_point(n, ev, kMraiS));
+    }
+  }
+  scale.run.trials = n_trials;
+  const auto by_scale = svc::run_campaign(scale);
+
+  core::Table t1{{"nodes", "event", "loops formed", "looping duration (s)",
+                  "max loop (s)", "convergence (s)", "TTL exhaustions"}};
+  double tdown_loops = 0, tlong_loops = 0;
+  std::size_t slot = 0;
+  for (const std::size_t n : sizes) {
+    for (const auto ev : {core::EventKind::kTdown, core::EventKind::kTlong}) {
+      const auto& set = by_scale.sets[slot++];
+      (ev == core::EventKind::kTlong ? tlong_loops : tdown_loops) +=
+          set.loops_formed.mean;
+      t1.add_row({std::to_string(n), core::to_string(ev),
+                  core::fmt(set.loops_formed.mean, 1),
+                  metrics::mean_pm(set.looping_duration_s),
+                  metrics::mean_pm(set.max_loop_duration_s),
+                  metrics::mean_pm(set.convergence_time_s),
+                  core::fmt(set.ttl_exhaustions.mean, 0)});
+    }
+  }
+  t1.print(std::cout);
+  emit_table(t1, "Policy-routed AS graphs: loop metrics vs scale");
+  std::printf("campaign digest %016llx (bit-identical at any worker count)\n",
+              static_cast<unsigned long long>(by_scale.digest));
+
+  // ---- loop behavior vs MRAI at the smallest scale (Tdown: the event
+  // with the most loop signal on policy graphs) ----------------------------
+  std::vector<double> mrais{5, 15, 30};
+  if (full_run()) {
+    mrais.push_back(45);
+    mrais.push_back(60);
+  }
+  svc::CampaignSpec sweep;
+  for (const double m : mrais) {
+    sweep.scenarios.push_back(
+        policy_point(sizes.front(), core::EventKind::kTdown, m));
+  }
+  sweep.run.trials = n_trials;
+  const auto by_mrai = svc::run_campaign(sweep);
+
+  core::Table t2{{"MRAI (s)", "loops formed", "looping duration (s)",
+                  "max loop (s)", "convergence (s)"}};
+  std::vector<double> xs, loop_s;
+  for (std::size_t i = 0; i < mrais.size(); ++i) {
+    const auto& set = by_mrai.sets[i];
+    xs.push_back(mrais[i]);
+    loop_s.push_back(set.looping_duration_s.mean);
+    t2.add_row({core::fmt(mrais[i], 0), core::fmt(set.loops_formed.mean, 1),
+                metrics::mean_pm(set.looping_duration_s),
+                metrics::mean_pm(set.max_loop_duration_s),
+                metrics::mean_pm(set.convergence_time_s)});
+  }
+  t2.print(std::cout);
+  emit_table(t2, "Policy-routed AS graphs: loop metrics vs MRAI (Tdown)");
+  std::printf("campaign digest %016llx (bit-identical at any worker count)\n",
+              static_cast<unsigned long long>(by_mrai.digest));
+
+  const auto fit = metrics::fit_line(xs, loop_s);
+  std::printf("\nlinear fit: looping = %.1f + %.2f*M (R2=%.3f)\n",
+              fit.intercept, fit.slope, fit.r2);
+  std::printf("\nshape checks vs the paper:\n");
+  check(tdown_loops + tlong_loops > 0,
+        "transient loops still form on policy-routed AS graphs "
+        "(the mechanism survives valley-free filtering at scale)");
+  check(fit.slope < 0.1,
+        "looping duration is near-flat in MRAI: valley-free choice sets "
+        "keep loops inside one MRAI window, unlike the paper's dense "
+        "abstractions (Figure 5's linear growth)");
+  return 0;
+}

@@ -94,8 +94,9 @@ class Args {
 /// The scenario-shaping flags shared by run_scenario and run_campaign,
 /// for splicing into a usage string.
 inline constexpr const char* kScenarioUsage =
-    "[--file SCENARIO] [--topo clique|bclique|chain|ring|internet] "
-    "[--size N] [--event tdown|tlong|tup|flap] "
+    "[--file SCENARIO] "
+    "[--topo clique|bclique|chain|ring|internet|asgraph|relfile] "
+    "[--size N] [--rel-file PATH] [--event tdown|tlong|tup|flap] "
     "[--proto bgp|ssld|wrate|assertion|ghost] [--mrai SECONDS] [--seed S] "
     "[--policy]";
 
@@ -115,9 +116,14 @@ inline bool apply_scenario_flag(Args& a, core::Scenario& s) {
     else if (v == "chain") s.topology.kind = core::TopologyKind::kChain;
     else if (v == "ring") s.topology.kind = core::TopologyKind::kRing;
     else if (v == "internet") s.topology.kind = core::TopologyKind::kInternet;
+    else if (v == "asgraph") s.topology.kind = core::TopologyKind::kAsGraph;
+    else if (v == "relfile") s.topology.kind = core::TopologyKind::kRelFile;
     else a.fail();
   } else if (arg == "--size") {
     s.topology.size = a.value_size();
+  } else if (arg == "--rel-file") {
+    s.topology.kind = core::TopologyKind::kRelFile;
+    s.topology.rel_file = a.value();
   } else if (arg == "--event") {
     const std::string v = a.value();
     if (v == "tdown") s.event = core::EventKind::kTdown;

@@ -18,6 +18,7 @@
 #include "bgp/as_path.hpp"
 #include "bgp/config.hpp"
 #include "bgp/messages.hpp"
+#include "net/relationships.hpp"
 #include "net/topology.hpp"
 #include "net/types.hpp"
 #include "sim/time.hpp"
@@ -45,6 +46,10 @@ struct Context {
   /// apply (valley-free fixed points are longer); only loop-freedom is
   /// checked at quiescence then.
   bool policy_routing = false;
+  /// Business relationships for policy runs (owned by the caller, alive
+  /// for the whole run). Enables the valley-free path check; null for
+  /// shortest-path runs.
+  const net::RelationshipTable* relationships = nullptr;
 };
 
 /// Read-only view of a quiescent network for the convergence checks.

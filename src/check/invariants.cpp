@@ -2,7 +2,9 @@
 
 #include <iterator>
 #include <string>
+#include <utility>
 
+#include "bgp/policy.hpp"
 #include "check/reference.hpp"
 
 namespace bgpsim::check {
@@ -204,6 +206,63 @@ void ConvergedReferenceInvariant::at_quiescence(const QuiescentView& view,
   }
 }
 
+// ---- ValleyFreeInvariant --------------------------------------------------
+
+void ValleyFreeInvariant::on_route_installed(
+    net::NodeId node, net::Prefix prefix,
+    const std::optional<bgp::AsPath>& best, sim::SimTime at) {
+  if (!ctx_.relationships || prefix != ctx_.prefix || !best) return;
+  if (!bgp::valley_free(*ctx_.relationships, *best)) {
+    report(at, node,
+           "adopted path " + best->to_string() +
+               " contains a valley (breaks the no-free-transit export rule)");
+  }
+}
+
+void ValleyFreeInvariant::at_quiescence(const QuiescentView& view,
+                                        sim::SimTime at) {
+  // Sweep every node's selected path once more: catches a path that was
+  // installed before the oracle was armed (warm starts restore Loc-RIBs
+  // without replaying the installs).
+  if (!ctx_.relationships || !ctx_.topology || !view.loc_path) return;
+  for (net::NodeId n = 0; n < ctx_.topology->node_count(); ++n) {
+    const bgp::AsPath* path = view.loc_path(n);
+    if (path && !bgp::valley_free(*ctx_.relationships, *path)) {
+      report(at, n,
+             "quiescent path " + path->to_string() + " contains a valley");
+    }
+  }
+}
+
+// ---- OscillationInvariant -------------------------------------------------
+
+void OscillationInvariant::arm(const Context& ctx) {
+  ctx_ = ctx;
+  flips_.clear();
+  reported_.clear();
+}
+
+void OscillationInvariant::on_route_installed(
+    net::NodeId node, net::Prefix prefix,
+    const std::optional<bgp::AsPath>& /*best*/, sim::SimTime at) {
+  if (prefix != ctx_.prefix) return;
+  const std::uint64_t flips = ++flips_[node];
+  if (flips > budget_ && !std::exchange(reported_[node], true)) {
+    report(at, node,
+           "best path changed " + std::to_string(flips) +
+               " times without reaching quiescence — persistent " +
+               "oscillation suspected (policy dispute wheel?)");
+  }
+}
+
+void OscillationInvariant::at_quiescence(const QuiescentView& /*view*/,
+                                         sim::SimTime /*at*/) {
+  // Convergence proved the run was progressing; start the next phase's
+  // budget from zero so the event's own exploration gets the full window.
+  flips_.clear();
+  reported_.clear();
+}
+
 // ---- RestoreEquivalenceInvariant ------------------------------------------
 
 void RestoreEquivalenceInvariant::on_restored(std::uint64_t snapshot_hash,
@@ -225,6 +284,8 @@ std::vector<std::unique_ptr<Invariant>> standard_invariants() {
   all.push_back(std::make_unique<MraiLegalityInvariant>());
   all.push_back(std::make_unique<LoopDurationBoundInvariant>());
   all.push_back(std::make_unique<ConvergedReferenceInvariant>());
+  all.push_back(std::make_unique<ValleyFreeInvariant>());
+  all.push_back(std::make_unique<OscillationInvariant>());
   all.push_back(std::make_unique<RestoreEquivalenceInvariant>());
   return all;
 }

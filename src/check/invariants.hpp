@@ -111,6 +111,53 @@ class ConvergedReferenceInvariant final : public Invariant {
   Context ctx_;
 };
 
+/// Gao-Rexford policy runs: every adopted path is valley-free (up* peer?
+/// down* over the relationship table). This holds even *transiently*: the
+/// no-valley export filter means only valley-free paths are ever put on
+/// the wire, a stale adopted path was valley-free when learned, and the
+/// relationship table never changes mid-run — so any valley is a policy-
+/// plumbing bug, not an artifact of convergence. No-op when the context
+/// carries no relationship table.
+class ValleyFreeInvariant final : public Invariant {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "valley-free";
+  }
+  void arm(const Context& ctx) override { ctx_ = ctx; }
+  void on_route_installed(net::NodeId node, net::Prefix prefix,
+                          const std::optional<bgp::AsPath>& best,
+                          sim::SimTime at) override;
+  void at_quiescence(const QuiescentView& view, sim::SimTime at) override;
+
+ private:
+  Context ctx_;
+};
+
+/// Flags persistent oscillation instead of assuming convergence: a node
+/// whose best path changes more than the flip budget between two quiescent
+/// states looks like a dispute wheel (policy-induced non-convergence, cf.
+/// Griffin's "Bad Gadget"), and is reported long before the run would die
+/// on max_sim_time. The default budget is far above anything the paper's
+/// path-exploration workloads reach; tune with set_flip_budget in tests.
+class OscillationInvariant final : public Invariant {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "oscillation";
+  }
+  void set_flip_budget(std::uint64_t budget) { budget_ = budget; }
+  void arm(const Context& ctx) override;
+  void on_route_installed(net::NodeId node, net::Prefix prefix,
+                          const std::optional<bgp::AsPath>& best,
+                          sim::SimTime at) override;
+  void at_quiescence(const QuiescentView& view, sim::SimTime at) override;
+
+ private:
+  Context ctx_;
+  std::uint64_t budget_ = 2048;
+  std::map<net::NodeId, std::uint64_t> flips_;  // sparse: only changed nodes
+  std::map<net::NodeId, bool> reported_;
+};
+
 /// A checkpoint restore must be bit-exact: re-serializing the restored
 /// network yields the same content hash as the snapshot that was applied.
 /// Fed by the experiment drivers' restore paths (warm starts and in-place

@@ -1,6 +1,11 @@
 #include "core/env.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <charconv>
+#include <cstdio>
+#include <string_view>
+#include <system_error>
 
 #include "core/run_options.hpp"
 #include "sim/env.hpp"
@@ -28,6 +33,9 @@ constexpr Knob kRegistry[] = {
     {"BGPSIM_PATH_INTERN", "1",
      "per-experiment AS-path interning (bgp::PathStore); 0 = plain "
      "structural sharing, for A/B digest checks"},
+    {"BGPSIM_POLICY_SIZES", "1000,10000",
+     "comma-separated AS-graph node counts for the policy-scale bench; "
+     "the default grows by 75000 under BGPSIM_FULL=1"},
 };
 
 }  // namespace
@@ -64,6 +72,32 @@ std::size_t snap_cache_capacity() {
 
 bool path_interning() {
   return sim::env_u64_or("BGPSIM_PATH_INTERN", 1) != 0;
+}
+
+std::vector<std::size_t> policy_sizes() {
+  std::vector<std::size_t> fallback{1000, 10000};
+  if (full_run()) fallback.push_back(75000);
+  const char* raw = sim::env_raw("BGPSIM_POLICY_SIZES");
+  if (raw == nullptr) return fallback;
+  std::vector<std::size_t> sizes;
+  const std::string_view sv{raw};
+  for (std::size_t pos = 0; pos <= sv.size();) {
+    const std::size_t comma = std::min(sv.find(',', pos), sv.size());
+    const std::string_view tok = sv.substr(pos, comma - pos);
+    std::size_t value = 0;
+    const auto [end, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), value);
+    if (ec != std::errc{} || end != tok.data() + tok.size() || value == 0) {
+      std::fprintf(stderr,
+                   "bgpsim: BGPSIM_POLICY_SIZES=\"%s\" is not a "
+                   "comma-separated list of node counts; using the default\n",
+                   raw);
+      return fallback;
+    }
+    sizes.push_back(value);
+    pos = comma + 1;
+  }
+  return sizes;
 }
 
 }  // namespace bgpsim::core::env

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 namespace bgpsim::core::env {
 
@@ -65,5 +66,12 @@ struct Knob {
 /// BGPSIM_PATH_INTERN: per-experiment AS-path interning (bgp::PathStore);
 /// 0 disables (plain structural sharing, for A/B digest checks). Default 1.
 [[nodiscard]] bool path_interning();
+
+/// BGPSIM_POLICY_SIZES: comma-separated AS-graph node counts for the
+/// policy-scale bench (headline_policy_scale). Default {1000, 10000},
+/// plus 75000 when BGPSIM_FULL=1; an explicit value replaces the whole
+/// list (BGPSIM_FULL does not append to it). A garbled list warns on
+/// stderr and falls back to the default, like every other knob.
+[[nodiscard]] std::vector<std::size_t> policy_sizes();
 
 }  // namespace bgpsim::core::env

@@ -69,6 +69,16 @@ std::uint64_t scenario_prelude_hash(const Scenario& scenario) {
   h.mix(static_cast<std::uint64_t>(scenario.topology.kind));
   h.mix(scenario.topology.size);
   h.mix(scenario.topology.topo_seed);
+  if (scenario.topology.kind == TopologyKind::kRelFile) {
+    // Mixed only for this kind so every pre-existing prelude hash is
+    // unchanged (warm-start caches stay valid across this addition).
+    std::uint64_t path_hash = 1469598103934665603ULL;  // FNV-1a
+    for (const unsigned char c : scenario.topology.rel_file) {
+      path_hash ^= c;
+      path_hash *= 1099511628211ULL;
+    }
+    h.mix(path_hash);
+  }
   h.mix(scenario.policy_routing ? 1 : 0);
   h.mix_time(scenario.bgp.mrai);
   std::uint64_t bits = 0;
@@ -86,12 +96,12 @@ std::uint64_t scenario_prelude_hash(const Scenario& scenario) {
   h.mix(scenario.destination.value_or(net::kInvalidNode));
   // Whether the prelude includes the origination (everything but Tup).
   h.mix(scenario.event != EventKind::kTup ? 1 : 0);
-  // On Internet topologies without a fixed destination, the destination
-  // *choice* depends on whether a survivable-link filter applies (Tlong /
-  // Flap), so those preludes are distinct even at equal seeds.
+  // On generator/file topologies without a fixed destination, the
+  // destination *choice* depends on whether a survivable-link filter
+  // applies (Tlong / Flap), so those preludes are distinct even at equal
+  // seeds.
   const bool link_filter =
-      scenario.topology.kind == TopologyKind::kInternet &&
-      !scenario.destination &&
+      policy_capable(scenario.topology.kind) && !scenario.destination &&
       (scenario.event == EventKind::kTlong ||
        scenario.event == EventKind::kFlap);
   h.mix(link_filter ? 1 : 0);
@@ -119,14 +129,12 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
   net::Topology topo;
   net::RelationshipTable relationships;
   if (scenario.policy_routing) {
-    if (scenario.topology.kind != TopologyKind::kInternet) {
+    if (!policy_capable(scenario.topology.kind)) {
       throw std::invalid_argument{
-          "Scenario: policy_routing requires an Internet topology"};
+          "Scenario: policy_routing requires an Internet, AS-Graph, or "
+          "relationship-file topology"};
     }
-    topo::InternetParams params;
-    params.nodes = scenario.topology.size;
-    params.seed = scenario.topology.topo_seed;
-    auto annotated = topo::make_internet_annotated(params);
+    auto annotated = scenario.topology.build_annotated();
     topo = std::move(annotated.topology);
     relationships = std::move(annotated.relationships);
   } else {
@@ -157,7 +165,9 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
   check::Oracle* oracle = scenario.oracle;
   if (oracle) {
     oracle->arm(check::Context{&topo, bgp_config, kPrefix, destination,
-                               scenario.policy_routing});
+                               scenario.policy_routing,
+                               scenario.policy_routing ? &relationships
+                                                       : nullptr});
   }
   bgp::Speaker::Hooks hooks;
   hooks.on_update_sent = [&collector, &simulator, trace, oracle](

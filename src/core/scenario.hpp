@@ -12,6 +12,7 @@
 #include "net/topology.hpp"
 #include "net/types.hpp"
 #include "sim/time.hpp"
+#include "topo/internet.hpp"
 
 namespace bgpsim::check {
 class Oracle;
@@ -23,13 +24,16 @@ class Snapshot;
 
 namespace bgpsim::core {
 
-/// Topology families from the paper's evaluation (§4.1).
+/// Topology families from the paper's evaluation (§4.1), plus the
+/// Internet-scale families added for the policy-routing study.
 enum class TopologyKind {
   kClique,    // Figure 3(a); size = node count
   kBClique,   // Figure 3(b); size = n, node count = 2n
   kChain,     // used in unit/analysis scenarios
   kRing,
   kInternet,  // Internet-like generator; size = node count
+  kAsGraph,   // scaled AS-relationship generator (1k-75k); size = node count
+  kRelFile,   // CAIDA AS-relationship file; size derived from the file
 };
 
 [[nodiscard]] constexpr const char* to_string(TopologyKind k) {
@@ -44,17 +48,41 @@ enum class TopologyKind {
       return "Ring";
     case TopologyKind::kInternet:
       return "Internet";
+    case TopologyKind::kAsGraph:
+      return "AS-Graph";
+    case TopologyKind::kRelFile:
+      return "RelFile";
   }
   return "?";
+}
+
+/// Kinds whose generator/loader supplies business relationships, i.e. the
+/// kinds a policy_routing scenario may use.
+[[nodiscard]] constexpr bool policy_capable(TopologyKind k) {
+  return k == TopologyKind::kInternet || k == TopologyKind::kAsGraph ||
+         k == TopologyKind::kRelFile;
+}
+
+/// Kinds built by a seeded generator (trial sweeps advance topo_seed so
+/// each trial sees a fresh graph; kRelFile is fixed input, so it does not
+/// belong here).
+[[nodiscard]] constexpr bool generated_topology(TopologyKind k) {
+  return k == TopologyKind::kInternet || k == TopologyKind::kAsGraph;
 }
 
 struct TopologySpec {
   TopologyKind kind = TopologyKind::kClique;
   std::size_t size = 10;
-  /// Seed for generated (Internet) topologies; ignored by regular families.
+  /// Seed for generated (Internet / AS-Graph) topologies; ignored by the
+  /// regular families and by kRelFile.
   std::uint64_t topo_seed = 1;
+  /// CAIDA AS-relationship file path; required iff kind == kRelFile.
+  std::string rel_file;
 
   [[nodiscard]] net::Topology build() const;
+  /// Topology plus relationship table, for the policy-capable kinds.
+  /// Throws std::invalid_argument for kinds without relationships.
+  [[nodiscard]] topo::AnnotatedTopology build_annotated() const;
   [[nodiscard]] std::string label() const;
 };
 
@@ -110,8 +138,9 @@ struct Scenario {
 
   /// Run with Gao-Rexford policy routing (prefer-customer import,
   /// no-valley export) instead of the paper's shortest-path policy.
-  /// Requires an Internet topology (the generator supplies the business
-  /// relationships). See bench/ablation_policy.
+  /// Requires a policy-capable topology kind (Internet, AS-Graph, or a
+  /// relationship file — they supply the business relationships). See
+  /// bench/ablation_policy and bench/headline_policy_scale.
   bool policy_routing = false;
 
   /// Root seed: drives jitter, processing delays, traffic stagger, and the

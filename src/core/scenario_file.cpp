@@ -93,7 +93,11 @@ Scenario parse_scenario(std::istream& in) {
       else if (value == "chain") s.topology.kind = TopologyKind::kChain;
       else if (value == "ring") s.topology.kind = TopologyKind::kRing;
       else if (value == "internet") s.topology.kind = TopologyKind::kInternet;
+      else if (value == "asgraph") s.topology.kind = TopologyKind::kAsGraph;
+      else if (value == "relfile") s.topology.kind = TopologyKind::kRelFile;
       else fail(line_no, "unknown topology: " + value);
+    } else if (key == "rel_file") {
+      s.topology.rel_file = value;
     } else if (key == "size") {
       saw_size = true;
       s.topology.size = static_cast<std::size_t>(to_u64(line_no, key, value));
@@ -156,7 +160,21 @@ Scenario parse_scenario(std::istream& in) {
   }
 
   if (!saw_topology) throw std::runtime_error{"scenario file: missing 'topology'"};
-  if (!saw_size) throw std::runtime_error{"scenario file: missing 'size'"};
+  if (s.topology.kind == TopologyKind::kRelFile) {
+    // The relationship file decides the node count, so 'size' is neither
+    // required nor meaningful for this kind.
+    if (s.topology.rel_file.empty()) {
+      throw std::runtime_error{
+          "scenario file: topology relfile needs 'rel_file'"};
+    }
+  } else if (!saw_size) {
+    throw std::runtime_error{"scenario file: missing 'size'"};
+  }
+  if (!s.topology.rel_file.empty() &&
+      s.topology.kind != TopologyKind::kRelFile) {
+    throw std::runtime_error{
+        "scenario file: 'rel_file' requires topology = relfile"};
+  }
   if (s.bgp.jitter_lo > s.bgp.jitter_hi) {
     throw std::runtime_error{"scenario file: jitter_lo > jitter_hi"};
   }
@@ -192,11 +210,19 @@ std::string to_scenario_text(const Scenario& s) {
         return "ring";
       case TopologyKind::kInternet:
         return "internet";
+      case TopologyKind::kAsGraph:
+        return "asgraph";
+      case TopologyKind::kRelFile:
+        return "relfile";
     }
     return "?";
   }();
   out << "topology = " << topology_name << "\n";
-  out << "size = " << s.topology.size << "\n";
+  if (s.topology.kind == TopologyKind::kRelFile) {
+    out << "rel_file = " << s.topology.rel_file << "\n";
+  } else {
+    out << "size = " << s.topology.size << "\n";
+  }
   out << "topo_seed = " << s.topology.topo_seed << "\n";
   out << "event = "
       << (s.event == EventKind::kTdown    ? "tdown"

@@ -30,7 +30,7 @@ metrics::Summary collect(const std::vector<ExperimentOutcome>& runs, Get get) {
 Scenario trial_scenario(const Scenario& base, std::size_t i) {
   Scenario s = base;
   s.seed = base.seed + i;
-  if (s.topology.kind == TopologyKind::kInternet) {
+  if (generated_topology(s.topology.kind)) {
     s.topology.topo_seed = base.topology.topo_seed + i;
   }
   return s;

@@ -18,7 +18,10 @@ std::vector<net::NodeId> canonicalize(std::vector<net::NodeId> cycle) {
 
 }  // namespace
 
-LoopDetector::LoopDetector(std::size_t node_count) : next_hop_(node_count) {}
+LoopDetector::LoopDetector(std::size_t node_count)
+    : next_hop_(node_count),
+      active_idx_(node_count, kNoRecord),
+      mark_(node_count, 0) {}
 
 void LoopDetector::attach(sim::Simulator& simulator, std::vector<fwd::Fib>& fibs,
                           net::Prefix prefix) {
@@ -39,33 +42,51 @@ void LoopDetector::on_next_hop_change(net::NodeId node,
   assert(node < next_hop_.size());
   if (next_hop_[node] == now) return;
   next_hop_[node] = now;
-  recompute(when);
-}
 
-void LoopDetector::recompute(sim::SimTime when) {
-  std::map<std::vector<net::NodeId>, bool> seen;  // canonical -> (re)found
-  for (auto& cycle : find_cycles()) {
-    seen.emplace(canonicalize(std::move(cycle)), true);
+  // Only `node`'s out-edge changed, and cycles of a functional graph are
+  // node-disjoint, so the one active cycle containing `node` (if any) is
+  // the only cycle that can have dissolved.
+  if (active_idx_[node] != kNoRecord) {
+    LoopRecord& rec = records_[active_idx_[node]];
+    rec.resolved_at = when;
+    for (net::NodeId m : rec.members) active_idx_[m] = kNoRecord;
+    active_.erase(rec.members);
+    if (observer_) observer_(rec, /*formed=*/false);
   }
 
-  // Resolve active loops that no longer exist.
-  for (auto it = active_.begin(); it != active_.end();) {
-    if (!seen.contains(it->first)) {
-      records_[it->second].resolved_at = when;
-      if (observer_) observer_(records_[it->second], /*formed=*/false);
-      it = active_.erase(it);
-    } else {
-      ++it;
+  // Any newly formed cycle must use the new edge, i.e. pass through `node`.
+  // Walk the next-hop chain from `node`; it either dead-ends, merges into
+  // an (unchanged, still tracked) active cycle, or returns to `node` — the
+  // one case that forms a loop.
+  const std::size_t n = next_hop_.size();
+  if (++epoch_ == 0) {  // stamp wrap-around: reset and restart epochs
+    std::ranges::fill(mark_, 0);
+    epoch_ = 1;
+  }
+  std::vector<net::NodeId> walk;
+  net::NodeId u = node;
+  while (true) {
+    mark_[u] = epoch_;
+    walk.push_back(u);
+    const auto& nh = next_hop_[u];
+    if (!nh || *nh >= n) return;  // dead end: no route (or the destination)
+    u = *nh;
+    if (u == node) break;                      // cycle: the whole walk
+    if (active_idx_[u] != kNoRecord) return;   // merged into another cycle
+    if (mark_[u] == epoch_) {
+      // A revisit below `node` would mean an untracked cycle — impossible
+      // while the active set is maintained for every change (see header).
+      assert(false && "untracked cycle in next-hop graph");
+      return;
     }
   }
-  // Register newly formed loops.
-  for (auto& [members, unused] : seen) {
-    (void)unused;
-    if (active_.contains(members)) continue;
-    records_.push_back(LoopRecord{members, when, std::nullopt});
-    active_.emplace(members, records_.size() - 1);
-    if (observer_) observer_(records_.back(), /*formed=*/true);
-  }
+
+  records_.push_back(
+      LoopRecord{canonicalize(std::move(walk)), when, std::nullopt});
+  const std::size_t idx = records_.size() - 1;
+  active_.emplace(records_.back().members, idx);
+  for (net::NodeId m : records_.back().members) active_idx_[m] = idx;
+  if (observer_) observer_(records_.back(), /*formed=*/true);
 }
 
 std::vector<std::vector<net::NodeId>> LoopDetector::find_cycles() const {
@@ -99,6 +120,19 @@ std::vector<std::vector<net::NodeId>> LoopDetector::find_cycles() const {
   return cycles;
 }
 
+bool LoopDetector::matches_full_scan() const {
+  std::map<std::vector<net::NodeId>, bool> rescanned;
+  for (auto& cycle : find_cycles()) {
+    rescanned.emplace(canonicalize(std::move(cycle)), true);
+  }
+  if (rescanned.size() != active_.size()) return false;
+  for (const auto& [members, idx] : active_) {
+    (void)idx;
+    if (!rescanned.contains(members)) return false;
+  }
+  return true;
+}
+
 void LoopDetector::clear_history() {
   if (!active_.empty()) {
     throw std::logic_error{"LoopDetector::clear_history with active loops"};
@@ -111,6 +145,7 @@ void LoopDetector::finalize(sim::SimTime end) {
     if (!records_[idx].resolved_at) records_[idx].resolved_at = end;
   }
   active_.clear();
+  std::ranges::fill(active_idx_, kNoRecord);
 }
 
 std::vector<std::vector<net::NodeId>> LoopDetector::active_loops() const {

@@ -1,22 +1,41 @@
 #include "net/relationships.hpp"
 
+#include <algorithm>
+
 namespace bgpsim::net {
+
+void RelationshipTable::set(NodeId self, NodeId other, Relationship r) {
+  const std::size_t need = static_cast<std::size_t>(std::max(self, other)) + 1;
+  if (by_node_.size() < need) by_node_.resize(need);
+  auto& row = by_node_[self];
+  const auto pos = std::ranges::lower_bound(
+      row, other, {}, &std::pair<NodeId, Relationship>::first);
+  if (pos != row.end() && pos->first == other) {
+    pos->second = r;
+    return;
+  }
+  row.insert(pos, {other, r});
+  ++entries_;
+}
 
 void RelationshipTable::set_provider_customer(NodeId provider,
                                               NodeId customer) {
-  rel_[{provider, customer}] = Relationship::kCustomer;  // customer to them
-  rel_[{customer, provider}] = Relationship::kProvider;
+  set(provider, customer, Relationship::kCustomer);  // customer to them
+  set(customer, provider, Relationship::kProvider);
 }
 
 void RelationshipTable::set_peering(NodeId a, NodeId b) {
-  rel_[{a, b}] = Relationship::kPeer;
-  rel_[{b, a}] = Relationship::kPeer;
+  set(a, b, Relationship::kPeer);
+  set(b, a, Relationship::kPeer);
 }
 
 std::optional<Relationship> RelationshipTable::relationship(
     NodeId self, NodeId other) const {
-  auto it = rel_.find({self, other});
-  if (it == rel_.end()) return std::nullopt;
+  if (self >= by_node_.size()) return std::nullopt;
+  const auto& row = by_node_[self];
+  const auto it = std::ranges::lower_bound(
+      row, other, {}, &std::pair<NodeId, Relationship>::first);
+  if (it == row.end() || it->first != other) return std::nullopt;
   return it->second;
 }
 

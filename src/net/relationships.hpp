@@ -5,13 +5,13 @@
 // "topology (or policy) changes" causing inconsistent state. This table
 // lets the BGP layer optionally run the standard Gao-Rexford policy model
 // (prefer customer routes; no-valley export), so policy-induced looping
-// can be studied too (see bench/ablation_policy).
+// can be studied too (see bench/ablation_policy, bench/headline_policy_scale).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "net/types.hpp"
 
@@ -37,6 +37,12 @@ enum class Relationship : std::uint8_t {
 }
 
 /// Symmetric-by-construction relationship table for an AS topology.
+///
+/// Stored as per-node adjacency sorted by the other endpoint's id: the BGP
+/// decision process queries `relationship` once per Adj-RIB-In entry per
+/// best-path selection, so lookup is a binary search over one node's
+/// (typically small) classified neighborhood rather than a tree walk over
+/// the whole table.
 class RelationshipTable {
  public:
   /// Record a transit contract: `customer` buys from `provider`.
@@ -49,8 +55,20 @@ class RelationshipTable {
   [[nodiscard]] std::optional<Relationship> relationship(NodeId self,
                                                          NodeId other) const;
 
-  [[nodiscard]] std::size_t size() const { return rel_.size() / 2; }
-  [[nodiscard]] bool empty() const { return rel_.empty(); }
+  /// Number of classified adjacencies (each counted once, not per side).
+  [[nodiscard]] std::size_t size() const { return entries_ / 2; }
+  [[nodiscard]] bool empty() const { return entries_ == 0; }
+
+  /// Visit every classified adjacency exactly once, in ascending (a, b)
+  /// order with a < b. `fn(a, b, rel)` receives what `b` is to `a`.
+  template <typename Fn>
+  void for_each_pair(Fn&& fn) const {
+    for (NodeId a = 0; a < by_node_.size(); ++a) {
+      for (const auto& [b, rel] : by_node_[a]) {
+        if (b > a) fn(a, b, rel);
+      }
+    }
+  }
 
   /// Gao-Rexford local preference: customer(2) > peer(1) > provider(0).
   [[nodiscard]] static int local_pref(Relationship r) {
@@ -66,8 +84,13 @@ class RelationshipTable {
   }
 
  private:
-  // (self, other) -> what `other` is to `self`. Both directions stored.
-  std::map<std::pair<NodeId, NodeId>, Relationship> rel_;
+  /// Set the directed classification (self, other) -> r, overwriting any
+  /// previous one (the public setters keep the two directions consistent).
+  void set(NodeId self, NodeId other, Relationship r);
+
+  // by_node_[self] = classified neighbors of self, sorted by neighbor id.
+  std::vector<std::vector<std::pair<NodeId, Relationship>>> by_node_;
+  std::size_t entries_ = 0;  // directed entries; always even
 };
 
 }  // namespace bgpsim::net

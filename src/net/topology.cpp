@@ -10,22 +10,32 @@ namespace bgpsim::net {
 
 NodeId Topology::add_node() {
   adjacency_.emplace_back();
-  rebuild_matrix();
+  rebuild_index();
   return static_cast<NodeId>(adjacency_.size() - 1);
 }
 
 void Topology::add_nodes(std::size_t n) {
   adjacency_.resize(adjacency_.size() + n);
-  rebuild_matrix();
+  rebuild_index();
 }
 
-void Topology::rebuild_matrix() {
+void Topology::rebuild_index() {
   const std::size_t n = adjacency_.size();
-  matrix_.assign(n * n, kNoLink);
-  for (NodeId a = 0; a < n; ++a) {
-    for (const Adjacency& adj : adjacency_[a]) {
-      matrix_[a * n + adj.neighbor] = static_cast<std::int32_t>(adj.link);
+  if (dense()) {
+    sorted_.clear();
+    matrix_.assign(n * n, kNoLink);
+    for (NodeId a = 0; a < n; ++a) {
+      for (const Adjacency& adj : adjacency_[a]) {
+        matrix_[a * n + adj.neighbor] = static_cast<std::int32_t>(adj.link);
+      }
     }
+    return;
+  }
+  matrix_.clear();
+  matrix_.shrink_to_fit();
+  sorted_.assign(adjacency_.begin(), adjacency_.end());
+  for (auto& row : sorted_) {
+    std::ranges::sort(row, {}, &Adjacency::neighbor);
   }
 }
 
@@ -41,18 +51,35 @@ LinkId Topology::add_link(NodeId a, NodeId b, sim::SimTime delay) {
   links_.push_back(Link{a, b, delay, true});
   adjacency_[a].push_back(Adjacency{b, id});
   adjacency_[b].push_back(Adjacency{a, id});
-  const std::size_t n = adjacency_.size();
-  matrix_[a * n + b] = static_cast<std::int32_t>(id);
-  matrix_[b * n + a] = static_cast<std::int32_t>(id);
+  if (dense()) {
+    const std::size_t n = adjacency_.size();
+    matrix_[a * n + b] = static_cast<std::int32_t>(id);
+    matrix_[b * n + a] = static_cast<std::int32_t>(id);
+  } else {
+    const auto insert_sorted = [&](NodeId self, NodeId neighbor) {
+      auto& row = sorted_[self];
+      const auto pos =
+          std::ranges::lower_bound(row, neighbor, {}, &Adjacency::neighbor);
+      row.insert(pos, Adjacency{neighbor, id});
+    };
+    insert_sorted(a, b);
+    insert_sorted(b, a);
+  }
   return id;
 }
 
 std::optional<LinkId> Topology::link_between(NodeId a, NodeId b) const {
   const std::size_t n = node_count();
   if (a >= n || b >= n) return std::nullopt;
-  const std::int32_t id = matrix_[a * n + b];
-  if (id == kNoLink) return std::nullopt;
-  return static_cast<LinkId>(id);
+  if (dense()) {
+    const std::int32_t id = matrix_[a * n + b];
+    if (id == kNoLink) return std::nullopt;
+    return static_cast<LinkId>(id);
+  }
+  const auto& row = sorted_[a];
+  const auto it = std::ranges::lower_bound(row, b, {}, &Adjacency::neighbor);
+  if (it == row.end() || it->neighbor != b) return std::nullopt;
+  return it->link;
 }
 
 bool Topology::link_up(NodeId a, NodeId b) const {

@@ -86,16 +86,25 @@ class Topology {
   [[nodiscard]] std::string summary() const;
 
  private:
-  /// Rebuild matrix_ from adjacency_ (stride change after adding nodes).
-  void rebuild_matrix();
+  /// Rebuild the link-lookup index from adjacency_ (after adding nodes).
+  void rebuild_index();
+
+  [[nodiscard]] bool dense() const {
+    return adjacency_.size() <= kDenseNodeLimit;
+  }
 
   std::vector<Link> links_;
   std::vector<std::vector<Adjacency>> adjacency_;
-  /// Dense (node, node) -> link lookup, kNoLink where absent. The data
-  /// plane calls link_between once per packet hop — tens of millions of
-  /// times per scenario — so it must be an array index, not a scan.
+  /// link_between is called once per packet hop — tens of millions of times
+  /// per scenario — so it cannot be a linear scan. Two regimes:
+  ///   - n <= kDenseNodeLimit: dense (node, node) -> link matrix (array
+  ///     index; 64 MB at the 4096-node limit).
+  ///   - n  > kDenseNodeLimit: per-node adjacency sorted by neighbor id,
+  ///     binary search (a 75k-node dense matrix would need 22 GB).
+  static constexpr std::size_t kDenseNodeLimit = 4096;
   static constexpr std::int32_t kNoLink = -1;
-  std::vector<std::int32_t> matrix_;  // stride = node_count()
+  std::vector<std::int32_t> matrix_;          // dense regime; stride = n
+  std::vector<std::vector<Adjacency>> sorted_;  // sparse regime
 };
 
 }  // namespace bgpsim::net

@@ -286,11 +286,12 @@ void write_scenario(Writer& w, const core::Scenario& s) {
     throw std::invalid_argument{
         "svc: a scenario with an explicit bgp.policy table cannot be "
         "shipped to a worker; set policy_routing and let the driver build "
-        "the table from the Internet topology"};
+        "the table from the policy-capable topology"};
   }
   w.u8(static_cast<std::uint8_t>(s.topology.kind));
   w.u64(s.topology.size);
   w.u64(s.topology.topo_seed);
+  w.str(s.topology.rel_file);
   w.u8(static_cast<std::uint8_t>(s.event));
   w.time(s.bgp.mrai);
   w.f64(s.bgp.jitter_lo);
@@ -324,6 +325,7 @@ core::Scenario read_scenario(Reader& r) {
   s.topology.kind = static_cast<core::TopologyKind>(r.u8());
   s.topology.size = static_cast<std::size_t>(r.u64());
   s.topology.topo_seed = r.u64();
+  s.topology.rel_file = r.str();
   s.event = static_cast<core::EventKind>(r.u8());
   s.bgp.mrai = r.time();
   s.bgp.jitter_lo = r.f64();

@@ -39,7 +39,8 @@ namespace bgpsim::svc {
 inline constexpr std::uint64_t kMagic = 0x0000637673706762ULL;
 
 /// Bump on any change to the frame envelope or any payload layout.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: TopologySpec::rel_file added to the scenario payload.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Fixed size of the frame header (magic + version + type + payload
 /// length); the payload and the u64 trailer follow.

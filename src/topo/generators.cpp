@@ -1,6 +1,10 @@
 #include "topo/generators.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
+
+#include "sim/random.hpp"
 
 namespace bgpsim::topo {
 
@@ -84,6 +88,119 @@ net::LinkId bclique_tlong_link(const Topology& t, std::size_t n) {
   const auto id = t.link_between(0, static_cast<NodeId>(n));
   if (!id) throw std::invalid_argument{"bclique_tlong_link: no [0,n] link"};
   return *id;
+}
+
+AnnotatedTopology make_as_graph(const AsGraphParams& p) {
+  if (p.nodes < 16) throw std::invalid_argument{"make_as_graph: need n >= 16"};
+  std::size_t core = p.core;
+  if (core == 0) {
+    core = 5;
+    for (std::size_t n = p.nodes; n > 32 && core < 20; n /= 2) ++core;
+  }
+  const auto transit = static_cast<std::size_t>(
+      static_cast<double>(p.nodes) * p.transit_fraction + 0.5);
+  const std::size_t transit_bound = core + transit;
+  if (core < 3 || transit_bound >= p.nodes) {
+    throw std::invalid_argument{"make_as_graph: core/transit exceed nodes"};
+  }
+
+  sim::Rng rng{p.seed};
+  Topology t{p.nodes};
+  net::RelationshipTable rel;
+
+  // Tier-1 core: full mesh of settlement-free peers at the lowest ids (as
+  // in make_internet, providers always get smaller ids than customers, so
+  // the provider-customer digraph is acyclic and Gao-Rexford converges).
+  for (NodeId a = 0; a < core; ++a) {
+    for (NodeId b = a + 1; b < core; ++b) {
+      t.add_link(a, b, kDefaultLinkDelay);
+      rel.set_peering(a, b);
+    }
+  }
+
+  // Attachment pool for degree-proportional provider sampling: a node
+  // appears once when it becomes transit-capable and once more per customer
+  // it signs, so a uniform draw from the pool is preferential attachment
+  // without any weighted scan.
+  std::vector<NodeId> pool;
+  pool.reserve(p.nodes * 3);
+  for (NodeId c = 0; c < core; ++c) pool.push_back(c);
+
+  const auto pick_provider = [&](NodeId self) -> NodeId {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const NodeId cand = pool[rng.next_below(pool.size())];
+      if (cand != self && !t.link_between(self, cand)) return cand;
+    }
+    return net::kInvalidNode;
+  };
+  // Collision fallback so every node is guaranteed a provider (hence the
+  // graph is guaranteed connected): smallest transit-capable id not yet
+  // linked. Rarely taken, so the linear scan doesn't matter.
+  const auto first_free_provider = [&](NodeId self) -> NodeId {
+    const NodeId bound = std::min<NodeId>(self, transit_bound);
+    for (NodeId c = 0; c < bound; ++c) {
+      if (!t.link_between(self, c)) return c;
+    }
+    return net::kInvalidNode;
+  };
+  const auto home_under = [&](NodeId node, NodeId prov) {
+    t.add_link(node, prov, kDefaultLinkDelay);
+    rel.set_provider_customer(prov, node);
+    // Rich-get-richer: providers re-enter the pool per signed customer.
+    // Stubs stay out of the pool — they only provide via explicit chains.
+    if (prov < transit_bound) pool.push_back(prov);
+  };
+
+  // Transit middle tier: multi-homed into the core and earlier transit.
+  for (NodeId node = static_cast<NodeId>(core); node < transit_bound; ++node) {
+    const auto want = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(p.transit_providers_lo),
+        static_cast<std::int64_t>(p.transit_providers_hi)));
+    for (std::size_t k = 0; k < want; ++k) {
+      NodeId prov = pick_provider(node);
+      if (prov == net::kInvalidNode && k == 0) {
+        prov = first_free_provider(node);
+      }
+      if (prov != net::kInvalidNode) home_under(node, prov);
+    }
+    pool.push_back(node);  // now eligible as a provider for later nodes
+  }
+
+  // Lateral transit peering (uniform partner, bounded attempts).
+  for (NodeId node = static_cast<NodeId>(core); node < transit_bound; ++node) {
+    if (!rng.chance(p.transit_peer_prob)) continue;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const NodeId cand = static_cast<NodeId>(
+          core + rng.next_below(transit_bound - core));
+      if (cand == node || t.link_between(node, cand)) continue;
+      t.add_link(node, cand, kDefaultLinkDelay);
+      rel.set_peering(node, cand);
+      break;
+    }
+  }
+
+  // Stub majority: homed under core/transit providers, with occasional
+  // customer chains below earlier stubs (the long scarce backup paths).
+  for (NodeId node = static_cast<NodeId>(transit_bound); node < p.nodes;
+       ++node) {
+    const auto want = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(p.stub_providers_lo),
+        static_cast<std::int64_t>(p.stub_providers_hi)));
+    for (std::size_t k = 0; k < want; ++k) {
+      NodeId prov = net::kInvalidNode;
+      if (node > transit_bound && rng.chance(p.stub_chain_prob)) {
+        const NodeId earlier = static_cast<NodeId>(
+            transit_bound + rng.next_below(node - transit_bound));
+        if (!t.link_between(node, earlier)) prov = earlier;
+      }
+      if (prov == net::kInvalidNode) prov = pick_provider(node);
+      if (prov == net::kInvalidNode && k == 0) {
+        prov = first_free_provider(node);
+      }
+      if (prov != net::kInvalidNode) home_under(node, prov);
+    }
+  }
+  return AnnotatedTopology{std::move(t), std::move(rel)};
 }
 
 }  // namespace bgpsim::topo

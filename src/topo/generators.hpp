@@ -1,11 +1,14 @@
-// Parametric topology families used by the study (Figure 3) and the tests.
+// Parametric topology families used by the study (Figure 3) and the tests,
+// plus the Internet-scale AS-relationship graph generator (see make_as_graph).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "net/topology.hpp"
 #include "net/types.hpp"
 #include "sim/time.hpp"
+#include "topo/internet.hpp"
 
 namespace bgpsim::topo {
 
@@ -39,5 +42,40 @@ inline constexpr auto kDefaultLinkDelay = bgpsim::sim::SimTime::millis(2);
 /// The LinkId of the B-Clique's [0, n] link (the one Tlong fails).
 [[nodiscard]] net::LinkId bclique_tlong_link(const net::Topology& t,
                                              std::size_t n);
+
+/// Internet-scale AS-relationship graph (1k-75k nodes).
+///
+/// Same tiered structure as make_internet (tier-1 clique core, a transit
+/// middle tier, a stub majority, provider ids always below customer ids so
+/// the provider-customer digraph is acyclic), but built for scale: provider
+/// choice uses a repeated-endpoint attachment pool — each node re-enters the
+/// pool once per customer it acquires — so degree-proportional (preferential)
+/// sampling is O(1) per pick instead of an O(n) weighted scan, and a 75k-node
+/// graph generates in milliseconds. The pool produces the heavy-tailed
+/// customer-degree skew observed in real AS graphs.
+struct AsGraphParams {
+  std::size_t nodes = 1000;
+  std::uint64_t seed = 1;
+  /// Tier-1 core size; 0 = auto (~log2(nodes), clamped to [5, 20]).
+  std::size_t core = 0;
+  /// Fraction of nodes forming the transit middle tier.
+  double transit_fraction = 0.15;
+  /// Providers per transit node (uniform in [lo, hi]).
+  std::size_t transit_providers_lo = 1;
+  std::size_t transit_providers_hi = 3;
+  /// Providers per stub node (uniform in [lo, hi]).
+  std::size_t stub_providers_lo = 1;
+  std::size_t stub_providers_hi = 2;
+  /// Probability that a transit node adds one lateral peering link.
+  double transit_peer_prob = 0.35;
+  /// Probability that a stub homes under an earlier stub (customer chains).
+  double stub_chain_prob = 0.05;
+};
+
+/// Generate an AS graph with business relationships. Deterministic in
+/// `params` (same params -> identical graph), always connected, and every
+/// adjacency is classified in the relationship table. Throws
+/// std::invalid_argument for nodes < 16 or a core that doesn't fit.
+[[nodiscard]] AnnotatedTopology make_as_graph(const AsGraphParams& params);
 
 }  // namespace bgpsim::topo

@@ -1,7 +1,12 @@
 #include "topo/io.hpp"
 
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "topo/generators.hpp"
 
@@ -53,6 +58,147 @@ net::Topology read_edge_list(std::istream& in) {
 net::Topology from_edge_list(const std::string& text) {
   std::istringstream in{text};
   return read_edge_list(in);
+}
+
+namespace {
+
+struct RelEdge {
+  std::uint32_t as1 = 0;
+  std::uint32_t as2 = 0;
+  int rel = 0;  // -1: as1 provides for as2; 0: peers
+  std::size_t line_no = 0;
+};
+
+[[noreturn]] void rel_fail(std::size_t line_no, const std::string& msg) {
+  throw std::runtime_error{"as-relationships: line " +
+                           std::to_string(line_no) + ": " + msg};
+}
+
+template <typename T>
+bool parse_int(std::string_view field, T& out) {
+  const char* first = field.data();
+  const char* last = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last && !field.empty();
+}
+
+}  // namespace
+
+AsRelationshipGraph read_as_relationships(std::istream& in) {
+  std::vector<RelEdge> edges;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+
+    // Split into |-separated fields; a 4th (serial-2 source) is ignored.
+    const std::string_view text{line};
+    std::string_view fields[3];
+    std::size_t n_fields = 0;
+    std::size_t pos = 0;
+    while (n_fields < 3) {
+      const auto bar = text.find('|', pos);
+      if (bar == std::string_view::npos) {
+        fields[n_fields++] = text.substr(pos);
+        break;
+      }
+      fields[n_fields++] = text.substr(pos, bar - pos);
+      pos = bar + 1;
+      if (n_fields == 3) break;
+    }
+    if (n_fields < 3) rel_fail(line_no, "truncated line '" + line + "'");
+
+    RelEdge e;
+    if (!parse_int(fields[0], e.as1) || !parse_int(fields[1], e.as2)) {
+      rel_fail(line_no, "malformed AS number in '" + line + "'");
+    }
+    if (!parse_int(fields[2], e.rel) || (e.rel != -1 && e.rel != 0)) {
+      rel_fail(line_no, "bad relationship code '" + std::string{fields[2]} +
+                            "' (want -1 or 0)");
+    }
+    if (e.as1 == e.as2) {
+      rel_fail(line_no, "self-loop on AS " + std::to_string(e.as1));
+    }
+    e.line_no = line_no;
+    edges.push_back(e);
+  }
+  if (edges.empty()) {
+    throw std::runtime_error{"as-relationships: no edges in input"};
+  }
+
+  // Dense node ids by ascending AS number: deterministic and independent
+  // of the file's line order.
+  std::map<std::uint32_t, net::NodeId> id_of;
+  for (const RelEdge& e : edges) {
+    id_of.emplace(e.as1, 0);
+    id_of.emplace(e.as2, 0);
+  }
+  AsRelationshipGraph g;
+  g.as_numbers.reserve(id_of.size());
+  for (auto& [asn, id] : id_of) {
+    id = static_cast<net::NodeId>(g.as_numbers.size());
+    g.as_numbers.push_back(asn);
+  }
+
+  g.topology.add_nodes(id_of.size());
+  for (const RelEdge& e : edges) {
+    const net::NodeId a = id_of.at(e.as1);
+    const net::NodeId b = id_of.at(e.as2);
+    if (g.topology.link_between(a, b)) {
+      rel_fail(e.line_no, "duplicate adjacency " + std::to_string(e.as1) +
+                              "|" + std::to_string(e.as2) +
+                              " (already classified)");
+    }
+    g.topology.add_link(a, b, kDefaultLinkDelay);
+    if (e.rel == -1) {
+      g.relationships.set_provider_customer(a, b);
+    } else {
+      g.relationships.set_peering(a, b);
+    }
+  }
+  return g;
+}
+
+AsRelationshipGraph from_as_relationships(const std::string& text) {
+  std::istringstream in{text};
+  return read_as_relationships(in);
+}
+
+AsRelationshipGraph load_as_relationships(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error{"as-relationships: cannot open '" + path + "'"};
+  }
+  try {
+    return read_as_relationships(in);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error{path + ": " + e.what()};
+  }
+}
+
+void write_as_relationships(std::ostream& out, const net::Topology& t,
+                            const net::RelationshipTable& rel) {
+  for (net::LinkId id = 0; id < t.link_count(); ++id) {
+    const auto& l = t.link(id);
+    const auto r = rel.relationship(l.a, l.b);  // what b is to a
+    if (r == net::Relationship::kCustomer) {
+      out << l.a << '|' << l.b << "|-1\n";
+    } else if (r == net::Relationship::kProvider) {
+      out << l.b << '|' << l.a << "|-1\n";
+    } else {
+      out << l.a << '|' << l.b << "|0\n";
+    }
+  }
+}
+
+std::string to_as_relationships(const net::Topology& t,
+                                const net::RelationshipTable& rel) {
+  std::ostringstream out;
+  write_as_relationships(out, t, rel);
+  return out.str();
 }
 
 }  // namespace bgpsim::topo

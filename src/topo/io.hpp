@@ -1,14 +1,22 @@
-// Plain-text edge-list serialization for reproducible topologies.
+// Plain-text serialization for reproducible topologies.
 //
-// Format:
-//   line 1:  "<node_count> <link_count>"
-//   then one "<a> <b>" pair per link (undirected).
-// Lines starting with '#' and blank lines are ignored.
+// Two formats:
+//  - Edge list:
+//      line 1:  "<node_count> <link_count>"
+//      then one "<a> <b>" pair per link (undirected).
+//  - CAIDA AS-relationship CSV (as-rel "serial-1"):
+//      one "<as1>|<as2>|<rel>" per line, where rel -1 means as1 is a
+//      provider of as2 and rel 0 means as1 and as2 peer. A fourth |-field
+//      (serial-2 adds the inference source) is tolerated and ignored.
+// In both formats lines starting with '#' and blank lines are ignored.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "net/relationships.hpp"
 #include "net/topology.hpp"
 
 namespace bgpsim::topo {
@@ -21,5 +29,34 @@ void write_edge_list(std::ostream& out, const net::Topology& t);
 /// Parse an edge list. Throws std::runtime_error on malformed input.
 [[nodiscard]] net::Topology read_edge_list(std::istream& in);
 [[nodiscard]] net::Topology from_edge_list(const std::string& text);
+
+/// An AS-relationship file materialized for simulation. AS numbers are
+/// remapped to dense node ids by ascending AS number (deterministic and
+/// independent of line order), recorded in `as_numbers`.
+struct AsRelationshipGraph {
+  net::Topology topology;
+  net::RelationshipTable relationships;
+  std::vector<std::uint32_t> as_numbers;  // NodeId -> original AS number
+};
+
+/// Parse a CAIDA-format AS-relationship file. Throws std::runtime_error
+/// (with a 1-based line number) on malformed lines, relationship codes
+/// other than -1/0, self-loops, duplicate adjacencies (either direction or
+/// orientation), and on files with no edges at all. Connectivity is NOT
+/// enforced — scenario preparation checks what it needs.
+[[nodiscard]] AsRelationshipGraph read_as_relationships(std::istream& in);
+[[nodiscard]] AsRelationshipGraph from_as_relationships(
+    const std::string& text);
+/// Read from a file path (errors are prefixed with the path).
+[[nodiscard]] AsRelationshipGraph load_as_relationships(
+    const std::string& path);
+
+/// Serialize a classified topology in CAIDA format, one link per line in
+/// link-id order, node ids written as AS numbers. Unclassified adjacencies
+/// are emitted as peerings — the same default the policy layer applies.
+void write_as_relationships(std::ostream& out, const net::Topology& t,
+                            const net::RelationshipTable& rel);
+[[nodiscard]] std::string to_as_relationships(const net::Topology& t,
+                                              const net::RelationshipTable& rel);
 
 }  // namespace bgpsim::topo

@@ -186,6 +186,38 @@ TEST(ScenarioFile, RoundTripsThroughText) {
   EXPECT_EQ(restored.destination, original.destination);
 }
 
+TEST(ScenarioFile, AsGraphRoundTripsThroughText) {
+  Scenario original;
+  original.topology.kind = TopologyKind::kAsGraph;
+  original.topology.size = 1000;
+  original.topology.topo_seed = 4;
+  original.policy_routing = true;
+  const auto restored = parse_scenario_string(to_scenario_text(original));
+  EXPECT_EQ(restored.topology.kind, TopologyKind::kAsGraph);
+  EXPECT_EQ(restored.topology.size, 1000u);
+  EXPECT_TRUE(restored.policy_routing);
+}
+
+TEST(ScenarioFile, RelFileWaivesSizeAndRoundTrips) {
+  const auto s = parse_scenario_string(
+      "topology = relfile\nrel_file = /data/as-rel.txt\npolicy = true\n");
+  EXPECT_EQ(s.topology.kind, TopologyKind::kRelFile);
+  EXPECT_EQ(s.topology.rel_file, "/data/as-rel.txt");
+  const auto restored = parse_scenario_string(to_scenario_text(s));
+  EXPECT_EQ(restored.topology.rel_file, "/data/as-rel.txt");
+}
+
+TEST(ScenarioFile, RelFileTopologyRequiresThePath) {
+  EXPECT_THROW((void)parse_scenario_string("topology = relfile\n"),
+               std::runtime_error);
+}
+
+TEST(ScenarioFile, RelFileKeyRequiresRelFileTopology) {
+  EXPECT_THROW((void)parse_scenario_string(
+                   "topology = clique\nsize = 5\nrel_file = x.txt\n"),
+               std::runtime_error);
+}
+
 TEST(ScenarioFile, ParsedScenarioActuallyRuns) {
   const auto s = parse_scenario_string(
       "topology = clique\nsize = 5\nevent = tdown\nseed = 2\n");

@@ -1,0 +1,137 @@
+// The Internet-scale AS-graph generator: structure, determinism, scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "net/relationships.hpp"
+#include "topo/generators.hpp"
+#include "topo/io.hpp"
+
+namespace bgpsim {
+namespace {
+
+std::vector<std::size_t> degrees(const net::Topology& t) {
+  std::vector<std::size_t> deg(t.node_count(), 0);
+  for (net::LinkId l = 0; l < t.link_count(); ++l) {
+    ++deg[t.link(l).a];
+    ++deg[t.link(l).b];
+  }
+  return deg;
+}
+
+bool connected(const net::Topology& t) {
+  if (t.node_count() == 0) return true;
+  std::vector<std::vector<net::NodeId>> adj(t.node_count());
+  for (net::LinkId l = 0; l < t.link_count(); ++l) {
+    adj[t.link(l).a].push_back(t.link(l).b);
+    adj[t.link(l).b].push_back(t.link(l).a);
+  }
+  std::vector<bool> seen(t.node_count(), false);
+  std::queue<net::NodeId> q;
+  q.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!q.empty()) {
+    const net::NodeId u = q.front();
+    q.pop();
+    for (const net::NodeId v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        q.push(v);
+      }
+    }
+  }
+  return visited == t.node_count();
+}
+
+TEST(AsGraph, DeterministicInParams) {
+  topo::AsGraphParams params;
+  params.nodes = 500;
+  params.seed = 42;
+  const auto a = topo::make_as_graph(params);
+  const auto b = topo::make_as_graph(params);
+  EXPECT_EQ(topo::to_as_relationships(a.topology, a.relationships),
+            topo::to_as_relationships(b.topology, b.relationships));
+}
+
+TEST(AsGraph, SeedChangesTheGraph) {
+  topo::AsGraphParams params;
+  params.nodes = 500;
+  params.seed = 1;
+  const auto a = topo::make_as_graph(params);
+  params.seed = 2;
+  const auto b = topo::make_as_graph(params);
+  EXPECT_NE(topo::to_as_relationships(a.topology, a.relationships),
+            topo::to_as_relationships(b.topology, b.relationships));
+}
+
+TEST(AsGraph, ConnectedAtEveryTier) {
+  for (const std::size_t n : {16u, 100u, 1000u, 10000u}) {
+    topo::AsGraphParams params;
+    params.nodes = n;
+    params.seed = 3;
+    const auto g = topo::make_as_graph(params);
+    EXPECT_EQ(g.topology.node_count(), n);
+    EXPECT_TRUE(connected(g.topology)) << "nodes=" << n;
+  }
+}
+
+TEST(AsGraph, EveryAdjacencyIsClassified) {
+  topo::AsGraphParams params;
+  params.nodes = 1000;
+  params.seed = 5;
+  const auto g = topo::make_as_graph(params);
+  for (net::LinkId l = 0; l < g.topology.link_count(); ++l) {
+    const auto& link = g.topology.link(l);
+    EXPECT_TRUE(g.relationships.relationship(link.a, link.b).has_value())
+        << "link " << link.a << "-" << link.b;
+  }
+  EXPECT_EQ(g.relationships.size(), g.topology.link_count());
+}
+
+TEST(AsGraph, ProviderCustomerDigraphIsAcyclic) {
+  // Providers always carry smaller ids than their customers, so the transit
+  // digraph is topologically ordered by id — Gao-Rexford convergence is
+  // guaranteed by construction.
+  topo::AsGraphParams params;
+  params.nodes = 2000;
+  params.seed = 7;
+  const auto g = topo::make_as_graph(params);
+  g.relationships.for_each_pair(
+      [&](net::NodeId a, net::NodeId b, net::Relationship rel) {
+        // rel is what b is to a, and a < b by for_each_pair's contract:
+        // the larger id must never be the smaller one's provider.
+        EXPECT_NE(rel, net::Relationship::kProvider)
+            << "AS " << b << " provides for the smaller id " << a;
+      });
+}
+
+TEST(AsGraph, DegreeDistributionIsHeavyTailed) {
+  // Preferential attachment concentrates customers on a few transit
+  // providers: the maximum degree dwarfs the mean, stubs dominate.
+  topo::AsGraphParams params;
+  params.nodes = 5000;
+  params.seed = 11;
+  const auto g = topo::make_as_graph(params);
+  const auto deg = degrees(g.topology);
+  const double mean = 2.0 * static_cast<double>(g.topology.link_count()) /
+                      static_cast<double>(g.topology.node_count());
+  const std::size_t max_deg = *std::ranges::max_element(deg);
+  EXPECT_LT(mean, 6.0);  // sparse, like the real AS graph
+  EXPECT_GT(static_cast<double>(max_deg), 20.0 * mean);
+  const auto stubs = static_cast<std::size_t>(
+      std::ranges::count_if(deg, [](std::size_t d) { return d <= 2; }));
+  EXPECT_GT(stubs, g.topology.node_count() / 2);
+}
+
+TEST(AsGraph, TooSmallThrows) {
+  topo::AsGraphParams params;
+  params.nodes = 15;
+  EXPECT_THROW((void)topo::make_as_graph(params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bgpsim

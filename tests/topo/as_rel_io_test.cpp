@@ -1,0 +1,112 @@
+// CAIDA AS-relationship CSV: parsing, AS-number remap, error paths,
+// round-trip.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "net/relationships.hpp"
+#include "topo/generators.hpp"
+#include "topo/io.hpp"
+
+namespace bgpsim {
+namespace {
+
+using net::Relationship;
+
+/// The std::runtime_error message thrown for `text`, "" if nothing threw.
+std::string parse_error(const std::string& text) {
+  try {
+    (void)topo::from_as_relationships(text);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(AsRelIo, ParsesProviderAndPeerLines) {
+  const auto g = topo::from_as_relationships(
+      "# comment line\n"
+      "\n"
+      "1|2|-1\n"
+      "2|3|0|bgp\n");  // serial-2 inference-source field is ignored
+  ASSERT_EQ(g.topology.node_count(), 3u);
+  EXPECT_EQ(g.topology.link_count(), 2u);
+  EXPECT_EQ(g.as_numbers, (std::vector<std::uint32_t>{1, 2, 3}));
+  // 1|2|-1: AS1 is AS2's provider — from node 0's view, node 1 is a
+  // customer; from node 1's view, node 0 is a provider.
+  EXPECT_EQ(g.relationships.relationship(0, 1), Relationship::kCustomer);
+  EXPECT_EQ(g.relationships.relationship(1, 0), Relationship::kProvider);
+  EXPECT_EQ(g.relationships.relationship(1, 2), Relationship::kPeer);
+  EXPECT_EQ(g.relationships.relationship(2, 1), Relationship::kPeer);
+}
+
+TEST(AsRelIo, RemapsAsNumbersInAscendingOrder) {
+  // Node ids are assigned by ascending AS number, independent of line
+  // order, so the same file always materializes the same graph.
+  const auto g = topo::from_as_relationships(
+      "700|100|-1\n"
+      "65000|700|0\n");
+  EXPECT_EQ(g.as_numbers, (std::vector<std::uint32_t>{100, 700, 65000}));
+  // AS700 (node 1) provides for AS100 (node 0).
+  EXPECT_EQ(g.relationships.relationship(1, 0), Relationship::kCustomer);
+  EXPECT_EQ(g.relationships.relationship(0, 1), Relationship::kProvider);
+  EXPECT_EQ(g.relationships.relationship(1, 2), Relationship::kPeer);
+}
+
+TEST(AsRelIo, TruncatedLineNamesTheLine) {
+  const auto what = parse_error("1|2|-1\n3|4\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+}
+
+TEST(AsRelIo, BadRelationshipCodeNamesTheLine) {
+  const auto what = parse_error("1|2|-1\n2|3|1\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+}
+
+TEST(AsRelIo, MalformedAsNumberIsRejected) {
+  EXPECT_NE(parse_error("one|2|-1\n"), "");
+  EXPECT_NE(parse_error("1|2x|-1\n"), "");
+}
+
+TEST(AsRelIo, SelfLoopIsRejected) {
+  const auto what = parse_error("1|2|0\n5|5|0\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+}
+
+TEST(AsRelIo, DuplicateAdjacencyIsRejectedEitherOrientation) {
+  EXPECT_NE(parse_error("1|2|-1\n1|2|0\n"), "");
+  EXPECT_NE(parse_error("1|2|-1\n2|1|-1\n"), "");
+}
+
+TEST(AsRelIo, EmptyInputIsRejected) {
+  EXPECT_NE(parse_error(""), "");
+  EXPECT_NE(parse_error("# nothing but comments\n"), "");
+}
+
+TEST(AsRelIo, MissingFileErrorNamesThePath) {
+  try {
+    (void)topo::load_as_relationships("/nonexistent/as-rel.txt");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/as-rel.txt"),
+              std::string::npos);
+  }
+}
+
+TEST(AsRelIo, RoundTripsAGeneratedGraph) {
+  topo::AsGraphParams params;
+  params.nodes = 300;
+  params.seed = 9;
+  const auto g = topo::make_as_graph(params);
+  const std::string text =
+      topo::to_as_relationships(g.topology, g.relationships);
+  const auto back = topo::from_as_relationships(text);
+  EXPECT_EQ(back.topology.node_count(), g.topology.node_count());
+  EXPECT_EQ(back.topology.link_count(), g.topology.link_count());
+  EXPECT_EQ(topo::to_as_relationships(back.topology, back.relationships),
+            text);
+}
+
+}  // namespace
+}  // namespace bgpsim
