@@ -4,6 +4,8 @@
 #         [-DBENCH_ARGS="<space-separated argv>"] \
 #         [-DBENCH_ENV="<space-separated VAR=VAL pairs>"] \
 #         [-DROW_NEEDLE=<first cell of the first expected row>] \
+#         [-DCELL_NEEDLES="<space-separated first-cell prefixes, each of \
+#          which some row must start with>"] \
 #         -P check_bench_artifact.cmake
 # BENCH_ARGS/BENCH_ENV are space-separated, not ;-lists: semicolons do not
 # survive the add_test -> -D -> re-expansion round trip intact.
@@ -61,6 +63,15 @@ foreach(needle
 endforeach()
 if(ROW_NEEDLE)
   require_needle("\"rows\": [[\"${ROW_NEEDLE}\"")
+endif()
+# Each CELL_NEEDLES element must lead some row's first cell (the "[ is
+# prepended here, so the list elements themselves stay bracket-free and
+# survive CMake list splitting).
+if(CELL_NEEDLES)
+  separate_arguments(cell_needles UNIX_COMMAND "${CELL_NEEDLES}")
+  foreach(cell IN LISTS cell_needles)
+    require_needle("[\"${cell}")
+  endforeach()
 endif()
 
 message(STATUS "bench artifact OK: ${artifact}")

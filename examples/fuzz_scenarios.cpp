@@ -2,13 +2,19 @@
 // settings, every run checked by the full invariant oracle.
 //
 //   fuzz_scenarios [--iters N] [--seed S] [--verbose] [--snap-check]
-//   fuzz_scenarios --replay SCENARIO_SEED [--snap-check]
+//                  [--wheel-check]
+//   fuzz_scenarios --replay SCENARIO_SEED [--snap-check] [--wheel-check]
 //   fuzz_scenarios --canary [...]     # arm a deliberately wrong invariant
 //                                     # to demonstrate the failure path
 //
 // --snap-check runs every iteration twice — with and without a seed-derived
 // mid-run snapshot save/restore/re-save round-trip — and fails (with a
 // --replay line) if the round-trip changes the outcome fingerprint.
+//
+// --wheel-check re-runs every clean iteration under the opposite event
+// scheduler (timer wheel vs binary heap, BGPSIM_TIMER_WHEEL) and fails if
+// the fingerprints differ; a clean campaign prints the same digest as a
+// plain run.
 //
 // BGPSIM_FUZZ_ITERS overrides the default iteration count (100).
 // Exit status: 0 = every iteration clean, 1 = failures (replay lines
@@ -54,7 +60,7 @@ class CanaryInvariant final : public check::Invariant {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--iters N] [--seed S] [--replay SCENARIO_SEED] "
-               "[--verbose] [--canary] [--snap-check]\n",
+               "[--verbose] [--canary] [--snap-check] [--wheel-check]\n",
                argv0);
   std::exit(2);
 }
@@ -83,6 +89,8 @@ int main(int argc, char** argv) {
       canary = true;
     } else if (arg == "--snap-check") {
       options.snap_check = true;
+    } else if (arg == "--wheel-check") {
+      options.wheel_check = true;
     } else {
       args.fail();
     }

@@ -1,5 +1,6 @@
 #include "bgp/mrai.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace bgpsim::bgp {
@@ -24,14 +25,43 @@ void MraiTimers::start(net::NodeId peer, net::Prefix prefix,
   assert(!running(peer, prefix));
   const Key key{peer, prefix};
   State st;
-  st.ev = simulator.schedule_after(duration, [this, key] {
-    auto it = timers_.find(key);
-    assert(it != timers_.end());
-    const bool was_pending = it->second.pending;
-    timers_.erase(it);
-    if (on_expiry_) on_expiry_(key.first, key.second, was_pending);
-  });
+  st.ev = simulator.schedule_after(
+      duration, [this, key, sim = &simulator] { fire(key, *sim); });
   timers_.emplace(key, st);
+}
+
+void MraiTimers::fire(const Key& key, sim::Simulator& simulator) {
+  auto it = timers_.find(key);
+  assert(it != timers_.end());
+  batch_.clear();
+  batch_.push_back(Expiry{key.first, key.second, it->second.pending});
+  timers_.erase(it);
+
+  if (simulator.burst_delivery()) {
+    // Gather the run of immediately following events that are this
+    // object's own timers due at this exact instant. Only the globally
+    // next event is ever taken, so any foreign event (another component's
+    // closure, the external slot) in between ends the batch — the
+    // resulting delivery order is exactly the sequential one. Consumed
+    // closures are discarded whole; the batch entries carry everything
+    // the handlers need.
+    while (const auto id = simulator.next_coincident_event()) {
+      const auto match = std::find_if(
+          timers_.begin(), timers_.end(),
+          [&](const auto& kv) { return kv.second.ev == *id; });
+      if (match == timers_.end()) break;
+      simulator.consume_coincident(*id);
+      batch_.push_back(Expiry{match->first.first, match->first.second,
+                              match->second.pending});
+      timers_.erase(match);
+    }
+  }
+
+  if (batch_.size() > 1 && on_burst_) {
+    on_burst_(batch_);
+  } else if (on_expiry_) {
+    for (const Expiry& e : batch_) on_expiry_(e.peer, e.prefix, e.was_pending);
+  }
 }
 
 void MraiTimers::cancel_peer(net::NodeId peer, sim::Simulator& simulator) {

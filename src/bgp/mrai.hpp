@@ -9,6 +9,7 @@
 #include <functional>
 #include <map>
 #include <utility>
+#include <vector>
 
 #include "net/types.hpp"
 #include "sim/scheduler.hpp"
@@ -23,7 +24,22 @@ class MraiTimers {
   using ExpiryHandler =
       std::function<void(net::NodeId peer, net::Prefix prefix, bool was_pending)>;
 
+  /// One expiry inside a batched delivery, in exact firing order.
+  struct Expiry {
+    net::NodeId peer;
+    net::Prefix prefix;
+    bool was_pending;
+  };
+
+  /// Callback for a batch of two or more expiries due at the same instant
+  /// (simulator burst delivery). The receiver must process the batch in
+  /// order, producing the same observable effects as per-item expiry
+  /// handling; single expiries still go through the ExpiryHandler. When no
+  /// burst handler is set, every expiry is delivered individually.
+  using BurstHandler = std::function<void(const std::vector<Expiry>&)>;
+
   void set_expiry_handler(ExpiryHandler h) { on_expiry_ = std::move(h); }
+  void set_burst_handler(BurstHandler h) { on_burst_ = std::move(h); }
 
   [[nodiscard]] bool running(net::NodeId peer, net::Prefix prefix) const;
   [[nodiscard]] bool pending(net::NodeId peer, net::Prefix prefix) const;
@@ -59,9 +75,17 @@ class MraiTimers {
   };
   using Key = std::pair<net::NodeId, net::Prefix>;
 
+  /// Expiry entry point for the scheduled closure: under burst delivery
+  /// (wheel backend) it additionally consumes every immediately following
+  /// event that is one of this object's own timers due at the same
+  /// instant, then dispatches the whole batch.
+  void fire(const Key& key, sim::Simulator& simulator);
+
   // std::map keeps iteration deterministic for cancel_peer / any_pending.
   std::map<Key, State> timers_;
   ExpiryHandler on_expiry_;
+  BurstHandler on_burst_;
+  std::vector<Expiry> batch_;  // reused across fires; no steady-state alloc
 };
 
 }  // namespace bgpsim::bgp

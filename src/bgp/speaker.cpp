@@ -19,6 +19,10 @@ Speaker::Speaker(net::NodeId self, BgpConfig config, sim::Simulator& simulator,
       [this](net::NodeId peer, net::Prefix prefix, bool was_pending) {
         on_mrai_expired(peer, prefix, was_pending);
       });
+  mrai_.set_burst_handler(
+      [this](const std::vector<MraiTimers::Expiry>& batch) {
+        on_mrai_burst(batch);
+      });
 }
 
 void Speaker::set_peers(const std::vector<net::NodeId>& peers) {
@@ -171,8 +175,8 @@ void Speaker::advertise_to_all(net::Prefix prefix) {
   for (net::NodeId peer : peers_) consider_send(peer, prefix);
 }
 
-UpdateMsg Speaker::desired_update(net::NodeId peer, net::Prefix prefix) {
-  const AsPath* loc = loc_rib_.get(prefix);
+UpdateMsg Speaker::desired_update(net::NodeId peer, net::Prefix prefix,
+                                  const AsPath* loc) {
   if (!loc) return UpdateMsg::withdraw(prefix);
   if (config_.policy && !policy_exportable(*config_.policy, self_, *loc, peer)) {
     // No-valley export rule: this peer must not receive the route (and any
@@ -201,7 +205,12 @@ bool Speaker::already_advertised(net::NodeId peer, net::Prefix prefix,
 }
 
 void Speaker::consider_send(net::NodeId peer, net::Prefix prefix) {
-  const UpdateMsg desired = desired_update(peer, prefix);
+  consider_send_with(peer, prefix, loc_rib_.get(prefix));
+}
+
+void Speaker::consider_send_with(net::NodeId peer, net::Prefix prefix,
+                                 const AsPath* loc) {
+  const UpdateMsg desired = desired_update(peer, prefix, loc);
   const bool same = already_advertised(peer, prefix, desired);
   const bool rate_limited = !desired.is_withdrawal() || config_.wrate;
   if (rate_limited && mrai_.running(peer, prefix)) {
@@ -211,9 +220,8 @@ void Speaker::consider_send(net::NodeId peer, net::Prefix prefix) {
     return;
   }
   if (same) return;
-  if (config_.ssld && desired.is_withdrawal()) {
-    const AsPath* loc = loc_rib_.get(prefix);
-    if (loc && loc->contains(peer)) ++counters_.ssld_conversions;
+  if (config_.ssld && desired.is_withdrawal() && loc && loc->contains(peer)) {
+    ++counters_.ssld_conversions;
   }
   send_update(peer, prefix, desired);
 }
@@ -251,6 +259,29 @@ void Speaker::on_mrai_expired(net::NodeId peer, net::Prefix prefix,
     hooks_.on_mrai_expired(self_, peer, prefix, was_pending);
   }
   if (was_pending) consider_send(peer, prefix);
+}
+
+void Speaker::on_mrai_burst(const std::vector<MraiTimers::Expiry>& batch) {
+  // MRAI timers toward all peers start together (advertise_to_all under a
+  // deterministic jitter), so a burst is typically one prefix × many
+  // peers: run the Loc-RIB lookup once per prefix run. Safe because the
+  // send path never mutates loc_rib_ — sends only go to peer processing
+  // queues, delivered via future events.
+  net::Prefix run_prefix{};
+  const AsPath* loc = nullptr;
+  bool have_run = false;
+  for (const MraiTimers::Expiry& e : batch) {
+    if (hooks_.on_mrai_expired) {
+      hooks_.on_mrai_expired(self_, e.peer, e.prefix, e.was_pending);
+    }
+    if (!e.was_pending) continue;
+    if (!have_run || e.prefix != run_prefix) {
+      run_prefix = e.prefix;
+      loc = loc_rib_.get(e.prefix);
+      have_run = true;
+    }
+    consider_send_with(e.peer, e.prefix, loc);
+  }
 }
 
 void Speaker::ghost_flush(net::Prefix prefix) {

@@ -126,14 +126,25 @@ class Speaker {
   void run_decision(net::Prefix prefix);
   void advertise_to_all(net::Prefix prefix);
   void consider_send(net::NodeId peer, net::Prefix prefix);
+  /// consider_send with the Loc-RIB lookup hoisted: burst delivery passes
+  /// one lookup across every same-prefix expiry in the batch (nothing in
+  /// the send path mutates the Loc-RIB).
+  void consider_send_with(net::NodeId peer, net::Prefix prefix,
+                          const AsPath* loc);
   void send_update(net::NodeId peer, net::Prefix prefix, UpdateMsg update);
   void on_mrai_expired(net::NodeId peer, net::Prefix prefix, bool was_pending);
+  /// Batched delivery of coincident MRAI expiries (wheel backend): hooks
+  /// and sends run per item in exact firing order — the observable stream
+  /// is identical to sequential delivery — but the decision inputs are
+  /// fetched once per prefix run instead of once per expiry.
+  void on_mrai_burst(const std::vector<MraiTimers::Expiry>& batch);
   void ghost_flush(net::Prefix prefix);
   [[nodiscard]] sim::SimTime jittered_mrai();
 
-  /// The update we currently want `peer` to hold (SSLD applied).
-  [[nodiscard]] UpdateMsg desired_update(net::NodeId peer,
-                                         net::Prefix prefix);
+  /// The update we currently want `peer` to hold (SSLD applied); `loc` is
+  /// the caller's Loc-RIB lookup for `prefix`.
+  [[nodiscard]] UpdateMsg desired_update(net::NodeId peer, net::Prefix prefix,
+                                         const AsPath* loc);
   [[nodiscard]] bool already_advertised(net::NodeId peer, net::Prefix prefix,
                                         const UpdateMsg& desired) const;
 

@@ -9,6 +9,7 @@
 
 #include "core/run_options.hpp"
 #include "sim/env.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace bgpsim::core::env {
@@ -33,6 +34,9 @@ constexpr Knob kRegistry[] = {
     {"BGPSIM_PATH_INTERN", "1",
      "per-experiment AS-path interning (bgp::PathStore); 0 = plain "
      "structural sharing, for A/B digest checks"},
+    {"BGPSIM_TIMER_WHEEL", "1",
+     "hierarchical timer-wheel scheduler with batched same-tick MRAI "
+     "delivery; 0 = (time, seq) binary heap, for A/B digest checks"},
     {"BGPSIM_POLICY_SIZES", "1000,10000",
      "comma-separated AS-graph node counts for the policy-scale bench; "
      "the default grows by 75000 under BGPSIM_FULL=1"},
@@ -73,6 +77,8 @@ std::size_t snap_cache_capacity() {
 bool path_interning() {
   return sim::env_u64_or("BGPSIM_PATH_INTERN", 1) != 0;
 }
+
+bool timer_wheel() { return sim::env_u64_or("BGPSIM_TIMER_WHEEL", 1) != 0; }
 
 std::vector<std::size_t> policy_sizes() {
   std::vector<std::size_t> fallback{1000, 10000};
@@ -118,5 +124,15 @@ bool path_interning_enabled() {
 void set_path_interning(bool on) {
   g_path_interning.store(on ? 1 : 0, std::memory_order_release);
 }
+
+// The queue-backend toggle lives in sim/ (Simulator construction reads it
+// below core in the layer stack); the guard just drives it and restores
+// the exact previous override, -1 (env fallback) included.
+TimerWheelGuard::TimerWheelGuard(bool on)
+    : prev_{sim::queue_backend_override()} {
+  sim::set_queue_backend_override(on ? 1 : 0);
+}
+
+TimerWheelGuard::~TimerWheelGuard() { sim::set_queue_backend_override(prev_); }
 
 }  // namespace bgpsim::core::detail

@@ -67,6 +67,12 @@ struct Knob {
 /// 0 disables (plain structural sharing, for A/B digest checks). Default 1.
 [[nodiscard]] bool path_interning();
 
+/// BGPSIM_TIMER_WHEEL: hierarchical timer-wheel scheduler with batched
+/// same-tick MRAI delivery; 0 falls back to the (time, seq) binary heap
+/// (strictly sequential delivery, for A/B digest checks). Outputs are
+/// bit-identical either way. Default 1.
+[[nodiscard]] bool timer_wheel();
+
 /// BGPSIM_POLICY_SIZES: comma-separated AS-graph node counts for the
 /// policy-scale bench (headline_policy_scale). Default {1000, 10000},
 /// plus 75000 when BGPSIM_FULL=1; an explicit value replaces the whole

@@ -4,6 +4,8 @@
 #include <exception>
 
 #include "core/experiment.hpp"
+#include "core/run_options.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 
 namespace bgpsim::core {
@@ -95,19 +97,22 @@ IterationResult run_once(Scenario scenario, std::uint64_t scenario_seed,
   return result;
 }
 
-IterationResult run_iteration(std::uint64_t scenario_seed,
-                              const FuzzOptions& options) {
+/// Attach the seed-derived snap-check probe: the same scenario seed always
+/// probes at the same simulated time, so --replay reproduces a divergence
+/// exactly. Every pass schedules the identical probe event (kNoop just
+/// returns inside it), keeping event streams comparable across passes.
+void attach_snap_probe(Scenario& scenario, std::uint64_t scenario_seed) {
+  scenario.snap_roundtrip_after = sim::SimTime::seconds(
+      sim::Rng{scenario_seed}.child("snap-roundtrip").uniform(0.5, 30.0));
+  scenario.snap_roundtrip = SnapRoundtrip::kNoop;
+}
+
+IterationResult run_checked(std::uint64_t scenario_seed,
+                            const FuzzOptions& options) {
   Scenario scenario = fuzz_scenario(scenario_seed);
   if (!options.snap_check) return run_once(scenario, scenario_seed, options);
 
-  // Seed-derived probe offset: the same scenario seed always probes at the
-  // same simulated time, so --replay reproduces a divergence exactly. Both
-  // passes schedule the identical probe event (kNoop just returns inside
-  // it), keeping their event streams comparable.
-  scenario.snap_roundtrip_after = sim::SimTime::seconds(
-      sim::Rng{scenario_seed}.child("snap-roundtrip").uniform(0.5, 30.0));
-
-  scenario.snap_roundtrip = SnapRoundtrip::kNoop;
+  attach_snap_probe(scenario, scenario_seed);
   IterationResult baseline = run_once(scenario, scenario_seed, options);
   if (baseline.failure) return baseline;
 
@@ -130,6 +135,47 @@ IterationResult run_iteration(std::uint64_t scenario_seed,
         "snapshot divergence: a mid-run save/restore round-trip changed the "
         "outcome (baseline fingerprint " + std::to_string(baseline.fingerprint) +
         ", round-trip fingerprint " + std::to_string(verified.fingerprint) + ")";
+    baseline.failure = std::move(failure);
+  }
+  return baseline;
+}
+
+IterationResult run_iteration(std::uint64_t scenario_seed,
+                              const FuzzOptions& options) {
+  IterationResult baseline = run_checked(scenario_seed, options);
+  if (!options.wheel_check || baseline.failure) return baseline;
+
+  // Opposite-scheduler pass: the identical scenario (same snap-check probe
+  // when armed), pinned to the other queue backend for this run only. Its
+  // fingerprint — events fired, updates sent, loop metrics, convergence
+  // times — must match the default-backend baseline bit for bit.
+  Scenario scenario = fuzz_scenario(scenario_seed);
+  if (options.snap_check) attach_snap_probe(scenario, scenario_seed);
+  const bool wheel_now =
+      sim::default_queue_backend() == sim::QueueBackend::kWheel;
+  IterationResult other;
+  {
+    detail::TimerWheelGuard backend{!wheel_now};
+    other = run_once(scenario, scenario_seed, options);
+  }
+  if (other.failure) {
+    other.failure->error =
+        "wheel-check (opposite-scheduler pass): " +
+        (other.failure->error.empty() ? std::string{"invariant violations"}
+                                      : other.failure->error);
+    other.fingerprint = baseline.fingerprint;
+    return other;
+  }
+  if (other.fingerprint != baseline.fingerprint) {
+    FuzzFailure failure;
+    failure.scenario_seed = scenario_seed;
+    failure.label = scenario.label();
+    failure.error =
+        "scheduler divergence: " +
+        std::string{wheel_now ? "heap" : "wheel"} +
+        " re-run changed the outcome (baseline fingerprint " +
+        std::to_string(baseline.fingerprint) + ", opposite-scheduler " +
+        "fingerprint " + std::to_string(other.fingerprint) + ")";
     baseline.failure = std::move(failure);
   }
   return baseline;

@@ -41,6 +41,14 @@ struct FuzzOptions {
   /// fingerprints differ. The probe offset is seed-derived, so a divergence
   /// reproduces exactly via --replay.
   bool snap_check = false;
+  /// Scheduler differential checking: re-run every clean iteration under
+  /// the opposite event-queue backend (timer wheel vs binary heap, see
+  /// BGPSIM_TIMER_WHEEL) and fail the iteration if the two executions'
+  /// fingerprints differ. Composes with snap_check: the opposite-scheduler
+  /// pass then carries the same no-op probe so event streams stay
+  /// comparable. The reported digest is always the default-backend one, so
+  /// a clean --wheel-check campaign prints the same digest as a plain run.
+  bool wheel_check = false;
 };
 
 /// One failing iteration: either armed invariants reported violations, the

@@ -49,6 +49,13 @@ struct RunOptions {
   /// BGPSIM_PATH_INTERN != 0.
   bool path_interning = true;
 
+  /// Hierarchical timer-wheel event scheduling with batched same-tick
+  /// MRAI delivery (sim::QueueBackend::kWheel). Outputs are bit-identical
+  /// either way (the wheel digest-equality suite enforces this); false
+  /// falls back to the (time, seq) binary heap with strictly sequential
+  /// delivery — the A/B lever. true still requires BGPSIM_TIMER_WHEEL != 0.
+  bool timer_wheel = true;
+
   /// Caller-owned route-change trace sink, applied to every trial (forces
   /// serial execution and bypasses the prelude cache). Overrides
   /// Scenario::trace when non-null.
@@ -81,6 +88,20 @@ class PathInterningGuard {
 
  private:
   bool prev_;
+};
+
+/// RAII: pin the event-queue backend (sim::set_queue_backend_override)
+/// for the duration of a run, restoring the exact previous override on
+/// exit. Out-of-line so this header stays free of sim/ includes.
+class TimerWheelGuard {
+ public:
+  explicit TimerWheelGuard(bool on);
+  ~TimerWheelGuard();
+  TimerWheelGuard(const TimerWheelGuard&) = delete;
+  TimerWheelGuard& operator=(const TimerWheelGuard&) = delete;
+
+ private:
+  int prev_;
 };
 
 }  // namespace detail

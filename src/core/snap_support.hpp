@@ -28,6 +28,17 @@ void save_run_state(snap::Writer& w, const sim::Simulator& simulator,
   w.i64(simulator.now().as_micros());
   w.u64(simulator.events_fired());
   w.u64(simulator.event_seq());
+  // v3: the live pending-event multiset as sorted (time µs, seq) pairs —
+  // identical bytes under either queue backend (the wheel's batched
+  // consumption permutes slot recycling, so slot/generation state is
+  // deliberately excluded). The external slot is component-owned and
+  // re-armed by its owner; it is not part of this list.
+  const auto pending = simulator.pending_entries();
+  w.u64(pending.size());
+  for (const auto& [time_us, seq] : pending) {
+    w.i64(time_us);
+    w.u64(seq);
+  }
   network.save_state(w);
   plane.save_state(w);
   traffic.save_state(w);
@@ -45,6 +56,33 @@ void restore_run_state(snap::Reader& r, sim::Simulator& simulator,
   const std::uint64_t fired = r.u64();
   const std::uint64_t seq = r.u64();
   simulator.restore_clock(now, fired, seq);
+  // Scheduled closures cannot be rebuilt from bytes, so the pending list
+  // is verified, not restored: the live queue must already hold exactly
+  // the recorded (time, seq) multiset — trivially true for a fresh
+  // restore at quiescence (both empty) and for an in-place restore whose
+  // closures never left the queue. A mismatch means the snapshot is being
+  // fed to a simulator in a different scheduling state; diverging
+  // silently here would corrupt determinism, so refuse loudly.
+  const std::uint64_t n_pending = r.u64();
+  const auto live = simulator.pending_entries();
+  if (live.size() != n_pending) {
+    throw std::runtime_error{
+        "restore_run_state: snapshot records " + std::to_string(n_pending) +
+        " pending events, the live queue holds " +
+        std::to_string(live.size())};
+  }
+  for (std::uint64_t i = 0; i < n_pending; ++i) {
+    const std::int64_t time_us = r.i64();
+    const std::uint64_t seq_i = r.u64();
+    if (live[i].first != time_us || live[i].second != seq_i) {
+      throw std::runtime_error{
+          "restore_run_state: pending event " + std::to_string(i) +
+          " mismatch: snapshot (" + std::to_string(time_us) + " us, seq " +
+          std::to_string(seq_i) + ") vs live (" +
+          std::to_string(live[i].first) + " us, seq " +
+          std::to_string(live[i].second) + ")"};
+    }
+  }
   network.restore_state(r);
   plane.restore_state(r);
   traffic.restore_state(r);

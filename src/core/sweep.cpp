@@ -133,6 +133,9 @@ TrialSet run_trials(const Scenario& base, const RunOptions& options) {
   // BGP driver reads the resolved toggle when opening its PathStore scope.
   detail::PathInterningGuard interning{options.path_interning &&
                                        env::path_interning()};
+  // Same gating for the scheduler backend: every Simulator constructed
+  // under this run (worker threads included) resolves it at construction.
+  detail::TimerWheelGuard wheel{options.timer_wheel && env::timer_wheel()};
 
   const std::size_t trials = options.trials;
   const std::size_t jobs = options.jobs == 0 ? default_jobs() : options.jobs;

@@ -2,10 +2,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/callback.hpp"
 #include "sim/time.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace bgpsim::sim {
 
@@ -16,6 +19,23 @@ struct EventId {
   friend constexpr bool operator==(EventId, EventId) = default;
 };
 
+/// Which index structure orders pending events. Both deliver the exact
+/// same (time, seq) pop order and the same EventId stream for the same
+/// schedule history; the wheel additionally enables batched same-tick
+/// delivery (Simulator::burst_delivery). kHeap is the A/B reference.
+enum class QueueBackend : int { kHeap = 0, kWheel = 1 };
+
+/// Backend a default-constructed EventQueue (and Simulator) uses: the
+/// process-wide override when set, else the BGPSIM_TIMER_WHEEL env knob
+/// (default: the wheel).
+[[nodiscard]] QueueBackend default_queue_backend();
+
+/// Process-wide backend override for RunOptions-driven A/B runs: 0 forces
+/// the heap, 1 the wheel, -1 clears back to the env knob. Applied by
+/// core::detail::TimerWheelGuard around a run.
+void set_queue_backend_override(int backend);
+[[nodiscard]] int queue_backend_override();
+
 /// Priority queue of (time, callback) pairs.
 ///
 /// Ordering is by time, with insertion order (a monotonically increasing
@@ -23,19 +43,29 @@ struct EventId {
 /// property several protocol tests rely on.
 ///
 /// Storage is a slot pool recycled through a free list: a callback lives
-/// inline in its slot (sim::Callback small-buffer storage) and the heap
-/// orders lightweight (time, seq, slot) entries with std::push_heap /
-/// std::pop_heap. Once the pool has grown to the schedule's high-water
-/// mark, push/pop/cancel perform no allocation at all. Cancellation is
-/// O(1): the slot is freed immediately and the orphaned heap entry is
-/// skipped (and reclaimed) on pop, recognized by its stale seq.
+/// inline in its slot (sim::Callback small-buffer storage), and the
+/// pending set is indexed by lightweight (time, seq, slot) entries in one
+/// of two backends — a binary heap ordered by std::push_heap/std::pop_heap,
+/// or a hierarchical timer wheel (sim/timer_wheel.hpp) whose steady state
+/// is O(1) per push/pop. Once the pool has grown to the schedule's
+/// high-water mark, push/pop/cancel perform no allocation at all.
+/// Cancellation is O(1) under both backends: the slot is freed immediately
+/// and the orphaned index entry is skipped (and reclaimed) when it reaches
+/// the front, recognized by its stale seq.
 ///
 /// Determinism: slot assignment (LIFO free list), generations, and seqs
 /// are pure functions of the push/cancel/pop history, so identical
-/// schedules produce identical EventIds and identical FIFO tie-breaks.
+/// operation histories produce identical EventIds and identical FIFO
+/// tie-breaks — under either backend.
 class EventQueue {
  public:
   using Callback = sim::Callback;
+
+  explicit EventQueue(QueueBackend backend = default_queue_backend());
+
+  [[nodiscard]] QueueBackend backend() const {
+    return wheel_ ? QueueBackend::kWheel : QueueBackend::kHeap;
+  }
 
   /// Insert `cb` to fire at `when`. Returns a handle for cancel().
   EventId push(SimTime when, Callback cb);
@@ -63,6 +93,15 @@ class EventQueue {
   /// which fires first at equal times.
   [[nodiscard]] std::uint64_t next_event_seq() const;
 
+  /// Handle of the earliest live event. Requires !empty(). Burst
+  /// consumers match it against their own bookkeeping before consuming.
+  [[nodiscard]] EventId next_event_id() const;
+
+  /// The earliest live event as one raw (time µs, seq, slot) observation.
+  /// Requires !empty(). The run loop uses this to read the firing time and
+  /// FIFO tie-break together instead of paying one front lookup per field.
+  [[nodiscard]] TimerWheel::Entry front_entry() const;
+
   /// Consume one sequence number without pushing an event. Used by the
   /// simulator's external event slot so that arming it orders against
   /// queued events exactly as a push at the same moment would.
@@ -77,6 +116,12 @@ class EventQueue {
   };
   Fired pop();
 
+  /// Remove the earliest live event, discarding its callback unrun. The
+  /// batched-delivery path consumes coincident timer events this way: the
+  /// owner re-derives the work from its own bookkeeping, so the closure
+  /// is dead weight. Requires !empty().
+  void consume_next();
+
   /// Drop all pending events. Slot storage (and outstanding EventId
   /// generations) are retained so stale handles can never alias a new
   /// event.
@@ -88,6 +133,14 @@ class EventQueue {
 
   /// Restore the push counter (checkpoint restore only; requires empty()).
   void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+
+  /// Sorted (time µs, seq) of every live event — the backend-invariant
+  /// view of the pending set. Snapshots serialize exactly this: slot ids,
+  /// generations, and free-list order are allocation artifacts that may
+  /// legitimately differ between backends (batched consumption permutes
+  /// slot recycling), so they never enter the byte stream.
+  [[nodiscard]] std::vector<std::pair<std::int64_t, std::uint64_t>>
+  pending_entries() const;
 
  private:
   static constexpr std::uint32_t kGenBits = 32;
@@ -111,18 +164,34 @@ class EventQueue {
     return b.seq < a.seq;
   }
 
+  [[nodiscard]] bool stale_seq(std::uint32_t slot, std::uint64_t seq) const {
+    return slots_[slot].seq != seq;
+  }
   [[nodiscard]] bool stale(const HeapEntry& e) const {
-    return slots_[e.slot].seq != e.seq;
+    return stale_seq(e.slot, e.seq);
+  }
+  static bool wheel_stale(const void* ctx, const TimerWheel::Entry& e) {
+    return static_cast<const EventQueue*>(ctx)->stale_seq(e.slot, e.seq);
   }
 
   void drop_dead_prefix();
   void release_slot(std::uint32_t slot);
 
+  /// Remove the front index entry (the one front_entry() returned).
+  void drop_front();
+
   std::vector<HeapEntry> heap_;
+  std::unique_ptr<TimerWheel> wheel_;  // non-null iff backend is kWheel
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;  // LIFO recycled slot indices
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
+  // Memoized front_entry(): valid until a mutation that can move the front
+  // (pushing an earlier event, cancelling the front's slot, popping,
+  // clearing). Packet-heavy runs observe the front once per fired event,
+  // usually unchanged, so this turns the common lookup into one branch.
+  mutable TimerWheel::Entry front_cache_{};
+  mutable bool front_cached_ = false;
 };
 
 }  // namespace bgpsim::sim

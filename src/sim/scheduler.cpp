@@ -42,14 +42,26 @@ void Simulator::arm_external(SimTime when) {
 std::uint64_t Simulator::run_until(SimTime limit) {
   std::uint64_t n = 0;
   for (;;) {
-    const bool has_queue = !queue_.empty();
-    if (ext_armed_ && (!has_queue || external_first())) {
+    if (queue_.empty()) {
+      if (!ext_armed_ || ext_time_ > limit) break;
+      fire_external();
+      ++n;
+      continue;
+    }
+    // One front observation per iteration: the merge against the external
+    // slot and the limit check read the same (time, seq) pair, so paying
+    // a queue-front lookup for each field would triple the per-event cost
+    // on packet-heavy runs.
+    const TimerWheel::Entry front = queue_.front_entry();
+    const SimTime front_time = SimTime::micros(front.time_us);
+    if (ext_armed_ && (ext_time_ < front_time ||
+                       (ext_time_ == front_time && ext_seq_ < front.seq))) {
       if (ext_time_ > limit) break;
       fire_external();
       ++n;
       continue;
     }
-    if (!has_queue || queue_.next_time() > limit) break;
+    if (front_time > limit) break;
     auto fired = queue_.pop();
     now_ = fired.time;
     ++fired_;
@@ -57,6 +69,29 @@ std::uint64_t Simulator::run_until(SimTime limit) {
     fired.callback();
   }
   return n;
+}
+
+std::optional<EventId> Simulator::next_coincident_event() const {
+  if (queue_.empty() || queue_.next_time() != now_) return std::nullopt;
+  // An armed external slot due now with the earlier seq must fire first —
+  // it is the globally next event, so the batch stops here.
+  if (ext_armed_ && ext_time_ <= now_ &&
+      ext_seq_ < queue_.next_event_seq()) {
+    return std::nullopt;
+  }
+  return queue_.next_event_id();
+}
+
+void Simulator::consume_coincident(EventId id) {
+  if (queue_.empty() || !(queue_.next_event_id() == id)) {
+    throw std::logic_error{
+        "Simulator::consume_coincident: id is not the front of the queue"};
+  }
+  // The clock is already at the event's time; it counts as fired so the
+  // events_fired ledger (fingerprints, snapshots) matches the sequential
+  // execution event for event.
+  queue_.consume_next();
+  ++fired_;
 }
 
 bool Simulator::step() {

@@ -3,6 +3,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -18,6 +21,22 @@ namespace bgpsim::sim {
 class Simulator {
  public:
   using Callback = EventQueue::Callback;
+
+  /// The queue backend defaults to the process-wide resolution
+  /// (BGPSIM_TIMER_WHEEL / set_queue_backend_override); tests pin one
+  /// explicitly for differential runs.
+  explicit Simulator(QueueBackend backend = default_queue_backend())
+      : queue_{backend} {}
+
+  [[nodiscard]] QueueBackend backend() const { return queue_.backend(); }
+
+  /// True when components should gather coincident timer expiries into one
+  /// batched delivery (see next_coincident_event). Tied to the wheel
+  /// backend so BGPSIM_TIMER_WHEEL=0 reproduces the strictly sequential
+  /// reference execution.
+  [[nodiscard]] bool burst_delivery() const {
+    return queue_.backend() == QueueBackend::kWheel;
+  }
 
   /// Current simulation time.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -47,6 +66,27 @@ class Simulator {
 
   /// Fire exactly one event if any is pending. Returns true if one fired.
   bool step();
+
+  /// --- batched same-timestamp delivery ------------------------------
+  ///
+  /// A component whose handler is currently running (i.e. now() is the
+  /// firing time) may consume further events due at this exact instant
+  /// without a round trip through the run loop, provided it can re-derive
+  /// the work from its own bookkeeping. The contract preserves the
+  /// sequential execution order exactly: only the globally next event is
+  /// ever offered, so a foreign event (another component's closure, or
+  /// the external slot) interleaved between two of the component's timers
+  /// stops the batch right there.
+
+  /// Handle of the next pending event iff it is due exactly at now() and
+  /// precedes an armed external slot; nullopt otherwise. The caller
+  /// checks the handle against its own bookkeeping before consuming.
+  [[nodiscard]] std::optional<EventId> next_coincident_event() const;
+
+  /// Consume the event next_coincident_event() just returned: it counts
+  /// as fired (the clock is already at its time) but its closure is
+  /// discarded unrun. `id` must still be the front of the queue.
+  void consume_coincident(EventId id);
 
   /// --- external event slot ------------------------------------------
   ///
@@ -101,6 +141,15 @@ class Simulator {
     now_ = now;
     fired_ = fired;
     queue_.set_next_seq(seq);
+  }
+
+  /// Sorted (time µs, seq) of every live queued event — the
+  /// backend-invariant pending set snapshots serialize and verify. The
+  /// external slot is excluded: it is component-owned state, re-armed by
+  /// its owner on restore.
+  [[nodiscard]] std::vector<std::pair<std::int64_t, std::uint64_t>>
+  pending_entries() const {
+    return queue_.pending_entries();
   }
 
  private:

@@ -33,7 +33,14 @@ namespace bgpsim::snap {
 /// v2: pooled-queue EventId encoding (slot|generation) inside serialized
 /// MRAI timers; the data plane's bridge event moved to the simulator's
 /// external slot and its EventId left the record.
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// v3: the simulator prologue gained the live pending-event list as
+/// sorted (time µs, seq) pairs — the backend-invariant view of the event
+/// queue, byte-identical whether the run used the timer wheel or the
+/// heap (slot/generation/free-list order are allocation artifacts and
+/// stay out of the stream). Restore verifies the list against the live
+/// queue instead of rebuilding it: closures are not serializable, so a
+/// fresh restore still requires quiescence (zero entries).
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// Byte offset of the format-version field inside encode() output —
 /// stable across versions (it sits directly behind the magic).

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 namespace bgpsim::metrics {
 namespace {
@@ -173,6 +175,49 @@ TEST(LoopDetector, IncrementalTrackingMatchesFullScan) {
     ASSERT_TRUE(d.matches_full_scan()) << "after step " << step;
   }
   EXPECT_GT(d.loops_formed(), 0u);  // the walk actually exercised cycles
+}
+
+TEST(LoopDetector, SameInstantBurstMatchesFullScanAndSpacedDelivery) {
+  // Batched MRAI delivery hands the detector several next-hop rewrites
+  // carrying one identical timestamp. Loop bookkeeping must be a pure
+  // function of the change order, not of timestamp spacing, and a loop
+  // formed and resolved inside one burst is a zero-duration record.
+  const std::vector<std::pair<net::NodeId, std::optional<net::NodeId>>>
+      changes = {{0, 1}, {1, 2}, {2, 0},  // form {0, 1, 2}
+                 {4, 5}, {5, 4},          // form {4, 5}
+                 {2, 3}, {3, 0},          // resolve, then reform through 3
+                 {5, std::nullopt},       // resolve {4, 5}
+                 {5, 4}};                 // reform {4, 5}
+
+  LoopDetector burst{8};
+  const SimTime t = SimTime::seconds(9);
+  for (const auto& [node, hop] : changes) {
+    burst.on_next_hop_change(node, hop, t);
+    ASSERT_TRUE(burst.matches_full_scan());
+  }
+
+  LoopDetector spaced{8};
+  for (std::size_t i = 0; i < changes.size(); ++i) {
+    spaced.on_next_hop_change(changes[i].first, changes[i].second,
+                              t + SimTime::millis(static_cast<std::int64_t>(i)));
+  }
+
+  ASSERT_EQ(burst.records().size(), 4u);
+  ASSERT_EQ(spaced.records().size(), burst.records().size());
+  for (std::size_t i = 0; i < burst.records().size(); ++i) {
+    EXPECT_EQ(burst.records()[i].members, spaced.records()[i].members);
+  }
+  EXPECT_EQ(burst.active_count(), 2u);
+  EXPECT_EQ(spaced.active_count(), burst.active_count());
+
+  // Loops resolved inside the burst close at the burst instant itself.
+  for (const LoopRecord& r : burst.records()) {
+    EXPECT_EQ(r.formed_at, t);
+    if (r.resolved_at) {
+      EXPECT_EQ(*r.resolved_at, t);
+      EXPECT_DOUBLE_EQ(r.duration_seconds(SimTime::seconds(100)), 0.0);
+    }
+  }
 }
 
 }  // namespace
