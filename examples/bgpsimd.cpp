@@ -1,0 +1,151 @@
+// bgpsimd: the always-on campaign daemon (svcd::Daemon as a binary).
+//
+//   $ bgpsimd --journal /tmp/c.jnl --admin /tmp/bgpsimd.sock --listen 0 &
+//   $ campaign_ctl SUBMIT 'trials=8; topology=clique; size=10; event=tdown'
+//   $ bgpsim_worker --connect 127.0.0.1:<port from STATUS>
+//
+// The daemon queues campaigns submitted over the admin socket, journals
+// every state transition (kill -9 it, restart with --resume, and the
+// surviving campaigns continue where they left off with a bit-identical
+// digest), streams one bgpsim-bench-1 JSON line per completed unit to
+// --results, and tolerates workers joining over TCP mid-campaign and
+// dying at any time.
+//
+// Flags:
+//   --journal PATH      write-ahead journal for this daemon's campaigns
+//                       (bare names resolve under BGPSIM_JOURNAL_DIR)
+//   --resume PATH       resume from an existing journal instead
+//   --admin PATH        unix admin socket (STATUS / SUBMIT / CANCEL);
+//                       default: BGPSIM_ADMIN_SOCK
+//   --listen [PORT]     accept TCP workers (default port 0 = ephemeral;
+//                       the bound port is printed and shown by STATUS)
+//   --workers N         fork N local workers at startup (default 0)
+//   --results PATH      streaming JSON sink (default: stdout)
+//   --deadline-s D      per-unit lease; slow holders are failed (default off)
+//   --max-attempts K    per-unit attempt cap (default 3)
+//   --exit-when-idle    one-shot mode: exit once the queue drains
+//   --verbose           info-level service logging
+//
+// SIGINT/SIGTERM stop the daemon gracefully (workers shut down, journal
+// synced); SIGKILL is what --resume is for.
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "cli.hpp"
+#include "core/env.hpp"
+#include "sim/logging.hpp"
+#include "svcd/daemon.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--journal PATH | --resume PATH] [--admin PATH] "
+               "[--listen [PORT]] [--workers N] [--results PATH] "
+               "[--deadline-s D] [--max-attempts K] [--exit-when-idle] "
+               "[--verbose]\n",
+               argv0);
+  std::exit(2);
+}
+
+std::string resolve_journal_path(const std::string& path) {
+  if (path.find('/') != std::string::npos) return path;
+  const char* dir = bgpsim::core::env::journal_dir();
+  return dir == nullptr ? path : std::string{dir} + "/" + path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bgpsim;
+
+  svcd::DaemonOptions options;
+  options.handle_signals = true;
+  options.results = stdout;
+  std::size_t fork_workers = 0;
+  std::string results_path;
+
+  cli::Args args{argc, argv, usage};
+  while (args.next()) {
+    const std::string& arg = args.arg();
+    if (arg == "--journal") {
+      options.journal_path = resolve_journal_path(args.value());
+    } else if (arg == "--resume") {
+      options.resume_path = resolve_journal_path(args.value());
+    } else if (arg == "--admin") {
+      options.admin_socket = args.value();
+    } else if (arg == "--listen") {
+      options.tcp_listen = true;
+      // PORT is optional: `--listen 9000` binds 9000, bare `--listen`
+      // (next token a flag or nothing) binds an ephemeral port.
+      if (args.peek() != nullptr && args.peek()[0] != '-') {
+        options.tcp_port = static_cast<std::uint16_t>(args.value_size());
+      }
+    } else if (arg == "--workers") {
+      fork_workers = args.value_size();
+    } else if (arg == "--results") {
+      results_path = args.value();
+    } else if (arg == "--deadline-s") {
+      options.deadline_s = args.value_double();
+    } else if (arg == "--max-attempts") {
+      options.max_attempts = args.value_size();
+    } else if (arg == "--exit-when-idle") {
+      options.exit_when_idle = true;
+    } else if (arg == "--verbose") {
+      sim::Log::set_level(sim::LogLevel::kInfo);
+    } else {
+      args.fail();
+    }
+  }
+
+  if (options.admin_socket.empty()) {
+    const char* sock = core::env::admin_sock();
+    if (sock != nullptr) options.admin_socket = sock;
+  }
+  if (options.admin_socket.empty() && !options.tcp_listen &&
+      fork_workers == 0) {
+    std::fprintf(stderr,
+                 "bgpsimd: nothing to do — give --admin (or set "
+                 "BGPSIM_ADMIN_SOCK), --listen, or --workers\n");
+    return 2;
+  }
+
+  std::FILE* results_file = nullptr;
+  if (!results_path.empty()) {
+    results_file = std::fopen(results_path.c_str(), "w");
+    if (results_file == nullptr) {
+      std::fprintf(stderr, "bgpsimd: cannot open --results %s: %s\n",
+                   results_path.c_str(), std::strerror(errno));
+      return 1;
+    }
+    options.results = results_file;
+  }
+
+  int rc = 0;
+  try {
+    svcd::Daemon daemon{std::move(options)};
+    for (std::size_t i = 0; i < fork_workers; ++i) daemon.spawn_fork_worker();
+    std::fprintf(stderr, "bgpsimd: pid=%d%s%s%s\n",
+                 static_cast<int>(::getpid()),
+                 daemon.tcp_port() != 0
+                     ? (" port=" + std::to_string(daemon.tcp_port())).c_str()
+                     : "",
+                 fork_workers != 0
+                     ? (" workers=" + std::to_string(fork_workers)).c_str()
+                     : "",
+                 " ready");
+    std::fflush(stderr);
+    daemon.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bgpsimd: %s\n", e.what());
+    rc = 1;
+  }
+  if (results_file != nullptr) std::fclose(results_file);
+  return rc;
+}

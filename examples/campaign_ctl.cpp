@@ -1,0 +1,121 @@
+// campaign_ctl: line client for the bgpsimd admin socket.
+//
+//   $ campaign_ctl --admin /tmp/bgpsimd.sock STATUS
+//   $ campaign_ctl SUBMIT 'trials=8; topology=clique; size=10; event=tdown'
+//   $ campaign_ctl CANCEL 3
+//
+// Joins its positional arguments into one command line, sends it over the
+// unix socket, and prints the response. The response's final line starts
+// with "OK" (exit 0) or "ERR" (exit 1); everything before it (the STATUS
+// worker/campaign listing) is passed through verbatim.
+//
+// The socket path comes from --admin, else BGPSIM_ADMIN_SOCK.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/env.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--admin SOCKET] STATUS\n"
+               "       %s [--admin SOCKET] SUBMIT 'trials=K; key=value; ...'\n"
+               "       %s [--admin SOCKET] CANCEL ID\n",
+               argv0, argv0, argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sock_path;
+  std::string command;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--admin") {
+      if (i + 1 >= argc) usage(argv[0]);
+      sock_path = argv[++i];
+    } else {
+      if (!command.empty()) command += ' ';
+      command += arg;
+    }
+  }
+  if (command.empty()) usage(argv[0]);
+  if (sock_path.empty()) {
+    const char* env = bgpsim::core::env::admin_sock();
+    if (env == nullptr) {
+      std::fprintf(stderr,
+                   "campaign_ctl: no admin socket — give --admin or set "
+                   "BGPSIM_ADMIN_SOCK\n");
+      return 2;
+    }
+    sock_path = env;
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (sock_path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "campaign_ctl: socket path too long: %s\n",
+                 sock_path.c_str());
+    return 1;
+  }
+  std::memcpy(addr.sun_path, sock_path.c_str(), sock_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+          0) {
+    std::fprintf(stderr, "campaign_ctl: cannot connect to %s: %s\n",
+                 sock_path.c_str(), std::strerror(errno));
+    if (fd >= 0) ::close(fd);
+    return 1;
+  }
+
+  command += '\n';
+  std::size_t off = 0;
+  while (off < command.size()) {
+    const ssize_t n =
+        ::send(fd, command.data() + off, command.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      std::fprintf(stderr, "campaign_ctl: send failed: %s\n",
+                   std::strerror(errno));
+      ::close(fd);
+      return 1;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  // Read until the terminating OK/ERR line (or EOF if the daemon died).
+  std::string response;
+  int rc = 1;
+  for (;;) {
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+    std::size_t line_start = 0;
+    bool done = false;
+    for (std::size_t nl = response.find('\n', line_start);
+         nl != std::string::npos; nl = response.find('\n', line_start)) {
+      const std::string line = response.substr(line_start, nl - line_start);
+      line_start = nl + 1;
+      if (line.rfind("OK", 0) == 0) { rc = 0; done = true; }
+      if (line.rfind("ERR", 0) == 0) { rc = 1; done = true; }
+    }
+    if (done) break;
+  }
+  ::close(fd);
+  std::fputs(response.c_str(), stdout);
+  if (rc != 0 && response.empty()) {
+    std::fprintf(stderr, "campaign_ctl: no response (daemon gone?)\n");
+  }
+  return rc;
+}

@@ -56,6 +56,12 @@ class Args {
     return argv_[++i_];
   }
 
+  /// The next token without consuming it; nullptr at the end of argv.
+  /// For flags with an *optional* operand (bgpsimd --listen [PORT]).
+  [[nodiscard]] const char* peek() const {
+    return i_ + 1 >= argc_ ? nullptr : argv_[i_ + 1];
+  }
+
   /// value() parsed as a non-negative integer; exits on garbage.
   std::size_t value_size() {
     return static_cast<std::size_t>(value_u64());

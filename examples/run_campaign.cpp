@@ -28,9 +28,20 @@
 //   --worker-bin PATH        bgpsim_worker binary (default: sibling of
 //                            this binary)
 //   --fork                   spawn by fork() without exec (self-contained)
+//   --journal PATH           write a write-ahead journal while running, so
+//                            a killed campaign resumes with --resume PATH
+//                            (bare names resolve under BGPSIM_JOURNAL_DIR)
+//   --resume PATH            resume a journaled campaign: completed units
+//                            are restored from the journal, only units in
+//                            flight at the crash re-run, and the digest is
+//                            bit-identical to an uninterrupted run
 //   --check-serial           verify the campaign digest against the
 //                            in-process runner; non-zero exit on mismatch
 //   --verbose                info-level service logging
+//
+// A campaign whose units fail permanently (a worker reports a
+// deterministic per-unit error, or a unit exhausts its attempt cap on
+// dying workers) exits non-zero after printing one line per failed unit.
 #include <unistd.h>
 
 #include <cstdio>
@@ -47,6 +58,8 @@
 #include "sim/logging.hpp"
 #include "svc/coordinator.hpp"
 #include "svc/transport.hpp"
+#include "svc/units.hpp"
+#include "svcd/daemon.hpp"
 
 namespace {
 
@@ -55,7 +68,8 @@ namespace {
       stderr,
       "usage: %s %s [--sizes A,B,C] [--trials K] [--unit-trials U] "
       "[--workers N] [--deadline-s D] [--tcp] [--listen PORT] "
-      "[--worker-bin PATH] [--fork] [--check-serial] [--verbose]\n",
+      "[--worker-bin PATH] [--fork] [--journal PATH] [--resume PATH] "
+      "[--check-serial] [--verbose]\n",
       argv0, bgpsim::cli::kScenarioUsage);
   std::exit(2);
 }
@@ -79,6 +93,29 @@ std::vector<std::size_t> parse_sizes(const std::string& csv) {
     pos = comma + 1;
   }
   return sizes;
+}
+
+/// Resolve a journal path: bare file names (no '/') land under
+/// BGPSIM_JOURNAL_DIR when that knob is set.
+std::string resolve_journal_path(const std::string& path) {
+  if (path.find('/') != std::string::npos) return path;
+  const char* dir = bgpsim::core::env::journal_dir();
+  return dir == nullptr ? path : std::string{dir} + "/" + path;
+}
+
+/// Satellite of the failure contract: a campaign with permanently failed
+/// units prints the headline plus one line per failed unit and exits 1.
+void print_campaign_failure(const bgpsim::svc::CampaignError& e) {
+  // what() is multi-line (headline + one line per failure); keep only the
+  // headline here so the per-unit lines below are not printed twice.
+  const std::string what = e.what();
+  const std::size_t nl = what.find('\n');
+  std::fprintf(stderr, "run_campaign: %s\n",
+               what.substr(0, nl == std::string::npos ? what.size() : nl)
+                   .c_str());
+  for (const bgpsim::svc::UnitFailure& f : e.failures()) {
+    std::fprintf(stderr, "run_campaign:   %s\n", f.to_string().c_str());
+  }
 }
 
 /// Locate the bgpsim_worker binary next to this executable.
@@ -110,6 +147,8 @@ int main(int argc, char** argv) {
   bool check_serial = false;
   int listen_port = -1;
   std::string worker_bin;
+  std::string journal_path;
+  std::string resume_path;
 
   cli::Args args{argc, argv, usage};
   while (args.next()) {
@@ -133,6 +172,10 @@ int main(int argc, char** argv) {
       worker_bin = args.value();
     } else if (arg == "--fork") {
       use_fork = true;
+    } else if (arg == "--journal") {
+      journal_path = args.value();
+    } else if (arg == "--resume") {
+      resume_path = args.value();
     } else if (arg == "--check-serial") {
       check_serial = true;
     } else if (arg == "--verbose") {
@@ -144,6 +187,45 @@ int main(int argc, char** argv) {
 
   if (workers == 0) workers = core::env::workers();
   if (worker_bin.empty()) worker_bin = default_worker_bin(argv[0]);
+  if (!journal_path.empty() && !resume_path.empty()) {
+    std::fprintf(stderr,
+                 "run_campaign: --journal and --resume are mutually "
+                 "exclusive\n");
+    return 2;
+  }
+  if ((!journal_path.empty() || !resume_path.empty()) &&
+      (use_tcp || listen_port >= 0)) {
+    std::fprintf(stderr,
+                 "run_campaign: journaled campaigns run over fork workers "
+                 "(--journal/--resume exclude --tcp/--listen)\n");
+    return 2;
+  }
+
+  // Resume path: the spec (scenarios, trials, unit split) comes from the
+  // journal, not the command line; completed units are restored and only
+  // the remainder re-runs. The digest contract is machine-checked by
+  // tests/svcd; here we just print the merged result.
+  if (!resume_path.empty()) {
+    svcd::JournaledRunOptions jopts;
+    jopts.workers = workers;
+    jopts.deadline_s = deadline_s;
+    try {
+      const svc::CampaignResult result =
+          svcd::resume_journaled_campaign(resolve_journal_path(resume_path),
+                                          jopts);
+      std::printf("campaign digest: %016llx  (resumed; units=%zu "
+                  "requeues=%zu)\n",
+                  static_cast<unsigned long long>(result.digest),
+                  result.units_dispatched, result.requeues);
+      return 0;
+    } catch (const svc::CampaignError& e) {
+      print_campaign_failure(e);
+      return 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "run_campaign: %s\n", e.what());
+      return 1;
+    }
+  }
 
   svc::CampaignSpec spec;
   spec.run.trials = trials;
@@ -165,60 +247,75 @@ int main(int argc, char** argv) {
               "%zu worker(s), transport=%s\n",
               spec.scenarios.size(), trials, unit_trials == 0 ? 1 : unit_trials,
               workers,
-              listen_port >= 0 ? "listen" : use_tcp ? "tcp" : "socketpair");
+              !journal_path.empty() ? "fork+journal"
+              : listen_port >= 0    ? "listen"
+              : use_tcp             ? "tcp"
+                                    : "socketpair");
 
   svc::CampaignResult result;
   try {
-    svc::Coordinator coordinator{spec, options};
-    if (listen_port >= 0) {
-      auto listener = svc::TcpListener::bind_localhost(
-          static_cast<std::uint16_t>(listen_port));
-      std::printf("listening on 127.0.0.1:%u — start %zu x "
-                  "`bgpsim_worker --connect 127.0.0.1:%u`\n",
-                  listener.port(), workers, listener.port());
-      std::fflush(stdout);
-      for (std::size_t i = 0; i < workers; ++i) {
-        svc::Connection conn = listener.accept_one(-1);
-        coordinator.add_worker(std::move(conn), -1, -1);
-      }
-    } else if (use_tcp) {
-      auto listener = svc::TcpListener::bind_localhost(0);
-      std::vector<pid_t> pids;
-      pids.reserve(workers);
-      for (std::size_t i = 0; i < workers; ++i) {
-        pids.push_back(
-            coordinator.spawn_exec_worker_tcp(worker_bin, listener.port()));
-      }
-      for (std::size_t i = 0; i < workers; ++i) {
-        svc::Connection conn = listener.accept_one(30'000);
-        if (!conn.valid()) {
-          std::fprintf(stderr,
-                       "run_campaign: worker failed to connect within 30 s\n");
-          return 1;
-        }
-        // The accept order need not match the spawn order; the Hello frame
-        // says which worker this is, and its pid enables deadline kills.
-        std::optional<svc::Frame> hello_frame = conn.recv_frame();
-        if (!hello_frame || hello_frame->type != svc::FrameType::kHello) {
-          std::fprintf(stderr, "run_campaign: worker handshake failed\n");
-          return 1;
-        }
-        const svc::Hello hello = svc::decode_hello(*hello_frame);
-        const pid_t pid = hello.worker_id < pids.size()
-                              ? pids[static_cast<std::size_t>(hello.worker_id)]
-                              : -1;
-        coordinator.add_worker(std::move(conn), pid, -1);
-      }
-    } else if (use_fork) {
-      for (std::size_t i = 0; i < workers; ++i) {
-        coordinator.spawn_fork_worker();
-      }
+    if (!journal_path.empty()) {
+      svcd::JournaledRunOptions jopts;
+      jopts.workers = workers;
+      jopts.deadline_s = deadline_s;
+      result = svcd::run_journaled_campaign(
+          spec, resolve_journal_path(journal_path), jopts);
     } else {
-      for (std::size_t i = 0; i < workers; ++i) {
-        coordinator.spawn_exec_worker(worker_bin);
+      svc::Coordinator coordinator{spec, options};
+      if (listen_port >= 0) {
+        auto listener = svc::TcpListener::bind_localhost(
+            static_cast<std::uint16_t>(listen_port));
+        std::printf("listening on 127.0.0.1:%u — start %zu x "
+                    "`bgpsim_worker --connect 127.0.0.1:%u`\n",
+                    listener.port(), workers, listener.port());
+        std::fflush(stdout);
+        for (std::size_t i = 0; i < workers; ++i) {
+          svc::Connection conn = listener.accept_one(-1);
+          coordinator.add_worker(std::move(conn), -1, -1);
+        }
+      } else if (use_tcp) {
+        auto listener = svc::TcpListener::bind_localhost(0);
+        std::vector<pid_t> pids;
+        pids.reserve(workers);
+        for (std::size_t i = 0; i < workers; ++i) {
+          pids.push_back(
+              coordinator.spawn_exec_worker_tcp(worker_bin, listener.port()));
+        }
+        for (std::size_t i = 0; i < workers; ++i) {
+          svc::Connection conn = listener.accept_one(30'000);
+          if (!conn.valid()) {
+            std::fprintf(
+                stderr, "run_campaign: worker failed to connect within 30 s\n");
+            return 1;
+          }
+          // The accept order need not match the spawn order; the Hello frame
+          // says which worker this is, and its pid enables deadline kills.
+          std::optional<svc::Frame> hello_frame = conn.recv_frame();
+          if (!hello_frame || hello_frame->type != svc::FrameType::kHello) {
+            std::fprintf(stderr, "run_campaign: worker handshake failed\n");
+            return 1;
+          }
+          const svc::Hello hello = svc::decode_hello(*hello_frame);
+          const pid_t pid =
+              hello.worker_id < pids.size()
+                  ? pids[static_cast<std::size_t>(hello.worker_id)]
+                  : -1;
+          coordinator.add_worker(std::move(conn), pid, -1);
+        }
+      } else if (use_fork) {
+        for (std::size_t i = 0; i < workers; ++i) {
+          coordinator.spawn_fork_worker();
+        }
+      } else {
+        for (std::size_t i = 0; i < workers; ++i) {
+          coordinator.spawn_exec_worker(worker_bin);
+        }
       }
+      result = coordinator.run();
     }
-    result = coordinator.run();
+  } catch (const svc::CampaignError& e) {
+    print_campaign_failure(e);
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "run_campaign: %s\n", e.what());
     return 1;

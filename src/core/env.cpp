@@ -40,6 +40,13 @@ constexpr Knob kRegistry[] = {
     {"BGPSIM_POLICY_SIZES", "1000,10000",
      "comma-separated AS-graph node counts for the policy-scale bench; "
      "the default grows by 75000 under BGPSIM_FULL=1"},
+    {"BGPSIM_JOURNAL_DIR", "unset",
+     "directory where bgpsimd and run_campaign --journal place campaign "
+     "journals when given a bare file name instead of a path"},
+    {"BGPSIM_ADMIN_SOCK", "unset",
+     "default unix-socket path for the bgpsimd admin interface "
+     "(STATUS/SUBMIT/CANCEL), used by bgpsimd and campaign_ctl when "
+     "--admin is not given"},
 };
 
 }  // namespace
@@ -79,6 +86,10 @@ bool path_interning() {
 }
 
 bool timer_wheel() { return sim::env_u64_or("BGPSIM_TIMER_WHEEL", 1) != 0; }
+
+const char* journal_dir() { return sim::env_raw("BGPSIM_JOURNAL_DIR"); }
+
+const char* admin_sock() { return sim::env_raw("BGPSIM_ADMIN_SOCK"); }
 
 std::vector<std::size_t> policy_sizes() {
   std::vector<std::size_t> fallback{1000, 10000};

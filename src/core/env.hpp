@@ -73,6 +73,16 @@ struct Knob {
 /// bit-identical either way. Default 1.
 [[nodiscard]] bool timer_wheel();
 
+/// BGPSIM_JOURNAL_DIR: directory where bgpsimd and run_campaign --journal
+/// place campaign journals when given a bare file name instead of a path.
+/// nullptr when unset.
+[[nodiscard]] const char* journal_dir();
+
+/// BGPSIM_ADMIN_SOCK: default unix-socket path for the bgpsimd admin
+/// interface, used by bgpsimd and campaign_ctl when --admin is not given.
+/// nullptr when unset.
+[[nodiscard]] const char* admin_sock();
+
 /// BGPSIM_POLICY_SIZES: comma-separated AS-graph node counts for the
 /// policy-scale bench (headline_policy_scale). Default {1000, 10000},
 /// plus 75000 when BGPSIM_FULL=1; an explicit value replaces the whole

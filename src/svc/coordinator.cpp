@@ -49,41 +49,9 @@ struct Coordinator::Worker {
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 };
 
-struct Coordinator::Unit {
-  enum class State { kPending, kInflight, kDone };
-  std::uint64_t scenario_index = 0;
-  std::uint64_t trial_begin = 0;
-  std::uint64_t trial_count = 0;
-  State state = State::kPending;
-  std::size_t attempts = 0;
-  std::vector<std::size_t> excluded;  // worker indices that failed this unit
-};
-
 Coordinator::Coordinator(CampaignSpec spec, CampaignOptions options)
-    : spec_{std::move(spec)}, options_{std::move(options)} {
-  if (spec_.scenarios.empty()) {
-    throw std::invalid_argument{"svc: campaign has no scenarios"};
-  }
-  // Validate shippability up front (and fail in the coordinator, not on a
-  // worker): encode each scenario once.
-  for (const core::Scenario& s : spec_.scenarios) {
-    snap::Writer probe;
-    write_scenario(probe, s);
-  }
-  merged_.resize(spec_.scenarios.size());
-  for (auto& slots : merged_) slots.resize(spec_.run.trials);
-  for (std::size_t si = 0; si < spec_.scenarios.size(); ++si) {
-    for (const core::TrialRange& range :
-         core::decompose_trials(spec_.run.trials, spec_.unit_trials)) {
-      Unit u;
-      u.scenario_index = si;
-      u.trial_begin = range.begin;
-      u.trial_count = range.count;
-      pending_.push_back(units_.size());
-      units_.push_back(std::move(u));
-    }
-  }
-}
+    : options_{std::move(options)},
+      ledger_{std::move(spec), options_.max_attempts} {}
 
 Coordinator::~Coordinator() { shutdown_workers(); }
 
@@ -191,84 +159,20 @@ void Coordinator::dispatch_idle_workers() {
   for (std::size_t widx = 0; widx < workers_.size(); ++widx) {
     Worker& w = workers_[widx];
     if (!w.alive || w.inflight != Worker::npos) continue;
-    while (!pending_.empty()) {
-      // Oldest pending unit this worker is not excluded from.
-      std::size_t pick = pending_.size();
-      for (std::size_t p = 0; p < pending_.size(); ++p) {
-        const Unit& u = units_[pending_[p]];
-        if (std::find(u.excluded.begin(), u.excluded.end(), widx) ==
-            u.excluded.end()) {
-          pick = p;
-          break;
-        }
-      }
-      if (pick == pending_.size()) {
-        // Every pending unit has failed on this worker before. If other
-        // workers are still making progress, leave it idle; if nothing at
-        // all is in flight, an excluded retry is the only move left.
-        bool any_inflight = false;
-        for (const Worker& other : workers_) {
-          if (other.alive && other.inflight != Worker::npos) {
-            any_inflight = true;
-            break;
-          }
-        }
-        if (!any_inflight) {
-          pick = 0;
-          log_svc("worker " + std::to_string(w.id) +
-                  ": retrying a unit that previously failed on it (no "
-                  "other live worker can take it)");
-        } else {
-          break;
-        }
-      }
-
-      const std::size_t unit_idx = pending_[pick];
-      Unit& u = units_[unit_idx];
-      WorkUnit wire;
-      wire.unit_id = unit_idx;
-      wire.scenario_index = u.scenario_index;
-      wire.trial_begin = u.trial_begin;
-      wire.trial_count = u.trial_count;
-      wire.scenario =
-          spec_.scenarios[static_cast<std::size_t>(u.scenario_index)];
-      if (!w.conn.send_frame(encode_work(wire))) {
-        fail_worker(widx, "send failed (worker gone)");
-        break;
-      }
-      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
-      u.state = Unit::State::kInflight;
-      ++u.attempts;
-      w.inflight = unit_idx;
-      if (options_.deadline_s > 0) {
-        w.deadline = Clock::now() + std::chrono::microseconds(static_cast<long long>(
-                                        options_.deadline_s * 1e6));
-      }
-      ++stats_.units_dispatched;
-      break;
+    std::optional<WorkUnit> wire = ledger_.acquire(widx);
+    if (!wire) continue;
+    // Mark the unit in flight before sending so a failed send releases it
+    // through the normal fail_worker path (the attempt is already counted;
+    // a worker whose socket rejects a send is a dead worker).
+    w.inflight = static_cast<std::size_t>(wire->unit_id);
+    if (options_.deadline_s > 0) {
+      w.deadline = Clock::now() + std::chrono::microseconds(static_cast<long long>(
+                                      options_.deadline_s * 1e6));
+    }
+    if (!w.conn.send_frame(encode_work(*wire))) {
+      fail_worker(widx, "send failed (worker gone)");
     }
   }
-}
-
-void Coordinator::requeue(std::size_t unit_idx, std::size_t widx,
-                          const std::string& why) {
-  Unit& u = units_[unit_idx];
-  if (u.state == Unit::State::kDone) return;
-  u.excluded.push_back(widx);
-  if (u.attempts >= options_.max_attempts) {
-    if (unit_error_.empty()) {
-      unit_error_ = "unit " + std::to_string(unit_idx) + " abandoned after " +
-                    std::to_string(u.attempts) + " attempt(s); last: " + why;
-    }
-    return;
-  }
-  u.state = Unit::State::kPending;
-  // Front of the queue: a requeued unit is the oldest work there is.
-  pending_.insert(pending_.begin(), unit_idx);
-  ++stats_.requeues;
-  log_svc("requeued unit " + std::to_string(unit_idx) + " (" + why +
-          "), attempt " + std::to_string(u.attempts + 1) + ", worker " +
-          std::to_string(workers_[widx].id) + " excluded");
 }
 
 void Coordinator::fail_worker(std::size_t widx, const std::string& why) {
@@ -290,7 +194,7 @@ void Coordinator::fail_worker(std::size_t widx, const std::string& why) {
   ++stats_.workers_lost;
   if (w.inflight != Worker::npos) {
     const std::size_t unit_idx = std::exchange(w.inflight, Worker::npos);
-    requeue(unit_idx, widx, why);
+    (void)ledger_.release(unit_idx, widx, why);
   }
 }
 
@@ -329,13 +233,11 @@ void Coordinator::handle_frame(std::size_t widx, const Frame& frame) {
     }
     case FrameType::kResult: {
       const UnitResult result = decode_result(frame);
-      if (result.unit_id >= units_.size()) {
-        throw snap::FormatError{"svc: result for unknown unit " +
-                                std::to_string(result.unit_id)};
-      }
-      Unit& u = units_[result.unit_id];
+      // accept() throws FormatError on an unknown unit or shape mismatch;
+      // w.inflight stays set so fail_worker requeues the real unit.
+      const UnitLedger::Accept accepted = ledger_.accept(result);
       w.inflight = Worker::npos;
-      if (u.state == Unit::State::kDone) {
+      if (accepted == UnitLedger::Accept::kDuplicate) {
         // A late answer to a unit that was requeued after a deadline and
         // completed elsewhere. Determinism makes both answers identical;
         // the slot is already filled, so drop it.
@@ -343,20 +245,7 @@ void Coordinator::handle_frame(std::size_t widx, const Frame& frame) {
                 std::to_string(result.unit_id));
         return;
       }
-      if (result.scenario_index != u.scenario_index ||
-          result.trial_begin != u.trial_begin ||
-          result.outcomes.size() != u.trial_count) {
-        throw snap::FormatError{"svc: result shape mismatch for unit " +
-                                std::to_string(result.unit_id)};
-      }
-      auto& slots = merged_[static_cast<std::size_t>(u.scenario_index)];
-      for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
-        slots[static_cast<std::size_t>(u.trial_begin) + i] =
-            result.outcomes[i];
-      }
-      u.state = Unit::State::kDone;
-      ++units_done_;
-      if (options_.on_unit_done) options_.on_unit_done(*this, units_done_);
+      if (options_.on_unit_done) options_.on_unit_done(*this, ledger_.done());
       return;
     }
     case FrameType::kError: {
@@ -365,11 +254,8 @@ void Coordinator::handle_frame(std::size_t widx, const Frame& frame) {
       // Experiment drivers are deterministic: a throw inside a trial would
       // recur on every worker, so fail the campaign with the worker's
       // message instead of burning retries (serial-runner semantics).
-      if (unit_error_.empty()) {
-        unit_error_ = "unit " + std::to_string(err.unit_id) +
-                      " failed on worker " + std::to_string(w.id) + ": " +
-                      err.message;
-      }
+      ledger_.fail_deterministic(err.unit_id, "worker " + std::to_string(w.id) +
+                                                  " reported: " + err.message);
       return;
     }
     default:
@@ -384,14 +270,14 @@ CampaignResult Coordinator::run() {
     throw std::invalid_argument{"svc: campaign has no workers"};
   }
 
-  while (units_done_ < units_.size() && unit_error_.empty()) {
+  while (!ledger_.complete() && ledger_.failures().empty()) {
     dispatch_idle_workers();
-    if (units_done_ == units_.size() || !unit_error_.empty()) break;
+    if (ledger_.complete() || !ledger_.failures().empty()) break;
     if (live_workers() == 0) {
       shutdown_workers();
       throw std::runtime_error{
           "svc: campaign failed — every worker died with " +
-          std::to_string(units_.size() - units_done_) +
+          std::to_string(ledger_.unit_count() - ledger_.done()) +
           " unit(s) outstanding"};
     }
 
@@ -472,17 +358,17 @@ CampaignResult Coordinator::run() {
   }
 
   shutdown_workers();
-  if (!unit_error_.empty()) {
-    throw std::runtime_error{"svc: " + unit_error_};
+  if (!ledger_.failures().empty()) {
+    throw CampaignError{
+        "svc: campaign failed — " + std::to_string(ledger_.failures().size()) +
+            " unit(s) failed permanently",
+        ledger_.failures()};
   }
 
-  stats_.sets.reserve(spec_.scenarios.size());
-  for (std::size_t si = 0; si < spec_.scenarios.size(); ++si) {
-    stats_.sets.push_back(
-        core::assemble_trials(spec_.scenarios[si], std::move(merged_[si])));
-  }
-  merged_.clear();
+  stats_.sets = ledger_.assemble();
   stats_.digest = campaign_digest(stats_.sets);
+  stats_.units_dispatched = ledger_.dispatched();
+  stats_.requeues = ledger_.requeues();
   return std::move(stats_);
 }
 

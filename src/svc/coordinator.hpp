@@ -32,27 +32,9 @@
 #include "core/sweep.hpp"
 #include "svc/protocol.hpp"
 #include "svc/transport.hpp"
+#include "svc/units.hpp"
 
 namespace bgpsim::svc {
-
-/// What to run: a sweep of scenarios, each repeated run.trials times with
-/// the run_trials seed layout. unit_trials sets work-unit granularity
-/// (trials per unit; smaller units steal better, larger units amortize
-/// dispatch and share prelude-cache hits within a worker).
-///
-/// `run` is the same core::RunOptions the in-process runners take; the
-/// coordinator consumes run.trials directly and uses the full struct for
-/// serial cross-checks (run_campaign --check-serial replays the campaign
-/// through core::run_trials(s, spec.run)). Fields that configure
-/// *in-process* execution (jobs, snap_cache, path_interning, trace,
-/// oracle) do not travel to worker processes — workers follow their own
-/// environment defaults — which is safe precisely because every one of
-/// those knobs is output-invariant (digests are bit-identical regardless).
-struct CampaignSpec {
-  std::vector<core::Scenario> scenarios;
-  core::RunOptions run;
-  std::size_t unit_trials = 1;
-};
 
 struct CampaignResult {
   std::vector<core::TrialSet> sets;  // one per spec scenario, in order
@@ -119,35 +101,29 @@ class Coordinator {
   [[nodiscard]] pid_t worker_pid(std::size_t index) const;
 
   /// Run the campaign to completion. Throws std::runtime_error if every
-  /// worker dies, a unit exhausts max_attempts, or a unit fails with a
-  /// deterministic error on every attempt. Workers are shut down and
+  /// worker dies; throws CampaignError (a runtime_error carrying
+  /// structured per-unit records) when any unit exhausts max_attempts or
+  /// fails with a deterministic in-driver error. Workers are shut down and
   /// reaped before returning or throwing.
   [[nodiscard]] CampaignResult run();
 
  private:
   struct Worker;
-  struct Unit;
 
   void dispatch_idle_workers();
   void handle_frame(std::size_t widx, const Frame& frame);
   void fail_worker(std::size_t widx, const std::string& why);
-  void requeue(std::size_t unit_idx, std::size_t widx, const std::string& why);
   void relay_stderr_bytes(std::size_t widx);
   void shutdown_workers();
   [[nodiscard]] std::size_t live_workers() const;
 
-  CampaignSpec spec_;
   CampaignOptions options_;
+  // Unit dispatch/merge state machine, shared with the svcd daemon. The
+  // coordinator's worker slots are stable, so the slot index doubles as
+  // the ledger's worker key.
+  UnitLedger ledger_;
   std::vector<Worker> workers_;
-  std::vector<Unit> units_;
-  std::vector<std::size_t> pending_;  // unit indices awaiting dispatch
-  std::size_t units_done_ = 0;
-  // merged_[scenario][trial]: outcome slots, filled exactly once per trial.
-  std::vector<std::vector<core::ExperimentOutcome>> merged_;
   CampaignResult stats_;
-  // First deterministic unit failure (worker reported an exception on its
-  // final attempt); reported after shutdown, like the serial runner.
-  std::string unit_error_;
 };
 
 /// Convenience entry point: spawn `workers` fork-workers (default:

@@ -120,10 +120,22 @@ Reader payload_reader(const Frame& frame, FrameType expect) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+std::uint32_t protocol_version() { return kProtocolVersion; }
+
+void check_protocol_version(std::uint32_t seen, const std::string& context) {
+  if (seen != kProtocolVersion) {
+    throw FormatError{"unsupported svc protocol version " +
+                      std::to_string(seen) + " in " + context +
+                      " (this build speaks " +
+                      std::to_string(kProtocolVersion) + ")"};
+  }
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame,
+                                       std::uint32_t version) {
   Writer w;
   w.u64(kMagic);
-  w.u32(kProtocolVersion);
+  w.u32(version);
   w.u8(static_cast<std::uint8_t>(frame.type));
   w.u64(frame.payload.size());
   std::vector<std::uint8_t> bytes = std::move(w).take();
@@ -147,12 +159,7 @@ FrameType decode_frame_header(std::span<const std::uint8_t> header,
   if (r.u64() != kMagic) {
     throw FormatError{"svc frame: bad magic (not a bgpsvc frame)"};
   }
-  const std::uint32_t version = r.u32();
-  if (version != kProtocolVersion) {
-    throw FormatError{"unsupported svc protocol version " +
-                      std::to_string(version) + " (this build speaks " +
-                      std::to_string(kProtocolVersion) + ")"};
-  }
+  check_protocol_version(r.u32(), "frame header");
   const std::uint8_t raw_type = r.u8();
   if (raw_type < static_cast<std::uint8_t>(FrameType::kHello) ||
       raw_type > static_cast<std::uint8_t>(FrameType::kShutdown)) {

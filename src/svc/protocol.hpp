@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -41,6 +42,17 @@ inline constexpr std::uint64_t kMagic = 0x0000637673706762ULL;
 /// Bump on any change to the frame envelope or any payload layout.
 /// v2: TopologySpec::rel_file added to the scenario payload.
 inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/// The version this build speaks — what goes into every frame header, the
+/// svcd journal file header, and admin STATUS lines. One accessor so the
+/// coordinator, the worker loop, and the daemon cannot drift apart.
+[[nodiscard]] std::uint32_t protocol_version();
+
+/// The one place a version field from any source (frame header, journal
+/// header) is validated. Throws snap::FormatError naming `context` when
+/// `seen` is not the version this build speaks — a peer or file from a
+/// different build fails precisely and immediately, never hangs.
+void check_protocol_version(std::uint32_t seen, const std::string& context);
 
 /// Fixed size of the frame header (magic + version + type + payload
 /// length); the payload and the u64 trailer follow.
@@ -64,8 +76,12 @@ struct Frame {
   std::vector<std::uint8_t> payload;
 };
 
-/// Envelope a payload: header, payload, FNV-1a trailer.
-[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+/// Envelope a payload: header, payload, FNV-1a trailer. `version` is the
+/// header's protocol-version field; overriding it builds a frame a v2
+/// reader must reject (the cross-version handshake tests speak "v3" this
+/// way — production callers never pass it).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    const Frame& frame, std::uint32_t version = kProtocolVersion);
 
 /// Parse and validate a frame header. Throws snap::FormatError on short
 /// input, bad magic, protocol-version mismatch, unknown frame type, or a

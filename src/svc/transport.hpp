@@ -87,6 +87,10 @@ class TcpListener {
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
+  /// The listening fd, for callers that multiplex accepts through their
+  /// own event loop (svcd) or must close the listener in a forked child.
+  [[nodiscard]] int fd() const { return fd_; }
+
   /// Accept one connection; timeout_ms < 0 waits forever. Returns an
   /// invalid Connection on timeout.
   [[nodiscard]] Connection accept_one(int timeout_ms);

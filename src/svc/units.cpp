@@ -1,0 +1,225 @@
+#include "svc/units.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hpp"
+#include "snap/codec.hpp"
+
+namespace bgpsim::svc {
+namespace {
+
+void log_svc(const std::string& message) {
+  sim::LogLine{sim::LogLevel::kInfo, "svc", sim::SimTime::zero()} << message;
+}
+
+}  // namespace
+
+std::string UnitFailure::to_string() const {
+  return "unit " + std::to_string(unit_id) + " (scenario " +
+         std::to_string(scenario_index) + ", trials [" +
+         std::to_string(trial_begin) + ", " +
+         std::to_string(trial_begin + trial_count) + ")) failed after " +
+         std::to_string(attempts) + " attempt(s): " + last_error;
+}
+
+std::string CampaignError::render(const std::string& headline,
+                                  const std::vector<UnitFailure>& failures) {
+  std::string out = headline;
+  for (const UnitFailure& f : failures) {
+    out += "\n  ";
+    out += f.to_string();
+  }
+  return out;
+}
+
+CampaignError::CampaignError(const std::string& headline,
+                             std::vector<UnitFailure> failures)
+    : std::runtime_error{render(headline, failures)},
+      failures_{std::move(failures)} {}
+
+UnitLedger::UnitLedger(CampaignSpec spec, std::size_t max_attempts)
+    : spec_{std::move(spec)}, max_attempts_{max_attempts} {
+  if (spec_.scenarios.empty()) {
+    throw std::invalid_argument{"svc: campaign has no scenarios"};
+  }
+  // Validate shippability up front (and fail at submission, not on a
+  // worker): encode each scenario once.
+  for (const core::Scenario& s : spec_.scenarios) {
+    snap::Writer probe;
+    write_scenario(probe, s);
+  }
+  merged_.resize(spec_.scenarios.size());
+  for (auto& slots : merged_) slots.resize(spec_.run.trials);
+  for (std::size_t si = 0; si < spec_.scenarios.size(); ++si) {
+    for (const core::TrialRange& range :
+         core::decompose_trials(spec_.run.trials, spec_.unit_trials)) {
+      Unit u;
+      u.scenario_index = si;
+      u.trial_begin = range.begin;
+      u.trial_count = range.count;
+      pending_.push_back(units_.size());
+      units_.push_back(std::move(u));
+    }
+  }
+}
+
+std::optional<WorkUnit> UnitLedger::acquire(std::uint64_t worker_key) {
+  if (pending_.empty()) return std::nullopt;
+  // Oldest pending unit this worker is not excluded from.
+  std::size_t pick = pending_.size();
+  for (std::size_t p = 0; p < pending_.size(); ++p) {
+    const Unit& u = units_[pending_[p]];
+    if (std::find(u.excluded.begin(), u.excluded.end(), worker_key) ==
+        u.excluded.end()) {
+      pick = p;
+      break;
+    }
+  }
+  if (pick == pending_.size()) {
+    // Every pending unit has failed on this worker before. If other
+    // workers are still making progress, leave it idle; if nothing at all
+    // is in flight, an excluded retry is the only move left.
+    if (inflight_ != 0) return std::nullopt;
+    pick = 0;
+    log_svc("worker key " + std::to_string(worker_key) +
+            ": retrying a unit that previously failed on it (no other "
+            "in-flight work can unblock it)");
+  }
+
+  const std::size_t unit_idx = pending_[pick];
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
+  Unit& u = units_[unit_idx];
+  u.state = Unit::State::kInflight;
+  ++u.attempts;
+  ++inflight_;
+  ++dispatched_;
+
+  WorkUnit wire;
+  wire.unit_id = unit_idx;
+  wire.scenario_index = u.scenario_index;
+  wire.trial_begin = u.trial_begin;
+  wire.trial_count = u.trial_count;
+  wire.scenario = spec_.scenarios[static_cast<std::size_t>(u.scenario_index)];
+  return wire;
+}
+
+UnitLedger::Release UnitLedger::release(std::uint64_t unit_id,
+                                        std::uint64_t worker_key,
+                                        const std::string& why) {
+  Unit& u = unit_for(unit_id, "release");
+  if (u.state == Unit::State::kDone) return Release::kAlreadyDone;
+  if (u.state == Unit::State::kInflight) --inflight_;
+  u.excluded.push_back(worker_key);
+  if (u.attempts >= max_attempts_) {
+    UnitFailure f;
+    f.unit_id = unit_id;
+    f.scenario_index = u.scenario_index;
+    f.trial_begin = u.trial_begin;
+    f.trial_count = u.trial_count;
+    f.attempts = u.attempts;
+    f.last_error = why;
+    failures_.push_back(std::move(f));
+    u.state = Unit::State::kPending;  // parked: abandoned, never requeued
+    return Release::kAbandoned;
+  }
+  u.state = Unit::State::kPending;
+  // Front of the queue: a requeued unit is the oldest work there is.
+  pending_.insert(pending_.begin(), unit_id);
+  ++requeues_;
+  log_svc("requeued unit " + std::to_string(unit_id) + " (" + why +
+          "), attempt " + std::to_string(u.attempts + 1) + ", worker key " +
+          std::to_string(worker_key) + " excluded");
+  return Release::kRequeued;
+}
+
+void UnitLedger::fail_deterministic(std::uint64_t unit_id,
+                                    const std::string& message) {
+  Unit& u = unit_for(unit_id, "error");
+  if (u.state == Unit::State::kDone) return;  // late error for a merged unit
+  if (u.state == Unit::State::kInflight) --inflight_;
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), unit_id),
+                 pending_.end());
+  UnitFailure f;
+  f.unit_id = unit_id;
+  f.scenario_index = u.scenario_index;
+  f.trial_begin = u.trial_begin;
+  f.trial_count = u.trial_count;
+  f.attempts = u.attempts;
+  f.last_error = message;
+  failures_.push_back(std::move(f));
+  u.state = Unit::State::kPending;  // parked: abandoned, never requeued
+}
+
+UnitLedger::Accept UnitLedger::accept(const UnitResult& result) {
+  Unit& u = unit_for(result.unit_id, "result");
+  if (u.state == Unit::State::kDone) return Accept::kDuplicate;
+  if (result.scenario_index != u.scenario_index ||
+      result.trial_begin != u.trial_begin ||
+      result.outcomes.size() != u.trial_count) {
+    throw snap::FormatError{"svc: result shape mismatch for unit " +
+                            std::to_string(result.unit_id)};
+  }
+  if (u.state == Unit::State::kInflight) --inflight_;
+  mark_done(u, result);
+  return Accept::kMerged;
+}
+
+void UnitLedger::restore_completed(const UnitResult& result) {
+  Unit& u = unit_for(result.unit_id, "restore");
+  if (result.scenario_index != u.scenario_index ||
+      result.trial_begin != u.trial_begin ||
+      result.outcomes.size() != u.trial_count) {
+    throw snap::FormatError{"svc: result shape mismatch for unit " +
+                            std::to_string(result.unit_id)};
+  }
+  if (u.state == Unit::State::kDone) return;  // replay idempotence
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), result.unit_id),
+                 pending_.end());
+  mark_done(u, result);
+}
+
+void UnitLedger::mark_done(Unit& u, const UnitResult& result) {
+  auto& slots = merged_[static_cast<std::size_t>(u.scenario_index)];
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    slots[static_cast<std::size_t>(u.trial_begin) + i] = result.outcomes[i];
+  }
+  u.state = Unit::State::kDone;
+  ++done_;
+}
+
+std::vector<core::TrialSet> UnitLedger::assemble() {
+  if (!complete()) {
+    throw std::logic_error{"svc: assemble() before the campaign completed"};
+  }
+  std::vector<core::TrialSet> sets;
+  sets.reserve(spec_.scenarios.size());
+  for (std::size_t si = 0; si < spec_.scenarios.size(); ++si) {
+    sets.push_back(
+        core::assemble_trials(spec_.scenarios[si], std::move(merged_[si])));
+  }
+  merged_.clear();
+  return sets;
+}
+
+UnitLedger::UnitInfo UnitLedger::info(std::uint64_t unit_id) const {
+  const Unit& u =
+      const_cast<UnitLedger*>(this)->unit_for(unit_id, "info");
+  UnitInfo out;
+  out.scenario_index = u.scenario_index;
+  out.trial_begin = u.trial_begin;
+  out.trial_count = u.trial_count;
+  out.attempts = u.attempts;
+  return out;
+}
+
+UnitLedger::Unit& UnitLedger::unit_for(std::uint64_t unit_id,
+                                       const char* context) {
+  if (unit_id >= units_.size()) {
+    throw snap::FormatError{std::string{"svc: "} + context +
+                            " for unknown unit " + std::to_string(unit_id)};
+  }
+  return units_[static_cast<std::size_t>(unit_id)];
+}
+
+}  // namespace bgpsim::svc

@@ -1,0 +1,209 @@
+#include "svcd/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/signalfd.h>
+#include <sys/timerfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace bgpsim::svcd {
+namespace {
+
+// epoll_event.data.u64 values for the loop's own fds; watch tokens start
+// at 1 and count up, so the top-bit range can never collide.
+constexpr std::uint64_t kTimerToken = ~std::uint64_t{0};
+constexpr std::uint64_t kSignalToken = ~std::uint64_t{0} - 1;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error{std::string{"svcd: "} + what + " failed: " +
+                           std::strerror(errno)};
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (timer_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw_errno("timerfd_create");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kTimerToken;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev) < 0) {
+    ::close(timer_fd_);
+    ::close(epoll_fd_);
+    throw_errno("epoll_ctl(timerfd)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (signal_fd_ >= 0) ::close(signal_fd_);
+  if (timer_fd_ >= 0) ::close(timer_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (signal_mask_saved_) {
+    (void)::sigprocmask(SIG_SETMASK, &saved_mask_, nullptr);
+  }
+}
+
+std::uint64_t EventLoop::now_ms() {
+  timespec ts{};
+  (void)::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000'000;
+}
+
+std::uint64_t EventLoop::watch(int fd, std::uint32_t events, FdCallback cb) {
+  const std::uint64_t token = next_token_++;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = token;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throw_errno("epoll_ctl(add)");
+  }
+  watches_.emplace(token, Watch{fd, std::move(cb)});
+  return token;
+}
+
+void EventLoop::unwatch(std::uint64_t token) {
+  const auto it = watches_.find(token);
+  if (it == watches_.end()) return;
+  // The fd may already be closed by the owner; a failing DEL is harmless
+  // (kernel dropped the registration with the last fd reference).
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  watches_.erase(it);
+}
+
+std::uint64_t EventLoop::add_timer(std::uint64_t delay_ms, TimerCallback cb) {
+  const std::uint64_t token = next_token_++;
+  timers_.emplace(token, Timer{now_ms() + delay_ms, std::move(cb)});
+  arm_timerfd();
+  return token;
+}
+
+void EventLoop::cancel_timer(std::uint64_t token) {
+  if (timers_.erase(token) != 0) arm_timerfd();
+}
+
+void EventLoop::arm_timerfd() {
+  itimerspec spec{};  // all-zero disarms
+  if (!timers_.empty()) {
+    std::uint64_t earliest = ~std::uint64_t{0};
+    for (const auto& [token, timer] : timers_) {
+      earliest = std::min(earliest, timer.deadline_ms);
+    }
+    // Relative arming against the time left; an already-due deadline still
+    // needs a nonzero value (zero would disarm), so round up to 1 ns.
+    const std::uint64_t now = now_ms();
+    const std::uint64_t left_ms = earliest > now ? earliest - now : 0;
+    spec.it_value.tv_sec = static_cast<time_t>(left_ms / 1000);
+    spec.it_value.tv_nsec = static_cast<long>((left_ms % 1000) * 1'000'000);
+    if (spec.it_value.tv_sec == 0 && spec.it_value.tv_nsec == 0) {
+      spec.it_value.tv_nsec = 1;
+    }
+  }
+  if (::timerfd_settime(timer_fd_, 0, &spec, nullptr) < 0) {
+    throw_errno("timerfd_settime");
+  }
+}
+
+void EventLoop::fire_due_timers() {
+  std::uint64_t expirations = 0;
+  (void)::read(timer_fd_, &expirations, sizeof expirations);
+  // Collect due timers first: callbacks may add or cancel timers, which
+  // mutates timers_ under us.
+  const std::uint64_t now = now_ms();
+  std::vector<std::uint64_t> due;
+  for (const auto& [token, timer] : timers_) {
+    if (timer.deadline_ms <= now) due.push_back(token);
+  }
+  for (const std::uint64_t token : due) {
+    auto it = timers_.find(token);
+    if (it == timers_.end()) continue;  // cancelled by an earlier callback
+    TimerCallback cb = std::move(it->second.cb);
+    timers_.erase(it);
+    cb();
+  }
+  arm_timerfd();
+}
+
+void EventLoop::watch_signals(const std::vector<int>& signals,
+                              SignalCallback cb) {
+  if (signal_fd_ >= 0) {
+    throw std::logic_error{"svcd: watch_signals called twice"};
+  }
+  sigset_t mask;
+  sigemptyset(&mask);
+  for (const int signo : signals) sigaddset(&mask, signo);
+  if (::sigprocmask(SIG_BLOCK, &mask, &saved_mask_) < 0) {
+    throw_errno("sigprocmask");
+  }
+  signal_mask_saved_ = true;
+  signal_fd_ = ::signalfd(-1, &mask, SFD_NONBLOCK | SFD_CLOEXEC);
+  if (signal_fd_ < 0) throw_errno("signalfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kSignalToken;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, signal_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(signalfd)");
+  }
+  signal_cb_ = std::move(cb);
+}
+
+void EventLoop::drain_signalfd() {
+  for (;;) {
+    signalfd_siginfo info{};
+    const ssize_t r = ::read(signal_fd_, &info, sizeof info);
+    if (r != static_cast<ssize_t>(sizeof info)) break;  // EAGAIN drained
+    if (signal_cb_) signal_cb_(static_cast<int>(info.ssi_signo));
+  }
+}
+
+void EventLoop::run() {
+  running_ = true;
+  epoll_event events[64];
+  while (running_) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < n && running_; ++i) {
+      const std::uint64_t token = events[i].data.u64;
+      if (token == kTimerToken) {
+        fire_due_timers();
+        continue;
+      }
+      if (token == kSignalToken) {
+        drain_signalfd();
+        continue;
+      }
+      const auto it = watches_.find(token);
+      if (it == watches_.end()) continue;  // unwatched earlier in this batch
+      // Copy the callback: it may unwatch its own token (invalidating the
+      // map entry) while running.
+      const FdCallback cb = it->second.cb;
+      cb(events[i].events);
+    }
+  }
+}
+
+void EventLoop::close_fds_after_fork() {
+  if (signal_fd_ >= 0) ::close(signal_fd_);
+  if (timer_fd_ >= 0) ::close(timer_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  signal_fd_ = timer_fd_ = epoll_fd_ = -1;
+  if (signal_mask_saved_) {
+    (void)::sigprocmask(SIG_SETMASK, &saved_mask_, nullptr);
+    signal_mask_saved_ = false;
+  }
+}
+
+}  // namespace bgpsim::svcd

@@ -1,0 +1,369 @@
+#include "svcd/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "snap/codec.hpp"
+
+namespace bgpsim::svcd {
+namespace {
+
+using snap::FormatError;
+using snap::Reader;
+using snap::Writer;
+
+constexpr std::size_t kFileHeaderSize = 8 + 4 + 4 + 8;  // magic+jver+pver+fnv
+constexpr std::size_t kRecordPrefix = 1 + 8;            // type + payload len
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error{"svcd journal: " + what + ": " +
+                           std::strerror(errno)};
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write failed");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+void write_spec(Writer& w, const svc::CampaignSpec& spec,
+                std::size_t max_attempts) {
+  w.u64(spec.scenarios.size());
+  for (const core::Scenario& s : spec.scenarios) svc::write_scenario(w, s);
+  // Of RunOptions only `trials` shapes the output; the execution knobs
+  // (jobs, caches, timer backend) are output-invariant and stay local to
+  // whichever process replays the journal.
+  w.u64(spec.run.trials);
+  w.u64(spec.unit_trials);
+  w.u64(max_attempts);
+}
+
+void read_spec(Reader& r, svc::CampaignSpec& spec, std::size_t& max_attempts) {
+  const std::uint64_t n = r.u64();
+  spec.scenarios.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    spec.scenarios.push_back(svc::read_scenario(r));
+  }
+  spec.run.trials = static_cast<std::size_t>(r.u64());
+  spec.unit_trials = static_cast<std::size_t>(r.u64());
+  max_attempts = static_cast<std::size_t>(r.u64());
+}
+
+void write_result(Writer& w, const svc::UnitResult& result) {
+  w.u64(result.unit_id);
+  w.u64(result.scenario_index);
+  w.u64(result.trial_begin);
+  w.u64(result.outcomes.size());
+  for (const core::ExperimentOutcome& o : result.outcomes) {
+    svc::write_outcome(w, o);
+  }
+}
+
+svc::UnitResult read_result(Reader& r) {
+  svc::UnitResult result;
+  result.unit_id = r.u64();
+  result.scenario_index = r.u64();
+  result.trial_begin = r.u64();
+  const std::uint64_t n = r.u64();
+  result.outcomes.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    result.outcomes.push_back(svc::read_outcome(r));
+  }
+  return result;
+}
+
+JournalCampaign& campaign_for(std::vector<JournalCampaign>& campaigns,
+                              std::uint64_t campaign_id, std::uint64_t offset,
+                              const char* what) {
+  for (JournalCampaign& c : campaigns) {
+    if (c.campaign_id == campaign_id) return c;
+  }
+  throw FormatError{"svcd journal: " + std::string{what} + " record at offset " +
+                    std::to_string(offset) + " references unknown campaign " +
+                    std::to_string(campaign_id)};
+}
+
+}  // namespace
+
+Journal Journal::create(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                        0644);
+  if (fd < 0) throw_errno("cannot create " + path);
+  Writer w;
+  w.u64(kJournalMagic);
+  w.u32(kJournalFormatVersion);
+  w.u32(svc::protocol_version());
+  const std::uint64_t hash = snap::fnv1a(w.bytes());
+  w.u64(hash);
+  Journal j{path, fd};
+  write_all(fd, w.bytes().data(), w.bytes().size());
+  return j;
+}
+
+Journal Journal::append_to(const std::string& path,
+                           std::uint64_t valid_bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("cannot reopen " + path);
+  if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) < 0) {
+    ::close(fd);
+    throw_errno("cannot truncate " + path);
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    throw_errno("cannot seek " + path);
+  }
+  return Journal{path, fd};
+}
+
+Journal::Journal(Journal&& other) noexcept
+    : path_{std::move(other.path_)}, fd_{std::exchange(other.fd_, -1)} {}
+
+Journal& Journal::operator=(Journal&& other) noexcept {
+  if (this != &other) {
+    close();
+    path_ = std::move(other.path_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Journal::~Journal() { close(); }
+
+void Journal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Journal::append_record(RecordType type,
+                            const std::vector<std::uint8_t>& payload) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(payload.size());
+  std::vector<std::uint8_t> bytes = std::move(w).take();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  const std::uint64_t hash = snap::fnv1a(bytes);
+  Writer trailer;
+  trailer.u64(hash);
+  bytes.insert(bytes.end(), trailer.bytes().begin(), trailer.bytes().end());
+  write_all(fd_, bytes.data(), bytes.size());
+}
+
+void Journal::campaign_header(std::uint64_t campaign_id,
+                              const svc::CampaignSpec& spec,
+                              std::size_t max_attempts) {
+  Writer w;
+  w.u64(campaign_id);
+  write_spec(w, spec, max_attempts);
+  append_record(RecordType::kCampaignHeader, w.bytes());
+}
+
+void Journal::unit_dispatched(std::uint64_t campaign_id, std::uint64_t unit_id,
+                              std::uint64_t worker_key) {
+  Writer w;
+  w.u64(campaign_id);
+  w.u64(unit_id);
+  w.u64(worker_key);
+  append_record(RecordType::kUnitDispatched, w.bytes());
+}
+
+void Journal::unit_completed(std::uint64_t campaign_id,
+                             const svc::UnitResult& result) {
+  Writer w;
+  w.u64(campaign_id);
+  write_result(w, result);
+  append_record(RecordType::kUnitCompleted, w.bytes());
+}
+
+void Journal::campaign_sealed(std::uint64_t campaign_id, std::uint64_t digest,
+                              std::uint64_t units) {
+  Writer w;
+  w.u64(campaign_id);
+  w.u64(digest);
+  w.u64(units);
+  append_record(RecordType::kCampaignSealed, w.bytes());
+}
+
+void Journal::sync() {
+  if (fd_ >= 0) (void)::fdatasync(fd_);
+}
+
+JournalReplay replay_journal(const std::string& path, TornTail policy) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_errno("cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  {
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        throw_errno("read failed on " + path);
+      }
+      if (n == 0) break;
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+  }
+  ::close(fd);
+
+  // File header: never recoverable — a journal torn inside its own header
+  // holds nothing to resume.
+  if (bytes.size() < kFileHeaderSize) {
+    throw FormatError{"svcd journal: file truncated in header (" +
+                      std::to_string(bytes.size()) + " byte(s), header is " +
+                      std::to_string(kFileHeaderSize) + ")"};
+  }
+  {
+    Reader r{{bytes.data(), kFileHeaderSize}};
+    if (r.u64() != kJournalMagic) {
+      throw FormatError{"svcd journal: bad magic (not a bgpsim journal)"};
+    }
+    const std::uint32_t jver = r.u32();
+    if (jver != kJournalFormatVersion) {
+      throw FormatError{"svcd journal: unsupported journal format version " +
+                        std::to_string(jver) + " (this build writes " +
+                        std::to_string(kJournalFormatVersion) + ")"};
+    }
+    svc::check_protocol_version(r.u32(), "journal header");
+    const std::uint64_t declared = r.u64();
+    const std::uint64_t actual =
+        snap::fnv1a({bytes.data(), kFileHeaderSize - 8});
+    if (declared != actual) {
+      throw FormatError{"svcd journal: header integrity trailer mismatch"};
+    }
+  }
+
+  JournalReplay replay;
+  std::uint64_t offset = kFileHeaderSize;
+  while (offset < bytes.size()) {
+    const std::uint64_t remaining = bytes.size() - offset;
+    // Appends write whole records, so a crash leaves at most a *prefix* of
+    // the final record: any incompleteness past here is a torn tail. A
+    // record that is complete but wrong is corruption, handled below.
+    if (remaining < kRecordPrefix) {
+      if (policy == TornTail::kReject) {
+        throw FormatError{"svcd journal: record at offset " +
+                          std::to_string(offset) +
+                          " truncated (journal ends mid-record)"};
+      }
+      replay.torn_tail = true;
+      break;
+    }
+    Reader prefix{{bytes.data() + offset, kRecordPrefix}};
+    const std::uint8_t raw_type = prefix.u8();
+    const std::uint64_t payload_len = prefix.u64();
+    if (payload_len > svc::kMaxPayload) {
+      throw FormatError{"svcd journal: record at offset " +
+                        std::to_string(offset) + ": payload length " +
+                        std::to_string(payload_len) + " exceeds the " +
+                        std::to_string(svc::kMaxPayload) + "-byte limit"};
+    }
+    if (raw_type < static_cast<std::uint8_t>(RecordType::kCampaignHeader) ||
+        raw_type > static_cast<std::uint8_t>(RecordType::kCampaignSealed)) {
+      throw FormatError{"svcd journal: record at offset " +
+                        std::to_string(offset) + ": unknown record type " +
+                        std::to_string(raw_type)};
+    }
+    const std::uint64_t total = kRecordPrefix + payload_len + 8;
+    if (remaining < total) {
+      if (policy == TornTail::kReject) {
+        throw FormatError{"svcd journal: record at offset " +
+                          std::to_string(offset) + " truncated (needs " +
+                          std::to_string(total) + " byte(s), " +
+                          std::to_string(remaining) + " left)"};
+      }
+      replay.torn_tail = true;
+      break;
+    }
+    const std::size_t hashed = kRecordPrefix + static_cast<std::size_t>(payload_len);
+    {
+      Reader trailer{{bytes.data() + offset + hashed, 8}};
+      const std::uint64_t declared = trailer.u64();
+      const std::uint64_t actual = snap::fnv1a({bytes.data() + offset, hashed});
+      if (declared != actual) {
+        throw FormatError{"svcd journal: record at offset " +
+                          std::to_string(offset) +
+                          ": integrity trailer mismatch (corrupt record)"};
+      }
+    }
+
+    Reader r{{bytes.data() + offset + kRecordPrefix,
+              static_cast<std::size_t>(payload_len)}};
+    switch (static_cast<RecordType>(raw_type)) {
+      case RecordType::kCampaignHeader: {
+        JournalCampaign c;
+        c.campaign_id = r.u64();
+        for (const JournalCampaign& seen : replay.campaigns) {
+          if (seen.campaign_id == c.campaign_id) {
+            throw FormatError{
+                "svcd journal: duplicate campaign header for campaign " +
+                std::to_string(c.campaign_id) + " at offset " +
+                std::to_string(offset)};
+          }
+        }
+        read_spec(r, c.spec, c.max_attempts);
+        replay.campaigns.push_back(std::move(c));
+        break;
+      }
+      case RecordType::kUnitDispatched: {
+        const std::uint64_t cid = r.u64();
+        const std::uint64_t unit_id = r.u64();
+        (void)r.u64();  // worker incarnation key: advisory
+        JournalCampaign& c =
+            campaign_for(replay.campaigns, cid, offset, "unit-dispatched");
+        c.inflight_at_crash.push_back(unit_id);
+        break;
+      }
+      case RecordType::kUnitCompleted: {
+        const std::uint64_t cid = r.u64();
+        JournalCampaign& c =
+            campaign_for(replay.campaigns, cid, offset, "unit-completed");
+        svc::UnitResult result = read_result(r);
+        for (auto it = c.inflight_at_crash.begin();
+             it != c.inflight_at_crash.end(); ++it) {
+          if (*it == result.unit_id) {
+            c.inflight_at_crash.erase(it);
+            break;
+          }
+        }
+        c.completed.push_back(std::move(result));
+        break;
+      }
+      case RecordType::kCampaignSealed: {
+        const std::uint64_t cid = r.u64();
+        JournalCampaign& c =
+            campaign_for(replay.campaigns, cid, offset, "campaign-sealed");
+        c.sealed = true;
+        c.sealed_digest = r.u64();
+        const std::uint64_t units = r.u64();
+        if (units != c.completed.size()) {
+          throw FormatError{
+              "svcd journal: campaign " + std::to_string(cid) + " sealed at " +
+              std::to_string(units) + " unit(s) but " +
+              std::to_string(c.completed.size()) + " completion record(s)"};
+        }
+        break;
+      }
+    }
+    r.finish();
+    offset += total;
+  }
+  replay.valid_bytes = offset;
+  return replay;
+}
+
+}  // namespace bgpsim::svcd

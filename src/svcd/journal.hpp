@@ -1,0 +1,139 @@
+// svcd::Journal — the daemon's write-ahead work-queue journal.
+//
+// Every state transition a resume needs is appended as a versioned,
+// FNV-1a-trailed record built on the snap::Writer/Reader codec (the same
+// binary idiom as snapshots and the wire protocol):
+//
+//   file header   magic "bgpsvjnl" | u32 journal format version
+//                 | u32 svc protocol version | u64 FNV-1a trailer
+//   record        u8 type | u64 payload length | payload | u64 FNV-1a
+//                 trailer over (type, length, payload)
+//
+// Record types: a campaign header (full CampaignSpec — scenarios travel
+// through svc::write_scenario, exactly the bytes a worker would see),
+// unit-dispatched (advisory: which unit went to which worker incarnation,
+// so a resume can report what was in flight at the crash), unit-completed
+// (the full UnitResult outcome bytes — the payload that makes resume
+// skip re-running the unit), and campaign-sealed (final digest, written
+// after assembly; a sealed campaign resumes straight to its result, and a
+// digest mismatch on replay means the journal lies and is rejected).
+//
+// Torn-tail discipline: appends are sequential whole-record writes, so a
+// crash can only leave a *prefix* of the final record — any record that
+// is complete but wrong (bad trailer, unknown type, absurd length,
+// malformed payload) is corruption and always a precise FormatError. Only
+// incompleteness at end-of-file is recoverable, and only when the caller
+// opts in with TornTail::kRecover (the resume paths); the default kReject
+// refuses with a precise error, so a partial record can never silently
+// shorten a campaign ("never a partial resume"). The file header is never
+// recoverable — a journal torn inside its header holds nothing to resume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "svc/units.hpp"
+
+namespace bgpsim::svcd {
+
+/// "bgpsvjnl" read as a little-endian u64.
+inline constexpr std::uint64_t kJournalMagic = 0x6c6e6a7673706762ULL;
+
+/// Bump on any change to the header or any record payload layout.
+inline constexpr std::uint32_t kJournalFormatVersion = 1;
+
+enum class RecordType : std::uint8_t {
+  kCampaignHeader = 1,  // campaign id + full CampaignSpec + max_attempts
+  kUnitDispatched = 2,  // campaign id + unit id + worker incarnation key
+  kUnitCompleted = 3,   // campaign id + full UnitResult (outcome bytes)
+  kCampaignSealed = 4,  // campaign id + final digest + unit count
+};
+
+/// Append-side handle. All writes go through buffered whole-record
+/// ::write() calls; sync() is fdatasync. The fd is O_CLOEXEC so forked
+/// workers never inherit it.
+class Journal {
+ public:
+  /// Create (or overwrite) `path` and write the file header.
+  static Journal create(const std::string& path);
+
+  /// Reopen `path` for appending after a replay: truncate to
+  /// `valid_bytes` (discarding a recovered torn tail) and position at the
+  /// end. `valid_bytes` comes from JournalReplay.
+  static Journal append_to(const std::string& path, std::uint64_t valid_bytes);
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  void campaign_header(std::uint64_t campaign_id, const svc::CampaignSpec& spec,
+                       std::size_t max_attempts);
+  void unit_dispatched(std::uint64_t campaign_id, std::uint64_t unit_id,
+                       std::uint64_t worker_key);
+  void unit_completed(std::uint64_t campaign_id,
+                      const svc::UnitResult& result);
+  void campaign_sealed(std::uint64_t campaign_id, std::uint64_t digest,
+                       std::uint64_t units);
+
+  /// fdatasync the journal. Called after every completion record by the
+  /// daemon: a unit acknowledged to the results stream must survive a
+  /// crash, or a resume would re-run it (harmless for determinism, but a
+  /// lie in the stream).
+  void sync();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+
+ private:
+  Journal(std::string path, int fd) : path_{std::move(path)}, fd_{fd} {}
+  void append_record(RecordType type,
+                     const std::vector<std::uint8_t>& payload);
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// One campaign reconstructed from a journal.
+struct JournalCampaign {
+  std::uint64_t campaign_id = 0;
+  svc::CampaignSpec spec;
+  std::size_t max_attempts = 3;
+  /// Completed units in record order; feeding them through
+  /// UnitLedger::restore_completed rebuilds the merge state exactly.
+  std::vector<svc::UnitResult> completed;
+  /// Units recorded dispatched but never completed: in flight at the
+  /// crash. Advisory — a resume simply leaves them pending and re-runs
+  /// them (determinism makes the re-run byte-identical).
+  std::vector<std::uint64_t> inflight_at_crash;
+  bool sealed = false;
+  std::uint64_t sealed_digest = 0;
+};
+
+enum class TornTail {
+  kReject,   // incomplete tail record => precise FormatError (default)
+  kRecover,  // incomplete tail record => discard it, report torn_tail
+};
+
+struct JournalReplay {
+  std::vector<JournalCampaign> campaigns;
+  /// True when a torn tail record was discarded (kRecover only).
+  bool torn_tail = false;
+  /// Offset one past the last complete record — what append_to truncates
+  /// to, so the torn bytes are physically removed before new appends.
+  std::uint64_t valid_bytes = 0;
+};
+
+/// Read and validate a journal end to end. Throws snap::FormatError with
+/// a precise message on any corruption (bad magic, stale format or
+/// protocol version, trailer mismatch, unknown record type, absurd
+/// length, malformed payload, records referencing unknown campaigns) —
+/// and, under TornTail::kReject, on an incomplete tail record too.
+[[nodiscard]] JournalReplay replay_journal(const std::string& path,
+                                           TornTail policy = TornTail::kReject);
+
+}  // namespace bgpsim::svcd

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <optional>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -159,6 +161,46 @@ TEST(SvcFaultTest, ProtocolViolationDropsTheWorkerNotTheCampaign) {
 
   EXPECT_GE(result.workers_lost, 1u);
   EXPECT_EQ(result.digest, expected);
+}
+
+TEST(SvcFaultTest, CrossVersionCoordinatorIsRejectedByWorkerPromptly) {
+  // A worker handed a frame from a protocol-v3 coordinator must refuse it
+  // through the shared version check and exit non-zero — not hang waiting
+  // for bytes that will never parse, not serve the unit anyway.
+  SocketPair pair = make_socketpair();
+  const pid_t worker = ::fork();
+  ASSERT_GE(worker, 0);
+  if (worker == 0) {
+    pair.coordinator.close();
+    ::_exit(worker_loop(std::move(pair.worker), 0));
+  }
+  pair.worker.close();
+
+  std::optional<Frame> hello = pair.coordinator.recv_frame();
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->type, FrameType::kHello);
+
+  Frame work;
+  work.type = FrameType::kWork;
+  work.payload = {1, 2, 3};
+  const std::vector<std::uint8_t> v3_bytes = encode_frame(work, 3);
+  ASSERT_EQ(::write(pair.coordinator.fd(), v3_bytes.data(), v3_bytes.size()),
+            static_cast<ssize_t>(v3_bytes.size()));
+
+  // The worker's EOF-or-exit must arrive promptly: block on its status
+  // rather than sleeping, and require the explicit failure exit code.
+  int status = 0;
+  ASSERT_EQ(::waitpid(worker, &status, 0), worker);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 1);
+  // The stream is dead from the worker's side. The worker throws on the
+  // frame header and exits without draining the payload bytes, so the
+  // parent sees either clean EOF or a connection reset — never a frame.
+  try {
+    EXPECT_FALSE(pair.coordinator.recv_frame().has_value());
+  } catch (const std::exception&) {
+    // Connection reset by peer: the bad payload was still unread.
+  }
 }
 
 }  // namespace

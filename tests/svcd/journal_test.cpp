@@ -1,0 +1,316 @@
+// svcd::Journal: round-trip replay, the torn-tail discipline (prefix
+// tears recoverable only on opt-in, complete-but-wrong records never),
+// and the hostile-journal battery — every corruption is a precise
+// FormatError, never a partial resume.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "snap/codec.hpp"
+#include "svc/protocol.hpp"
+#include "svcd/journal.hpp"
+
+namespace bgpsim::svcd {
+namespace {
+
+core::Scenario clique(std::size_t size) {
+  core::Scenario s;
+  s.topology.kind = core::TopologyKind::kClique;
+  s.topology.size = size;
+  s.event = core::EventKind::kTdown;
+  s.seed = 11;
+  return s;
+}
+
+svc::CampaignSpec tiny_spec() {
+  svc::CampaignSpec spec;
+  spec.scenarios = {clique(4)};
+  spec.run.trials = 2;
+  spec.unit_trials = 1;
+  return spec;
+}
+
+/// A real unit result for `unit_id` = trial index of the tiny spec.
+svc::UnitResult real_result(const svc::CampaignSpec& spec,
+                            std::uint64_t unit_id) {
+  svc::UnitResult r;
+  r.unit_id = unit_id;
+  r.scenario_index = 0;
+  r.trial_begin = unit_id;
+  r.outcomes.push_back(core::run_single_trial(
+      spec.scenarios[0], static_cast<std::size_t>(unit_id)));
+  return r;
+}
+
+class SvcdJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "svcd_journal_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".jnl";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::vector<std::uint8_t> slurp() {
+    std::ifstream in{path_, std::ios::binary};
+    return {std::istreambuf_iterator<char>{in},
+            std::istreambuf_iterator<char>{}};
+  }
+
+  void dump(const std::vector<std::uint8_t>& bytes) {
+    std::ofstream out{path_, std::ios::binary | std::ios::trunc};
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// Write header + campaign header + one completion, return the spec.
+  svc::CampaignSpec write_partial_campaign() {
+    const svc::CampaignSpec spec = tiny_spec();
+    Journal j = Journal::create(path_);
+    j.campaign_header(1, spec, 3);
+    j.unit_dispatched(1, 0, 7);
+    j.unit_dispatched(1, 1, 8);
+    j.unit_completed(1, real_result(spec, 0));
+    j.close();
+    return spec;
+  }
+
+  std::string path_;
+};
+
+TEST_F(SvcdJournalTest, RoundTripRestoresCampaignState) {
+  const svc::CampaignSpec spec = write_partial_campaign();
+  const JournalReplay replay = replay_journal(path_);
+  ASSERT_EQ(replay.campaigns.size(), 1u);
+  const JournalCampaign& c = replay.campaigns[0];
+  EXPECT_EQ(c.campaign_id, 1u);
+  EXPECT_EQ(c.max_attempts, 3u);
+  ASSERT_EQ(c.spec.scenarios.size(), spec.scenarios.size());
+  EXPECT_EQ(c.spec.scenarios[0].topology.size, 4u);
+  EXPECT_EQ(c.spec.run.trials, 2u);
+  ASSERT_EQ(c.completed.size(), 1u);
+  EXPECT_EQ(c.completed[0].unit_id, 0u);
+  ASSERT_EQ(c.completed[0].outcomes.size(), 1u);
+  // Unit 1 was dispatched but never completed: in flight at the crash.
+  EXPECT_EQ(c.inflight_at_crash, (std::vector<std::uint64_t>{1}));
+  EXPECT_FALSE(c.sealed);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.valid_bytes, slurp().size());
+}
+
+TEST_F(SvcdJournalTest, SealedCampaignReplaysToItsDigest) {
+  const svc::CampaignSpec spec = tiny_spec();
+  {
+    Journal j = Journal::create(path_);
+    j.campaign_header(1, spec, 3);
+    j.unit_completed(1, real_result(spec, 0));
+    j.unit_completed(1, real_result(spec, 1));
+    j.campaign_sealed(1, 0xdeadbeefULL, 2);
+  }
+  const JournalReplay replay = replay_journal(path_);
+  ASSERT_EQ(replay.campaigns.size(), 1u);
+  EXPECT_TRUE(replay.campaigns[0].sealed);
+  EXPECT_EQ(replay.campaigns[0].sealed_digest, 0xdeadbeefULL);
+  EXPECT_TRUE(replay.campaigns[0].inflight_at_crash.empty());
+}
+
+TEST_F(SvcdJournalTest, AppendToContinuesAValidJournal) {
+  const svc::CampaignSpec spec = write_partial_campaign();
+  const JournalReplay first = replay_journal(path_);
+  {
+    Journal j = Journal::append_to(path_, first.valid_bytes);
+    j.unit_completed(1, real_result(spec, 1));
+  }
+  const JournalReplay second = replay_journal(path_);
+  ASSERT_EQ(second.campaigns.size(), 1u);
+  EXPECT_EQ(second.campaigns[0].completed.size(), 2u);
+  EXPECT_TRUE(second.campaigns[0].inflight_at_crash.empty());
+}
+
+// ---- torn tail ----------------------------------------------------------
+
+TEST_F(SvcdJournalTest, TornTailIsRejectedByDefault) {
+  write_partial_campaign();
+  std::vector<std::uint8_t> bytes = slurp();
+  const std::size_t whole = bytes.size();
+  // Tear mid-record: drop the last 5 bytes (inside the final trailer).
+  bytes.resize(whole - 5);
+  dump(bytes);
+  try {
+    (void)replay_journal(path_);
+    FAIL() << "torn tail must throw under kReject";
+  } catch (const snap::FormatError& e) {
+    EXPECT_NE(std::string{e.what()}.find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(SvcdJournalTest, TornTailIsDiscardedOnOptIn) {
+  const svc::CampaignSpec spec = write_partial_campaign();
+  (void)spec;
+  std::vector<std::uint8_t> bytes = slurp();
+  const JournalReplay whole = replay_journal(path_);
+  ASSERT_EQ(whole.campaigns[0].completed.size(), 1u);
+  bytes.resize(bytes.size() - 5);
+  dump(bytes);
+  const JournalReplay replay = replay_journal(path_, TornTail::kRecover);
+  EXPECT_TRUE(replay.torn_tail);
+  ASSERT_EQ(replay.campaigns.size(), 1u);
+  // The torn record was the completion: the unit reverts to in-flight.
+  EXPECT_TRUE(replay.campaigns[0].completed.empty());
+  EXPECT_EQ(replay.campaigns[0].inflight_at_crash.size(), 2u);
+  EXPECT_LT(replay.valid_bytes, bytes.size());
+  // append_to() physically truncates the torn bytes.
+  { Journal j = Journal::append_to(path_, replay.valid_bytes); }
+  EXPECT_EQ(slurp().size(), replay.valid_bytes);
+  EXPECT_FALSE(replay_journal(path_).torn_tail);
+}
+
+TEST_F(SvcdJournalTest, HeaderTearIsNeverRecoverable) {
+  write_partial_campaign();
+  std::vector<std::uint8_t> bytes = slurp();
+  bytes.resize(10);  // inside the 24-byte file header
+  dump(bytes);
+  for (const TornTail policy : {TornTail::kReject, TornTail::kRecover}) {
+    try {
+      (void)replay_journal(path_, policy);
+      FAIL() << "header tear must throw";
+    } catch (const snap::FormatError& e) {
+      EXPECT_NE(std::string{e.what()}.find("truncated in header"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+// ---- hostile battery: complete-but-wrong is always corruption ----------
+
+TEST_F(SvcdJournalTest, BadMagicIsRejected) {
+  write_partial_campaign();
+  std::vector<std::uint8_t> bytes = slurp();
+  bytes[0] ^= 0xFF;
+  dump(bytes);
+  try {
+    (void)replay_journal(path_, TornTail::kRecover);
+    FAIL() << "bad magic must throw";
+  } catch (const snap::FormatError& e) {
+    EXPECT_NE(std::string{e.what()}.find("bad magic"), std::string::npos);
+  }
+}
+
+TEST_F(SvcdJournalTest, StaleJournalFormatVersionIsRejected) {
+  write_partial_campaign();
+  std::vector<std::uint8_t> bytes = slurp();
+  bytes[8] = 99;  // u32 journal format version, little-endian low byte
+  dump(bytes);
+  try {
+    (void)replay_journal(path_, TornTail::kRecover);
+    FAIL() << "stale format version must throw";
+  } catch (const snap::FormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unsupported journal format version 99"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("this build writes 1"), std::string::npos) << what;
+  }
+}
+
+TEST_F(SvcdJournalTest, CrossProtocolVersionJournalIsRejected) {
+  // A journal written by a hypothetical protocol-v3 build must be refused
+  // with the shared check_protocol_version message, not half-parsed.
+  write_partial_campaign();
+  std::vector<std::uint8_t> bytes = slurp();
+  bytes[12] = 3;  // u32 svc protocol version field
+  dump(bytes);
+  try {
+    (void)replay_journal(path_, TornTail::kRecover);
+    FAIL() << "cross-version journal must throw";
+  } catch (const snap::FormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unsupported svc protocol version 3"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("journal header"), std::string::npos) << what;
+  }
+}
+
+TEST_F(SvcdJournalTest, CorruptTrailerIsRejectedUnderBothPolicies) {
+  write_partial_campaign();
+  std::vector<std::uint8_t> bytes = slurp();
+  // Flip a payload byte of the final record: its trailer no longer
+  // matches, and the record is complete, so this is corruption — not a
+  // recoverable tear — under either policy.
+  bytes[bytes.size() - 12] ^= 0xFF;
+  dump(bytes);
+  for (const TornTail policy : {TornTail::kReject, TornTail::kRecover}) {
+    try {
+      (void)replay_journal(path_, policy);
+      FAIL() << "corrupt trailer must throw";
+    } catch (const snap::FormatError& e) {
+      EXPECT_NE(std::string{e.what()}.find("integrity trailer mismatch"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST_F(SvcdJournalTest, UnknownRecordTypeIsRejected) {
+  write_partial_campaign();
+  std::vector<std::uint8_t> bytes = slurp();
+  // Append a well-formed record (valid length + trailer) of unknown type.
+  std::vector<std::uint8_t> rec;
+  rec.push_back(9);  // no such RecordType
+  for (int i = 0; i < 8; ++i) rec.push_back(0);  // payload length 0
+  const std::uint64_t h = snap::fnv1a({rec.data(), rec.size()});
+  for (int i = 0; i < 8; ++i) {
+    rec.push_back(static_cast<std::uint8_t>(h >> (8 * i)));
+  }
+  bytes.insert(bytes.end(), rec.begin(), rec.end());
+  dump(bytes);
+  for (const TornTail policy : {TornTail::kReject, TornTail::kRecover}) {
+    try {
+      (void)replay_journal(path_, policy);
+      FAIL() << "unknown record type must throw";
+    } catch (const snap::FormatError& e) {
+      EXPECT_NE(std::string{e.what()}.find("record"), std::string::npos);
+    }
+  }
+}
+
+TEST_F(SvcdJournalTest, AbsurdRecordLengthIsRejected) {
+  write_partial_campaign();
+  std::vector<std::uint8_t> bytes = slurp();
+  // A record claiming a payload far past kMaxPayload: corruption even
+  // though the file ends right after (it can't be a mere tear).
+  std::vector<std::uint8_t> rec;
+  rec.push_back(static_cast<std::uint8_t>(RecordType::kUnitDispatched));
+  const std::uint64_t absurd = svc::kMaxPayload + 1;
+  for (int i = 0; i < 8; ++i) {
+    rec.push_back(static_cast<std::uint8_t>(absurd >> (8 * i)));
+  }
+  bytes.insert(bytes.end(), rec.begin(), rec.end());
+  dump(bytes);
+  for (const TornTail policy : {TornTail::kReject, TornTail::kRecover}) {
+    EXPECT_THROW((void)replay_journal(path_, policy), snap::FormatError);
+  }
+}
+
+TEST_F(SvcdJournalTest, RecordForUnknownCampaignIsRejected) {
+  const svc::CampaignSpec spec = tiny_spec();
+  {
+    Journal j = Journal::create(path_);
+    j.campaign_header(1, spec, 3);
+    j.unit_dispatched(7, 0, 1);  // campaign 7 has no header
+  }
+  EXPECT_THROW((void)replay_journal(path_, TornTail::kRecover),
+               snap::FormatError);
+}
+
+}  // namespace
+}  // namespace bgpsim::svcd

@@ -1,0 +1,123 @@
+// Crash-resume determinism: a journaled campaign SIGKILLed at arbitrary
+// points — daemon and workers alike, torn journal tail included — must
+// resume to a digest bit-identical to the uninterrupted serial run, with
+// completed units restored from the journal rather than re-run.
+//
+// The kill points are seed-derived (a small LCG over the iteration
+// index), so the schedule is deterministic per build yet samples several
+// distinct crash phases: before any unit completes, mid-campaign, and
+// (when the delay overshoots the runtime) after the seal.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "svc/coordinator.hpp"
+#include "svc/units.hpp"
+#include "svcd/daemon.hpp"
+#include "svcd/journal.hpp"
+
+namespace bgpsim::svcd {
+namespace {
+
+core::Scenario clique(std::size_t size) {
+  core::Scenario s;
+  s.topology.kind = core::TopologyKind::kClique;
+  s.topology.size = size;
+  s.event = core::EventKind::kTdown;
+  s.seed = 11;
+  return s;
+}
+
+svc::CampaignSpec resume_sweep() {
+  svc::CampaignSpec spec;
+  spec.scenarios = {clique(8), clique(9)};
+  spec.run.trials = 3;
+  spec.unit_trials = 1;  // 6 units: plenty of distinct crash points
+  return spec;
+}
+
+std::uint64_t serial_digest(const svc::CampaignSpec& spec) {
+  std::vector<core::TrialSet> sets;
+  for (const core::Scenario& s : spec.scenarios) {
+    sets.push_back(core::run_trials(s, spec.run));
+  }
+  return svc::campaign_digest(sets);
+}
+
+TEST(SvcdResumeTest, SigkillAtSeededPointsResumesToSerialDigest) {
+  const svc::CampaignSpec spec = resume_sweep();
+  const std::uint64_t expected = serial_digest(spec);
+
+  std::uint64_t lcg = 0x9e3779b97f4a7c15ULL;  // kill-schedule seed
+  for (int round = 0; round < 4; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const std::string journal = ::testing::TempDir() + "svcd_resume_round" +
+                                std::to_string(round) + ".jnl";
+    std::remove(journal.c_str());
+
+    // The victim runs the journaled campaign; we SIGKILL it after a
+    // seed-derived delay. No graceful anything — exactly the crash the
+    // journal exists for.
+    const pid_t victim = ::fork();
+    ASSERT_GE(victim, 0);
+    if (victim == 0) {
+      JournaledRunOptions opts;
+      opts.workers = 2;
+      try {
+        (void)run_journaled_campaign(spec, journal, opts);
+      } catch (...) {
+        ::_exit(3);
+      }
+      ::_exit(0);
+    }
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t delay_ms = 25 + (lcg >> 33) % 250;
+    ::usleep(static_cast<useconds_t>(delay_ms) * 1000);
+    ::kill(victim, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+
+    // Resume from whatever the crash left behind (torn tail included).
+    JournaledRunOptions opts;
+    opts.workers = 2;
+    const svc::CampaignResult result = resume_journaled_campaign(journal, opts);
+    EXPECT_EQ(result.digest, expected);
+
+    // After the resume, the journal is sealed with exactly one completion
+    // record per unit: restored units were not re-run and re-run units
+    // were not double-counted.
+    const JournalReplay replay = replay_journal(journal);
+    ASSERT_EQ(replay.campaigns.size(), 1u);
+    EXPECT_TRUE(replay.campaigns[0].sealed);
+    EXPECT_EQ(replay.campaigns[0].sealed_digest, expected);
+    EXPECT_EQ(replay.campaigns[0].completed.size(), 6u);
+    // Resuming a now-sealed journal short-circuits: nothing dispatched.
+    const svc::CampaignResult again = resume_journaled_campaign(journal, {});
+    EXPECT_EQ(again.digest, expected);
+    EXPECT_EQ(again.units_dispatched, 0u);
+    std::remove(journal.c_str());
+  }
+}
+
+TEST(SvcdResumeTest, ResumeOfEmptyJournalIsAPreciseError) {
+  // A journal holding only the file header (crashed before the first
+  // submit) has no campaign to resume: precise error, not a hang or an
+  // empty success.
+  const std::string journal = ::testing::TempDir() + "svcd_resume_empty.jnl";
+  std::remove(journal.c_str());
+  { Journal j = Journal::create(journal); }
+  EXPECT_THROW((void)resume_journaled_campaign(journal, {}),
+               snap::FormatError);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace bgpsim::svcd
