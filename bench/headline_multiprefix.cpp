@@ -1,0 +1,196 @@
+// Headline: full-table loop exposure — transient looping when the routing
+// table carries 1..4096 prefixes instead of the paper's single destination.
+//
+// The paper studies one prefix at a time; real routers converge a whole
+// table at once, so a correlated event (the destination AS failing) makes
+// every affected prefix's correction queue behind every other prefix's
+// churn. This bench sweeps the prefix count over clique, Internet-
+// abstraction, and policy-routed AS-graph topologies and reports loop
+// metrics per table size, plus the wall-clock payoff of the SoA RIB's
+// batched decision processing versus running the same prefixes as
+// independent single-prefix experiments.
+//
+// Prefix counts sweep {1, 4, 16, 64, 256} (1024 and 4096 under
+// BGPSIM_FULL=1), truncated to BGPSIM_PREFIXES; the AS-graph series stops
+// at 64 prefixes unless BGPSIM_FULL=1 (policy graphs are ~10x slower per
+// prefix, and the scaling story is already told by the smaller points).
+//
+// Expected: loop counts grow with the table size (each affected prefix
+// loops independently, so exposure is roughly linear in P), per-prefix
+// loop durations stay in the single-prefix band, and the batched run beats
+// P repeated single-prefix runs by well over 2x at the 256-prefix point —
+// the shared topology, shared prelude convergence, and columnar RIB do the
+// work once instead of P times.
+#include "common.hpp"
+
+#include <chrono>
+#include <cstdint>
+
+namespace {
+
+using namespace bgpsim;
+
+/// Background origins scattered around the graph: prefix 0 stays at the
+/// event destination, prefixes 1..P-1 cycle over these.
+std::vector<net::NodeId> spread_origins(std::size_t nodes) {
+  return {static_cast<net::NodeId>(1),
+          static_cast<net::NodeId>(nodes / 4),
+          static_cast<net::NodeId>(nodes / 2),
+          static_cast<net::NodeId>((3 * nodes) / 4)};
+}
+
+core::Scenario table_point(core::TopologyKind kind, std::size_t size,
+                           std::size_t prefixes, bool policy = false) {
+  core::Scenario s;
+  s.topology.kind = kind;
+  s.topology.size = size;
+  s.topology.topo_seed = 1;
+  s.event = core::EventKind::kTdown;
+  s.policy_routing = policy;
+  s.seed = 1;
+  s.prefixes = prefixes;
+  if (prefixes > 1) s.origins = spread_origins(size);
+  return s;
+}
+
+/// Per-prefix lane totals of one trial set (loops and exhaustions summed
+/// over every lane and trial; 0/0 lanes on a single-prefix run).
+struct LaneTotals {
+  std::uint64_t loops = 0;
+  std::uint64_t exhaustions = 0;
+  double max_loop_s = 0;
+};
+
+LaneTotals lane_totals(const core::TrialSet& set) {
+  LaneTotals t;
+  for (const auto& run : set.runs) {
+    for (const auto& lane : run.metrics.per_prefix) {
+      t.loops += lane.loops_formed;
+      t.exhaustions += lane.ttl_exhaustions;
+      if (lane.max_loop_duration_s > t.max_loop_s) {
+        t.max_loop_s = lane.max_loop_duration_s;
+      }
+    }
+  }
+  return t;
+}
+
+double wall_ms(const std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace bgpsim::bench;
+  using bgpsim::bench::check;  // not the bgpsim::check namespace
+
+  print_header("Headline: full-table loop exposure",
+               "loop metrics and batched-decision payoff vs prefix count");
+
+  std::vector<std::size_t> counts{1, 4, 16, 64, 256};
+  if (full_run()) {
+    counts.push_back(1024);
+    counts.push_back(4096);
+  }
+  const std::size_t cap = core::env::prefixes_cap();
+  std::erase_if(counts, [cap](std::size_t p) { return p > cap; });
+  const std::size_t n_trials = trials(2);
+
+  struct Family {
+    const char* name;
+    core::TopologyKind kind;
+    std::size_t size;
+    bool policy;
+    std::size_t count_cap;  // AS graphs stop early outside BGPSIM_FULL
+  };
+  const std::size_t graph_cap = full_run() ? counts.back() : 64;
+  const std::vector<Family> families{
+      {"clique-10", core::TopologyKind::kClique, 10, false, counts.back()},
+      {"internet-110", core::TopologyKind::kInternet, 110, false,
+       counts.back()},
+      {"asgraph-1000", core::TopologyKind::kAsGraph, 1000, true, graph_cap},
+  };
+
+  // ---- loop metrics vs prefix count, one table per topology family ------
+  for (const Family& family : families) {
+    core::Table t{{"prefixes", "loops formed", "looping duration (s)",
+                   "max lane loop (s)", "lane TTL exhaustions",
+                   "convergence (s)", "wall (ms)"}};
+    for (const std::size_t p : counts) {
+      if (p > family.count_cap) {
+        std::printf("  (%s: stopping at %zu prefixes; BGPSIM_FULL=1 for "
+                    "the full sweep)\n",
+                    family.name, family.count_cap);
+        break;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      const core::TrialSet set =
+          core::run_trials(table_point(family.kind, family.size, p,
+                                       family.policy),
+                           core::RunOptions{.trials = n_trials});
+      const double ms = wall_ms(start);
+      const LaneTotals lanes = lane_totals(set);
+      t.add_row({std::to_string(p), core::fmt(set.loops_formed.mean, 1),
+                 metrics::mean_pm(set.looping_duration_s),
+                 core::fmt(lanes.max_loop_s, 2),
+                 std::to_string(lanes.exhaustions),
+                 metrics::mean_pm(set.convergence_time_s),
+                 core::fmt(ms, 0)});
+    }
+    std::printf("\n%s (Tdown at the prefix-0 origin):\n", family.name);
+    t.print(std::cout);
+    emit_table(t, std::string{"Full-table loop exposure: "} + family.name);
+  }
+
+  // ---- batched vs repeated single-prefix, internet-110 ------------------
+  // The same table processed two ways: one batched multi-prefix run versus
+  // P independent single-prefix experiments (each origin measured alone).
+  // Loop *exposure* is not expected to match — queueing between prefixes
+  // is exactly what the batched workload adds — but the wall-clock ratio
+  // is the SoA RIB's headline: shared prelude + columnar decision passes.
+  core::Table t2{{"prefixes", "batched (ms)", "P x single (ms)", "speedup"}};
+  double largest_speedup = 0;
+  std::size_t largest_p = 0;
+  for (const std::size_t p : counts) {
+    if (p < 4) continue;
+    const auto batched_start = std::chrono::steady_clock::now();
+    (void)core::run_trials(
+        table_point(core::TopologyKind::kInternet, 110, p),
+        core::RunOptions{.trials = n_trials});
+    const double batched_ms = wall_ms(batched_start);
+
+    const auto single_start = std::chrono::steady_clock::now();
+    const std::vector<net::NodeId> origins = spread_origins(110);
+    for (std::size_t i = 0; i < p; ++i) {
+      core::Scenario s =
+          table_point(core::TopologyKind::kInternet, 110, 1);
+      // Prefix i >= 1 of the batched run lives at origins[(i-1) % 4]; the
+      // single-prefix stand-in measures that origin as its destination.
+      if (i > 0) s.destination = origins[(i - 1) % origins.size()];
+      (void)core::run_trials(s, core::RunOptions{.trials = n_trials});
+    }
+    const double single_ms = wall_ms(single_start);
+
+    const double speedup = single_ms / batched_ms;
+    if (p >= largest_p) {
+      largest_p = p;
+      largest_speedup = speedup;
+    }
+    t2.add_row({std::to_string(p), core::fmt(batched_ms, 0),
+                core::fmt(single_ms, 0), core::fmt(speedup, 1)});
+  }
+  std::printf("\ninternet-110: batched table vs repeated single-prefix:\n");
+  t2.print(std::cout);
+  emit_table(t2, "Batched decision processing vs repeated single-prefix "
+                 "runs (internet-110)");
+
+  std::printf("\nshape checks vs the paper:\n");
+  check(largest_speedup >= 2.0,
+        "batched full-table processing is >= 2x faster than " +
+            std::to_string(largest_p) +
+            " single-prefix runs (shared prelude + columnar RIB passes)");
+  return 0;
+}

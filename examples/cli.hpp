@@ -104,7 +104,7 @@ inline constexpr const char* kScenarioUsage =
     "[--topo clique|bclique|chain|ring|internet|asgraph|relfile] "
     "[--size N] [--rel-file PATH] [--event tdown|tlong|tup|flap] "
     "[--proto bgp|ssld|wrate|assertion|ghost] [--mrai SECONDS] [--seed S] "
-    "[--policy]";
+    "[--policy] [--prefixes P]";
 
 /// Try the current flag against the shared scenario flags; true when it
 /// was one of them (operand consumed, `s` updated). --file replaces the
@@ -152,6 +152,9 @@ inline bool apply_scenario_flag(Args& a, core::Scenario& s) {
     s.topology.topo_seed = s.seed;
   } else if (arg == "--policy") {
     s.policy_routing = true;
+  } else if (arg == "--prefixes") {
+    s.prefixes = a.value_size();
+    if (s.prefixes == 0) a.fail();
   } else {
     return false;
   }

@@ -2,8 +2,9 @@
 // settings, every run checked by the full invariant oracle.
 //
 //   fuzz_scenarios [--iters N] [--seed S] [--verbose] [--snap-check]
-//                  [--wheel-check]
+//                  [--wheel-check] [--multiprefix]
 //   fuzz_scenarios --replay SCENARIO_SEED [--snap-check] [--wheel-check]
+//                  [--multiprefix]
 //   fuzz_scenarios --canary [...]     # arm a deliberately wrong invariant
 //                                     # to demonstrate the failure path
 //
@@ -15,6 +16,10 @@
 // scheduler (timer wheel vs binary heap, BGPSIM_TIMER_WHEEL) and fails if
 // the fingerprints differ; a clean campaign prints the same digest as a
 // plain run.
+//
+// --multiprefix additionally draws a prefix count from {2, 4, 8, 16} (and
+// sometimes scattered origins) per scenario, fuzzing the SoA RIB and
+// batched decision paths; composes with --snap-check / --wheel-check.
 //
 // BGPSIM_FUZZ_ITERS overrides the default iteration count (100).
 // Exit status: 0 = every iteration clean, 1 = failures (replay lines
@@ -60,7 +65,8 @@ class CanaryInvariant final : public check::Invariant {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--iters N] [--seed S] [--replay SCENARIO_SEED] "
-               "[--verbose] [--canary] [--snap-check] [--wheel-check]\n",
+               "[--verbose] [--canary] [--snap-check] [--wheel-check] "
+               "[--multiprefix]\n",
                argv0);
   std::exit(2);
 }
@@ -91,6 +97,8 @@ int main(int argc, char** argv) {
       options.snap_check = true;
     } else if (arg == "--wheel-check") {
       options.wheel_check = true;
+    } else if (arg == "--multiprefix") {
+      options.multiprefix = true;
     } else {
       args.fail();
     }

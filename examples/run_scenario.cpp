@@ -144,6 +144,17 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(m.loops_formed),
         static_cast<unsigned long long>(m.updates_sent),
         static_cast<unsigned long long>(m.bgp.withdrawals_sent));
+    for (std::size_t p = 0; p < m.per_prefix.size(); ++p) {
+      const auto& lane = m.per_prefix[p];
+      std::printf(
+          "    prefix %zu: loops=%llu maxloop=%.1fs exh=%llu sent=%llu "
+          "delivered=%llu\n",
+          p, static_cast<unsigned long long>(lane.loops_formed),
+          lane.max_loop_duration_s,
+          static_cast<unsigned long long>(lane.ttl_exhaustions),
+          static_cast<unsigned long long>(lane.packets_sent),
+          static_cast<unsigned long long>(lane.packets_delivered));
+    }
   }
   std::printf("aggregate: conv=%s s, loopdur=%s s, ratio=%.1f ±%.1f %%\n",
               metrics::mean_pm(set.convergence_time_s).c_str(),

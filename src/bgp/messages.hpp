@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "bgp/as_path.hpp"
 #include "net/types.hpp"
@@ -29,6 +30,17 @@ struct UpdateMsg {
     if (is_withdrawal()) return "withdraw p" + std::to_string(prefix);
     return "announce p" + std::to_string(prefix) + " " + path->to_string();
   }
+};
+
+/// Several UPDATEs to one peer carried in a single transport message —
+/// the NLRI-packing analogue for multi-prefix scenarios. One batch costs
+/// one propagation delay and one receiver processing-queue draw; the
+/// receiver applies every contained update and then runs one decision
+/// pass per touched prefix. Only constructed in multiprefix mode (a batch
+/// of one is sent as a plain UpdateMsg), so single-prefix event streams
+/// never see it.
+struct UpdateBatch {
+  std::vector<UpdateMsg> updates;
 };
 
 }  // namespace bgpsim::bgp

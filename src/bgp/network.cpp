@@ -10,7 +10,10 @@ BgpNetwork::BgpNetwork(sim::Simulator& simulator, net::Topology& topology,
                        const BgpConfig& config,
                        const net::ProcessingDelay& processing,
                        const sim::Rng& root_rng)
-    : sim_{simulator}, topo_{topology}, transport_{simulator, topology} {
+    : sim_{simulator},
+      topo_{topology},
+      transport_{simulator, topology},
+      store_{static_cast<rib::SpeakerId>(topology.node_count())} {
   const std::size_t n = topo_.node_count();
   fibs_.resize(n);
   queues_.reserve(n);
@@ -21,7 +24,8 @@ BgpNetwork::BgpNetwork(sim::Simulator& simulator, net::Topology& topology,
         simulator, root_rng.child("proc", node), processing));
     speakers_.push_back(std::make_unique<Speaker>(
         node, config, simulator, transport_, fibs_[node],
-        root_rng.child("bgp", node)));
+        root_rng.child("bgp", node), &store_,
+        static_cast<rib::SpeakerId>(node)));
     speakers_.back()->set_peers(topo_.up_neighbors(node));
   }
 
@@ -37,8 +41,13 @@ BgpNetwork::BgpNetwork(sim::Simulator& simulator, net::Topology& topology,
 
   for (net::NodeId node = 0; node < n; ++node) {
     queues_[node]->set_message_handler([this, node](const net::Envelope& env) {
-      speakers_[node]->handle_update(
-          env.from, env.payload.get<UpdateMsg>());
+      if (env.payload.is<UpdateBatch>()) {
+        speakers_[node]->handle_update_batch(env.from,
+                                             env.payload.get<UpdateBatch>());
+      } else {
+        speakers_[node]->handle_update(env.from,
+                                       env.payload.get<UpdateMsg>());
+      }
     });
     queues_[node]->set_session_handler(
         [this, node](const net::ProcessingQueue::SessionEvent& ev) {
@@ -76,24 +85,53 @@ bool BgpNetwork::timers_running() const {
 
 namespace {
 
-void save_update_payload(snap::Writer& w, const net::Payload& payload) {
-  const auto& msg = payload.get<UpdateMsg>();
+void save_update_msg(snap::Writer& w, const UpdateMsg& msg) {
   w.u32(msg.prefix);
   w.b(msg.path.has_value());
   if (msg.path) msg.path->save(w);
 }
 
-net::Payload load_update_payload(snap::Reader& r) {
+UpdateMsg load_update_msg(snap::Reader& r) {
   UpdateMsg msg;
   msg.prefix = r.u32();
   if (r.b()) msg.path = AsPath::load(r);
-  return net::Payload{std::move(msg)};
+  return msg;
+}
+
+// In-queue payloads are tagged: 0 = a single UpdateMsg, 1 = a multiprefix
+// UpdateBatch (snapshot format v4; v3 had no tag byte).
+void save_update_payload(snap::Writer& w, const net::Payload& payload) {
+  if (payload.is<UpdateBatch>()) {
+    const auto& batch = payload.get<UpdateBatch>();
+    w.u8(1);
+    w.u64(batch.updates.size());
+    for (const UpdateMsg& msg : batch.updates) save_update_msg(w, msg);
+  } else {
+    w.u8(0);
+    save_update_msg(w, payload.get<UpdateMsg>());
+  }
+}
+
+net::Payload load_update_payload(snap::Reader& r) {
+  if (r.u8() != 0) {
+    UpdateBatch batch;
+    const std::uint64_t n = r.u64();
+    batch.updates.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      batch.updates.push_back(load_update_msg(r));
+    }
+    return net::Payload{std::move(batch)};
+  }
+  return net::Payload{load_update_msg(r)};
 }
 
 }  // namespace
 
 void BgpNetwork::save_state(snap::Writer& w) const {
   transport_.save_state(w);
+  // v4: the shared prefix table once, ahead of the per-node sections
+  // (whose RIB rows are columns keyed by the table's ids).
+  store_.save_table(w);
   for (std::size_t node = 0; node < speakers_.size(); ++node) {
     queues_[node]->save_state(w, save_update_payload);
     speakers_[node]->save_state(w);
@@ -103,6 +141,7 @@ void BgpNetwork::save_state(snap::Writer& w) const {
 
 void BgpNetwork::restore_state(snap::Reader& r) {
   transport_.restore_state(r);
+  store_.restore_table(r);
   for (std::size_t node = 0; node < speakers_.size(); ++node) {
     queues_[node]->restore_state(r, load_update_payload);
     speakers_[node]->restore_state(r);

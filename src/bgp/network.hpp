@@ -7,6 +7,7 @@
 #include "bgp/config.hpp"
 #include "bgp/speaker.hpp"
 #include "fwd/fib.hpp"
+#include "rib/local_ribs.hpp"
 #include "net/channel.hpp"
 #include "net/node.hpp"
 #include "net/topology.hpp"
@@ -42,10 +43,28 @@ class BgpNetwork {
     speaker(origin).originate(prefix);
   }
 
+  /// The origin announces several prefixes at once (multi-prefix
+  /// scenarios; advertisements go out batched per peer).
+  void originate_batch(net::NodeId origin,
+                       const std::vector<net::Prefix>& prefixes) {
+    speaker(origin).originate_batch(prefixes);
+  }
+
   /// Tdown: the origin withdraws the prefix (links stay up).
   void inject_tdown(net::NodeId origin, net::Prefix prefix) {
     speaker(origin).withdraw_origin(prefix);
   }
+
+  /// Correlated Tdown: the origin withdraws every listed prefix in one
+  /// event (withdrawals go out batched per peer).
+  void inject_tdown_batch(net::NodeId origin,
+                          const std::vector<net::Prefix>& prefixes) {
+    speaker(origin).withdraw_origin_batch(prefixes);
+  }
+
+  /// The network's shared SoA RIB store (prefix table + route planes).
+  [[nodiscard]] rib::LocalRibs& rib_store() { return store_; }
+  [[nodiscard]] const rib::LocalRibs& rib_store() const { return store_; }
 
   /// Tlong: a physical link fails (sessions drop, in-flight lost).
   void inject_link_failure(net::LinkId link) { transport_.fail_link(link); }
@@ -74,6 +93,7 @@ class BgpNetwork {
   sim::Simulator& sim_;
   net::Topology& topo_;
   net::Transport transport_;
+  rib::LocalRibs store_;  // shared by every speaker (declared before them)
   std::vector<fwd::Fib> fibs_;
   std::vector<std::unique_ptr<net::ProcessingQueue>> queues_;
   std::vector<std::unique_ptr<Speaker>> speakers_;

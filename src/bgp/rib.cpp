@@ -1,125 +1,26 @@
 #include "bgp/rib.hpp"
 
-#include <algorithm>
-
 namespace bgpsim::bgp {
 
-const std::map<net::NodeId, AsPath> AdjRibIn::kEmpty{};
-
-void AdjRibIn::set(net::Prefix prefix, net::NodeId peer, AsPath path) {
-  table_[prefix][peer] = std::move(path);
-}
-
-bool AdjRibIn::withdraw(net::Prefix prefix, net::NodeId peer) {
-  auto it = table_.find(prefix);
-  if (it == table_.end()) return false;
-  return it->second.erase(peer) > 0;
-}
-
-std::vector<net::Prefix> AdjRibIn::drop_peer(net::NodeId peer) {
-  std::vector<net::Prefix> affected;
-  for (auto& [prefix, per_peer] : table_) {
-    if (per_peer.erase(peer) > 0) affected.push_back(prefix);
-  }
-  return affected;
-}
-
-const AsPath* AdjRibIn::get(net::Prefix prefix, net::NodeId peer) const {
-  auto it = table_.find(prefix);
-  if (it == table_.end()) return nullptr;
-  auto e = it->second.find(peer);
-  if (e == it->second.end()) return nullptr;
-  return &e->second;
-}
-
-const std::map<net::NodeId, AsPath>& AdjRibIn::entries(
-    net::Prefix prefix) const {
-  auto it = table_.find(prefix);
-  return it == table_.end() ? kEmpty : it->second;
-}
-
-std::vector<net::Prefix> AdjRibIn::prefixes() const {
-  std::vector<net::Prefix> out;
-  out.reserve(table_.size());
-  for (const auto& [prefix, per_peer] : table_) {
-    if (!per_peer.empty()) out.push_back(prefix);
-  }
-  return out;
-}
-
-bool LocRib::set(net::Prefix prefix, std::optional<AsPath> path) {
-  auto it = best_.find(prefix);
-  if (!path) {
-    if (it == best_.end()) return false;
-    best_.erase(it);
-    return true;
-  }
-  if (it != best_.end() && it->second == *path) return false;
-  best_[prefix] = std::move(*path);
-  return true;
-}
-
-const AsPath* LocRib::get(net::Prefix prefix) const {
-  auto it = best_.find(prefix);
-  return it == best_.end() ? nullptr : &it->second;
-}
-
-std::vector<net::Prefix> LocRib::prefixes() const {
-  std::vector<net::Prefix> out;
-  out.reserve(best_.size());
-  for (const auto& [prefix, path] : best_) out.push_back(prefix);
-  return out;
-}
-
-void AdjRibIn::save_state(snap::Writer& w) const {
-  std::vector<net::Prefix> keys;
-  keys.reserve(table_.size());
-  for (const auto& [prefix, per_peer] : table_) keys.push_back(prefix);
-  std::sort(keys.begin(), keys.end());
-  w.u64(keys.size());
-  for (const net::Prefix prefix : keys) {
-    const auto& per_peer = table_.at(prefix);
-    w.u32(prefix);
-    w.u64(per_peer.size());
-    for (const auto& [peer, path] : per_peer) {
-      w.u32(peer);
-      path.save(w);
-    }
+AdjRibIn::AdjRibIn(rib::LocalRibs* store, rib::SpeakerId row) {
+  if (store != nullptr) {
+    store_ = store;
+    row_ = row;
+  } else {
+    owned_ = std::make_unique<rib::LocalRibs>(1);
+    store_ = owned_.get();
+    row_ = 0;
   }
 }
 
-void AdjRibIn::restore_state(snap::Reader& r) {
-  table_.clear();
-  const std::uint64_t prefixes = r.u64();
-  for (std::uint64_t i = 0; i < prefixes; ++i) {
-    const net::Prefix prefix = r.u32();
-    auto& per_peer = table_[prefix];
-    const std::uint64_t entries = r.u64();
-    for (std::uint64_t j = 0; j < entries; ++j) {
-      const net::NodeId peer = r.u32();
-      per_peer.emplace(peer, AsPath::load(r));
-    }
-  }
-}
-
-void LocRib::save_state(snap::Writer& w) const {
-  std::vector<net::Prefix> keys;
-  keys.reserve(best_.size());
-  for (const auto& [prefix, path] : best_) keys.push_back(prefix);
-  std::sort(keys.begin(), keys.end());
-  w.u64(keys.size());
-  for (const net::Prefix prefix : keys) {
-    w.u32(prefix);
-    best_.at(prefix).save(w);
-  }
-}
-
-void LocRib::restore_state(snap::Reader& r) {
-  best_.clear();
-  const std::uint64_t n = r.u64();
-  for (std::uint64_t i = 0; i < n; ++i) {
-    const net::Prefix prefix = r.u32();
-    best_.emplace(prefix, AsPath::load(r));
+LocRib::LocRib(rib::LocalRibs* store, rib::SpeakerId row) {
+  if (store != nullptr) {
+    store_ = store;
+    row_ = row;
+  } else {
+    owned_ = std::make_unique<rib::LocalRibs>(1);
+    store_ = owned_.get();
+    row_ = 0;
   }
 }
 

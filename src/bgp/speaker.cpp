@@ -1,5 +1,6 @@
 #include "bgp/speaker.hpp"
 
+#include <algorithm>
 
 #include "bgp/assertion.hpp"
 #include "bgp/policy.hpp"
@@ -8,13 +9,16 @@
 namespace bgpsim::bgp {
 
 Speaker::Speaker(net::NodeId self, BgpConfig config, sim::Simulator& simulator,
-                 net::Transport& transport, fwd::Fib& fib, sim::Rng rng)
+                 net::Transport& transport, fwd::Fib& fib, sim::Rng rng,
+                 rib::LocalRibs* store, rib::SpeakerId row)
     : self_{self},
       config_{config},
       sim_{simulator},
       transport_{transport},
       fib_{fib},
-      rng_{std::move(rng)} {
+      rng_{std::move(rng)},
+      adj_rib_in_{store, row},
+      loc_rib_{store, row} {
   mrai_.set_expiry_handler(
       [this](net::NodeId peer, net::Prefix prefix, bool was_pending) {
         on_mrai_expired(peer, prefix, was_pending);
@@ -39,13 +43,53 @@ void Speaker::withdraw_origin(net::Prefix prefix) {
   run_decision(prefix);
 }
 
+void Speaker::originate_batch(const std::vector<net::Prefix>& prefixes) {
+  StagingScope staging{*this};
+  for (const net::Prefix prefix : prefixes) originated_.insert(prefix);
+  for (const net::Prefix prefix : prefixes) run_decision(prefix);
+}
+
+void Speaker::withdraw_origin_batch(const std::vector<net::Prefix>& prefixes) {
+  StagingScope staging{*this};
+  std::vector<net::Prefix> removed;
+  removed.reserve(prefixes.size());
+  for (const net::Prefix prefix : prefixes) {
+    if (originated_.erase(prefix) > 0) removed.push_back(prefix);
+  }
+  for (const net::Prefix prefix : removed) run_decision(prefix);
+}
+
 void Speaker::handle_update(net::NodeId from, const UpdateMsg& update) {
   ++counters_.updates_received;
   // A message can race a session drop (in-flight when the link died is
   // already lost, but a restore/re-drop can interleave); ignore strays.
   if (!peers_.contains(from)) return;
   if (hooks_.on_update_received) hooks_.on_update_received(self_, from, update);
+  apply_update(from, update);
+  run_decision(update.prefix);
+}
 
+void Speaker::handle_update_batch(net::NodeId from, const UpdateBatch& batch) {
+  StagingScope staging{*this};
+  std::vector<net::Prefix> touched;  // first-touch order
+  for (const UpdateMsg& update : batch.updates) {
+    ++counters_.updates_received;
+    if (!peers_.contains(from)) continue;  // stray (see handle_update)
+    if (hooks_.on_update_received) {
+      hooks_.on_update_received(self_, from, update);
+    }
+    apply_update(from, update);
+    if (std::find(touched.begin(), touched.end(), update.prefix) ==
+        touched.end()) {
+      touched.push_back(update.prefix);
+    }
+  }
+  // One decision pass per touched prefix, however many updates arrived —
+  // the batched decision processing over the shared column block.
+  for (const net::Prefix prefix : touched) run_decision(prefix);
+}
+
+void Speaker::apply_update(net::NodeId from, const UpdateMsg& update) {
   const net::Prefix prefix = update.prefix;
   if (update.is_withdrawal()) {
     adj_rib_in_.withdraw(prefix, from);
@@ -72,10 +116,10 @@ void Speaker::handle_update(net::NodeId from, const UpdateMsg& update) {
   sim::LogLine{sim::LogLevel::kTrace, "bgp", sim_.now()}
       << "node " << self_ << " recv from " << from << ": "
       << update.to_string();
-  run_decision(prefix);
 }
 
 void Speaker::handle_session(net::NodeId peer, bool up) {
+  StagingScope staging{*this};
   if (hooks_.on_session_changed) hooks_.on_session_changed(self_, peer, up);
   if (up) {
     peers_.insert(peer);
@@ -247,10 +291,35 @@ void Speaker::send_update(net::NodeId peer, net::Prefix prefix,
   // A bypassing withdrawal supersedes any decision held behind the timer.
   mrai_.set_pending(peer, prefix, false);
 
-  transport_.send(self_, peer, update);
+  if (staging_) {
+    // Multiprefix batching: defer the wire hop to the enclosing scope's
+    // flush. All protocol bookkeeping (counters, advertised mirror, MRAI
+    // starts, hooks) stays at logical-send time, so only the transport
+    // message shape changes.
+    staged_.emplace_back(peer, update);
+  } else {
+    transport_.send(self_, peer, update);
+  }
   if (hooks_.on_update_sent) hooks_.on_update_sent(self_, peer, update);
 
   if (start_timer) mrai_.start(peer, prefix, jittered_mrai(), sim_);
+}
+
+void Speaker::flush_staged() {
+  if (staged_.empty()) return;
+  // Group per peer (ascending), preserving each peer's message order.
+  std::map<net::NodeId, std::vector<UpdateMsg>> by_peer;
+  for (auto& [peer, msg] : staged_) {
+    by_peer[peer].push_back(std::move(msg));
+  }
+  staged_.clear();
+  for (auto& [peer, msgs] : by_peer) {
+    if (msgs.size() == 1) {
+      transport_.send(self_, peer, std::move(msgs.front()));
+    } else {
+      transport_.send(self_, peer, UpdateBatch{std::move(msgs)});
+    }
+  }
 }
 
 void Speaker::on_mrai_expired(net::NodeId peer, net::Prefix prefix,

@@ -53,8 +53,12 @@ class Speaker {
         on_mrai_expired;
   };
 
+  /// `store` binds this speaker's RIB facades to the network's shared SoA
+  /// store (row `row`); nullptr (the default) keeps a private store, for
+  /// standalone construction in tests.
   Speaker(net::NodeId self, BgpConfig config, sim::Simulator& simulator,
-          net::Transport& transport, fwd::Fib& fib, sim::Rng rng);
+          net::Transport& transport, fwd::Fib& fib, sim::Rng rng,
+          rib::LocalRibs* store = nullptr, rib::SpeakerId row = 0);
 
   /// Establish sessions with the given peers (initially up neighbors).
   void set_peers(const std::vector<net::NodeId>& peers);
@@ -68,8 +72,23 @@ class Speaker {
   /// Withdraw a locally originated prefix — the study's Tdown event.
   void withdraw_origin(net::Prefix prefix);
 
+  /// Originate several prefixes in one shot. In multiprefix mode the
+  /// resulting advertisements are staged and flushed as one batched
+  /// message per peer.
+  void originate_batch(const std::vector<net::Prefix>& prefixes);
+
+  /// Withdraw several locally originated prefixes at once — the
+  /// correlated-failure Tdown (full-table event at one origin).
+  void withdraw_origin_batch(const std::vector<net::Prefix>& prefixes);
+
   /// Inbound UPDATE from `from` (call after processing delay).
   void handle_update(net::NodeId from, const UpdateMsg& update);
+
+  /// Inbound batched UPDATEs from `from` (one transport message, one
+  /// processing-delay draw). Applies every contained update to the RIB,
+  /// then runs ONE decision pass per touched prefix — the batched
+  /// decision processing a shared SoA column block makes cheap.
+  void handle_update_batch(net::NodeId from, const UpdateBatch& batch);
 
   /// Session to `peer` went down/up (call after processing delay).
   void handle_session(net::NodeId peer, bool up);
@@ -123,6 +142,38 @@ class Speaker {
     AsPath path;  // valid when kind == kAnnounced
   };
 
+  /// Stages outbound updates for the enclosing handler in multiprefix
+  /// mode; the destructor flushes them grouped per peer. A no-op when
+  /// multiprefix is off or a scope is already active, so single-prefix
+  /// runs execute exactly the unbatched send path.
+  class StagingScope {
+   public:
+    explicit StagingScope(Speaker& s)
+        : s_{s}, active_{s.config_.multiprefix && !s.staging_} {
+      if (active_) s_.staging_ = true;
+    }
+    ~StagingScope() {
+      if (active_) {
+        s_.staging_ = false;
+        s_.flush_staged();
+      }
+    }
+    StagingScope(const StagingScope&) = delete;
+    StagingScope& operator=(const StagingScope&) = delete;
+
+   private:
+    Speaker& s_;
+    bool active_;
+  };
+
+  /// The RIB-mutation half of handle_update (everything but the decision
+  /// pass), shared with batched delivery.
+  void apply_update(net::NodeId from, const UpdateMsg& update);
+  /// Send staged updates, grouped per peer (peers ascending, per-peer
+  /// message order preserved); a group of one goes out as a plain
+  /// UpdateMsg, so wire shapes only change when batching actually packs.
+  void flush_staged();
+
   void run_decision(net::Prefix prefix);
   void advertise_to_all(net::Prefix prefix);
   void consider_send(net::NodeId peer, net::Prefix prefix);
@@ -166,6 +217,11 @@ class Speaker {
   std::map<net::Prefix, std::size_t> caution_lost_length_;
   std::map<std::pair<net::NodeId, net::Prefix>, Advertised> advertised_;
   Counters counters_;
+  /// Multiprefix staging state: while a StagingScope is active, send_update
+  /// appends here instead of hitting the transport. Always empty between
+  /// scheduler events, so it never enters the checkpoint codec.
+  bool staging_ = false;
+  std::vector<std::pair<net::NodeId, UpdateMsg>> staged_;
 };
 
 }  // namespace bgpsim::bgp

@@ -14,6 +14,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "bgp/as_path.hpp"
 #include "bgp/config.hpp"
@@ -50,6 +51,20 @@ struct Context {
   /// for the whole run). Enables the valley-free path check; null for
   /// shortest-path runs.
   const net::RelationshipTable* relationships = nullptr;
+  /// Multi-prefix runs: prefixes 0..prefix_count-1 are live; `origins[p]`
+  /// names prefix p's origin AS. Both default to the single-prefix shape
+  /// (count 1, empty origins → everything originates at `destination`).
+  std::size_t prefix_count = 1;
+  std::vector<net::NodeId> origins;
+
+  /// The origin AS of `p`: origins[p] when provided, else `destination`
+  /// for every prefix in range, else kInvalidNode (origin unknown —
+  /// origin-sensitive checks skip the prefix).
+  [[nodiscard]] net::NodeId origin_of(net::Prefix p) const {
+    if (p < origins.size()) return origins[p];
+    if (p < prefix_count || p == prefix) return destination;
+    return net::kInvalidNode;
+  }
 };
 
 /// Read-only view of a quiescent network for the convergence checks.
@@ -63,6 +78,16 @@ struct QuiescentView {
   std::function<std::optional<net::NodeId>(net::NodeId)> fib_next_hop;
   /// Does the destination currently originate the prefix?
   bool origin_up = true;
+
+  // ---- per-prefix accessors (multi-prefix runs; optional) ----
+  /// When set, the quiescence checks run once per prefix in
+  /// [0, Context::prefix_count) through these instead of the
+  /// single-prefix accessors above.
+  std::function<const bgp::AsPath*(net::NodeId, net::Prefix)> loc_path_for;
+  std::function<std::optional<net::NodeId>(net::NodeId, net::Prefix)>
+      fib_next_hop_for;
+  /// Per-prefix origin-up flag; unset means origin_up applies to all.
+  std::function<bool(net::Prefix)> origin_up_for;
 };
 
 /// Observer interface. Callbacks mirror the speaker/FIB hook points and

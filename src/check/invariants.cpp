@@ -1,5 +1,6 @@
 #include "check/invariants.hpp"
 
+#include <algorithm>
 #include <iterator>
 #include <string>
 #include <utility>
@@ -54,11 +55,12 @@ void PathSanityInvariant::on_route_installed(
       }
     }
   }
-  if (prefix == ctx_.prefix && ctx_.destination != net::kInvalidNode &&
-      best->origin() != ctx_.destination) {
+  const net::NodeId origin = ctx_.origin_of(prefix);
+  if (origin != net::kInvalidNode && best->origin() != origin) {
     report(at, node, "adopted path " + best->to_string() +
-                         " does not originate at the destination AS " +
-                         node_str(ctx_.destination));
+                         " for prefix " + std::to_string(prefix) +
+                         " does not originate at its origin AS " +
+                         node_str(origin));
   }
 }
 
@@ -149,12 +151,23 @@ void MraiLegalityInvariant::on_session_changed(net::NodeId node,
 
 void LoopDurationBoundInvariant::arm(const Context& ctx) {
   ctx_ = ctx;
-  detector_ = std::make_unique<metrics::LoopDetector>(
-      ctx.topology ? ctx.topology->node_count() : 0);
-  detector_->set_observer(
-      [this](const metrics::LoopRecord& record, bool formed) {
-        if (!formed) check_record(record, *record.resolved_at);
-      });
+  detectors_.clear();
+  detector_for(ctx.prefix);
+}
+
+metrics::LoopDetector* LoopDurationBoundInvariant::detector_for(
+    net::Prefix prefix) {
+  auto it = detectors_.find(prefix);
+  if (it == detectors_.end()) {
+    auto detector = std::make_unique<metrics::LoopDetector>(
+        ctx_.topology ? ctx_.topology->node_count() : 0);
+    detector->set_observer(
+        [this](const metrics::LoopRecord& record, bool formed) {
+          if (!formed) check_record(record, *record.resolved_at);
+        });
+    it = detectors_.emplace(prefix, std::move(detector)).first;
+  }
+  return it->second.get();
 }
 
 void LoopDurationBoundInvariant::check_record(
@@ -163,9 +176,14 @@ void LoopDurationBoundInvariant::check_record(
   // (m-1)×M for the MRAI-delayed correction around the loop (§3.2; M is
   // the longest possible timer draw), plus one processing+propagation
   // allowance per member — each correcting message can wait ≲0.5 s of CPU
-  // and queue behind a handful of other updates.
+  // and queue behind a handful of other updates. Multi-prefix runs share
+  // every processing queue across the whole table, so a correction can
+  // queue behind ~P× as many updates per hop: the queueing allowance
+  // scales with the prefix count (P = 1 reproduces the paper's bound).
   const double mrai_s = ctx_.bgp.mrai.as_seconds() * ctx_.bgp.jitter_hi;
-  const double bound_s = (m - 1.0) * mrai_s + m * 3.0 + 2.0;
+  const auto queue_scale =
+      static_cast<double>(std::max<std::size_t>(ctx_.prefix_count, 1));
+  const double bound_s = (m - 1.0) * mrai_s + m * 3.0 * queue_scale + 2.0;
   const double lived_s = (end - record.formed_at).as_seconds();
   if (lived_s > bound_s) {
     std::string members;
@@ -183,17 +201,18 @@ void LoopDurationBoundInvariant::check_record(
 void LoopDurationBoundInvariant::on_fib_changed(
     net::NodeId node, net::Prefix prefix, std::optional<net::NodeId>,
     std::optional<net::NodeId> current, sim::SimTime at) {
-  if (prefix != ctx_.prefix || !detector_) return;
-  detector_->on_next_hop_change(node, current, at);
+  if (prefix != ctx_.prefix && prefix >= ctx_.prefix_count) return;
+  detector_for(prefix)->on_next_hop_change(node, current, at);
 }
 
 void LoopDurationBoundInvariant::at_quiescence(const QuiescentView&,
                                                sim::SimTime at) {
-  if (!detector_) return;
   // A loop still unresolved at quiescence is a converged loop (reported by
   // the reference check); here we still flag it once it outlives the bound.
-  for (const auto& record : detector_->records()) {
-    if (!record.resolved_at) check_record(record, at);
+  for (const auto& [prefix, detector] : detectors_) {
+    for (const auto& record : detector->records()) {
+      if (!record.resolved_at) check_record(record, at);
+    }
   }
 }
 
@@ -211,7 +230,8 @@ void ConvergedReferenceInvariant::at_quiescence(const QuiescentView& view,
 void ValleyFreeInvariant::on_route_installed(
     net::NodeId node, net::Prefix prefix,
     const std::optional<bgp::AsPath>& best, sim::SimTime at) {
-  if (!ctx_.relationships || prefix != ctx_.prefix || !best) return;
+  if (!ctx_.relationships || !best) return;
+  if (prefix != ctx_.prefix && prefix >= ctx_.prefix_count) return;
   if (!bgp::valley_free(*ctx_.relationships, *best)) {
     report(at, node,
            "adopted path " + best->to_string() +
@@ -224,13 +244,22 @@ void ValleyFreeInvariant::at_quiescence(const QuiescentView& view,
   // Sweep every node's selected path once more: catches a path that was
   // installed before the oracle was armed (warm starts restore Loc-RIBs
   // without replaying the installs).
-  if (!ctx_.relationships || !ctx_.topology || !view.loc_path) return;
-  for (net::NodeId n = 0; n < ctx_.topology->node_count(); ++n) {
-    const bgp::AsPath* path = view.loc_path(n);
-    if (path && !bgp::valley_free(*ctx_.relationships, *path)) {
-      report(at, n,
-             "quiescent path " + path->to_string() + " contains a valley");
+  if (!ctx_.relationships || !ctx_.topology) return;
+  const auto sweep = [&](auto&& path_of) {
+    for (net::NodeId n = 0; n < ctx_.topology->node_count(); ++n) {
+      const bgp::AsPath* path = path_of(n);
+      if (path && !bgp::valley_free(*ctx_.relationships, *path)) {
+        report(at, n,
+               "quiescent path " + path->to_string() + " contains a valley");
+      }
     }
+  };
+  if (ctx_.prefix_count > 1 && view.loc_path_for) {
+    for (net::Prefix p = 0; p < ctx_.prefix_count; ++p) {
+      sweep([&](net::NodeId n) { return view.loc_path_for(n, p); });
+    }
+  } else if (view.loc_path) {
+    sweep([&](net::NodeId n) { return view.loc_path(n); });
   }
 }
 
@@ -245,9 +274,10 @@ void OscillationInvariant::arm(const Context& ctx) {
 void OscillationInvariant::on_route_installed(
     net::NodeId node, net::Prefix prefix,
     const std::optional<bgp::AsPath>& /*best*/, sim::SimTime at) {
-  if (prefix != ctx_.prefix) return;
-  const std::uint64_t flips = ++flips_[node];
-  if (flips > budget_ && !std::exchange(reported_[node], true)) {
+  if (prefix != ctx_.prefix && prefix >= ctx_.prefix_count) return;
+  const auto key = std::make_pair(node, prefix);
+  const std::uint64_t flips = ++flips_[key];
+  if (flips > budget_ && !std::exchange(reported_[key], true)) {
     report(at, node,
            "best path changed " + std::to_string(flips) +
                " times without reaching quiescence — persistent " +

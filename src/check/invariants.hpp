@@ -92,9 +92,12 @@ class LoopDurationBoundInvariant final : public Invariant {
 
  private:
   void check_record(const metrics::LoopRecord& record, sim::SimTime end);
+  /// The per-prefix detector, created on first sight of the prefix
+  /// (multi-prefix runs track each prefix's forwarding graph separately).
+  metrics::LoopDetector* detector_for(net::Prefix prefix);
 
   Context ctx_;
-  std::unique_ptr<metrics::LoopDetector> detector_;
+  std::map<net::Prefix, std::unique_ptr<metrics::LoopDetector>> detectors_;
 };
 
 /// At quiescence: the forwarding graph is loop-free and the RIB/FIB state
@@ -154,8 +157,10 @@ class OscillationInvariant final : public Invariant {
  private:
   Context ctx_;
   std::uint64_t budget_ = 2048;
-  std::map<net::NodeId, std::uint64_t> flips_;  // sparse: only changed nodes
-  std::map<net::NodeId, bool> reported_;
+  /// Sparse, keyed per (node, prefix): the flip budget is per prefix, so a
+  /// multi-prefix run's legitimate P-fold exploration does not trip it.
+  std::map<std::pair<net::NodeId, net::Prefix>, std::uint64_t> flips_;
+  std::map<std::pair<net::NodeId, net::Prefix>, bool> reported_;
 };
 
 /// A checkpoint restore must be bit-exact: re-serializing the restored

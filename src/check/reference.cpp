@@ -1,6 +1,7 @@
 #include "check/reference.hpp"
 
 #include <limits>
+#include <map>
 #include <string>
 
 namespace bgpsim::check {
@@ -59,82 +60,140 @@ std::vector<std::vector<net::NodeId>> forwarding_cycles(
   return cycles;
 }
 
-std::vector<Violation> diff_against_reference(const Context& ctx,
-                                              const QuiescentView& view,
-                                              sim::SimTime at) {
-  std::vector<Violation> out;
-  if (!ctx.topology) return out;
-  const net::Topology& topo = *ctx.topology;
+namespace {
+
+/// The single-prefix differential body, parameterized over one prefix's
+/// accessors. `tag` suffixes each detail ("" in single-prefix runs, so the
+/// historical messages are byte-identical; " for prefix p" otherwise).
+/// `ref` is null under policy routing (loop-freedom only).
+void diff_one_prefix(
+    const net::Topology& topo,
+    const std::function<const bgp::AsPath*(net::NodeId)>& loc_path,
+    const std::function<std::optional<net::NodeId>(net::NodeId)>& fib_next_hop,
+    bool origin_up, net::NodeId origin, const ReferenceRouting* ref,
+    const std::string& tag, sim::SimTime at, std::vector<Violation>& out) {
   const std::size_t n = topo.node_count();
 
   // Quiescent loop-freedom holds under every policy.
-  for (const auto& cycle : forwarding_cycles(n, view.fib_next_hop)) {
+  for (const auto& cycle : forwarding_cycles(n, fib_next_hop)) {
     std::string members;
     for (net::NodeId m : cycle) {
       if (!members.empty()) members += ' ';
       members += std::to_string(m);
     }
     add(out, at, cycle.front(),
-        "forwarding loop {" + members + "} persists at quiescence");
+        "forwarding loop {" + members + "} persists at quiescence" + tag);
   }
-  if (ctx.policy_routing) return out;  // shortest-path reference n/a
+  if (ref == nullptr) return;  // shortest-path reference n/a
 
-  const ReferenceRouting ref = compute_reference(topo, ctx.destination);
   for (net::NodeId v = 0; v < n; ++v) {
-    const bgp::AsPath* path = view.loc_path ? view.loc_path(v) : nullptr;
-    const auto hop = view.fib_next_hop(v);
-    const bool expect_route =
-        view.origin_up && ref.reachable(v) && v != ctx.destination;
+    const bgp::AsPath* path = loc_path ? loc_path(v) : nullptr;
+    const auto hop = fib_next_hop(v);
+    const bool expect_route = origin_up && ref->reachable(v) && v != origin;
 
-    if (!view.origin_up || !ref.reachable(v)) {
+    if (!origin_up || !ref->reachable(v)) {
       // Fixed point: no route anywhere (Tdown) / on disconnected nodes.
-      if (view.loc_path && path) {
+      if (loc_path && path) {
         add(out, at, v,
-            "expected unreachable but Loc-RIB holds " + path->to_string());
+            "expected unreachable but Loc-RIB holds " + path->to_string() +
+                tag);
       }
       if (hop) {
         add(out, at, v,
-            "expected no route but FIB forwards to " + std::to_string(*hop));
+            "expected no route but FIB forwards to " + std::to_string(*hop) +
+                tag);
       }
       continue;
     }
-    if (v == ctx.destination) {
+    if (v == origin) {
       // The origin reaches itself; it must not forward the prefix.
       if (hop) {
         add(out, at, v,
-            "destination FIB forwards to " + std::to_string(*hop));
+            "destination FIB forwards to " + std::to_string(*hop) + tag);
       }
       continue;
     }
-    if (expect_route && view.loc_path) {
+    if (expect_route && loc_path) {
       if (!path) {
         add(out, at, v,
-            "expected a route at distance " + std::to_string(ref.distance[v]) +
-                " but Loc-RIB is empty");
-      } else if (path->length() != ref.expected_path_length(v)) {
+            "expected a route at distance " + std::to_string(ref->distance[v]) +
+                " but Loc-RIB is empty" + tag);
+      } else if (path->length() != ref->expected_path_length(v)) {
         add(out, at, v,
             "Loc-RIB path " + path->to_string() + " has length " +
                 std::to_string(path->length()) + ", shortest-path fixed point "
-                "requires " + std::to_string(ref.expected_path_length(v)));
+                "requires " + std::to_string(ref->expected_path_length(v)) +
+                tag);
       }
     }
     if (!hop) {
-      add(out, at, v, "reachable node has no FIB next hop");
+      add(out, at, v, "reachable node has no FIB next hop" + tag);
       continue;
     }
     // The next hop must be a neighbor over an up link and lie on a
     // shortest path (distance strictly decreasing toward the destination).
     if (!topo.link_up(v, *hop)) {
       add(out, at, v,
-          "FIB next hop " + std::to_string(*hop) + " is not an up neighbor");
-    } else if (ref.distance[*hop] + 1 != ref.distance[v]) {
+          "FIB next hop " + std::to_string(*hop) + " is not an up neighbor" +
+              tag);
+    } else if (ref->distance[*hop] + 1 != ref->distance[v]) {
       add(out, at, v,
           "FIB next hop " + std::to_string(*hop) + " at distance " +
-              std::to_string(ref.distance[*hop]) +
+              std::to_string(ref->distance[*hop]) +
               " is not on a shortest path (own distance " +
-              std::to_string(ref.distance[v]) + ")");
+              std::to_string(ref->distance[v]) + ")" + tag);
     }
   }
+}
+
+}  // namespace
+
+std::vector<Violation> diff_against_reference(const Context& ctx,
+                                              const QuiescentView& view,
+                                              sim::SimTime at) {
+  std::vector<Violation> out;
+  if (!ctx.topology) return out;
+  const net::Topology& topo = *ctx.topology;
+
+  if (ctx.prefix_count > 1 && view.fib_next_hop_for) {
+    // Multi-prefix run: diff every prefix against its own origin's fixed
+    // point. References are cached per origin node — prefixes sharing an
+    // origin share one BFS.
+    std::map<net::NodeId, ReferenceRouting> cache;
+    for (net::Prefix p = 0; p < ctx.prefix_count; ++p) {
+      const net::NodeId origin = ctx.origin_of(p);
+      if (origin == net::kInvalidNode) continue;
+      const ReferenceRouting* ref = nullptr;
+      if (!ctx.policy_routing) {
+        auto it = cache.find(origin);
+        if (it == cache.end()) {
+          it = cache.emplace(origin, compute_reference(topo, origin)).first;
+        }
+        ref = &it->second;
+      }
+      std::function<const bgp::AsPath*(net::NodeId)> loc_path;
+      if (view.loc_path_for) {
+        loc_path = [&view, p](net::NodeId v) { return view.loc_path_for(v, p); };
+      }
+      const std::function<std::optional<net::NodeId>(net::NodeId)>
+          fib_next_hop =
+              [&view, p](net::NodeId v) { return view.fib_next_hop_for(v, p); };
+      const bool up =
+          view.origin_up_for ? view.origin_up_for(p) : view.origin_up;
+      diff_one_prefix(topo, loc_path, fib_next_hop, up, origin, ref,
+                      " for prefix " + std::to_string(p), at, out);
+    }
+    return out;
+  }
+
+  const ReferenceRouting* ref = nullptr;
+  ReferenceRouting single;
+  if (!ctx.policy_routing) {
+    single = compute_reference(topo, ctx.destination);
+    ref = &single;
+  }
+  diff_one_prefix(topo, view.loc_path, view.fib_next_hop, view.origin_up,
+                  ctx.destination, ref, std::string{}, at, out);
   return out;
 }
 

@@ -37,6 +37,9 @@ constexpr Knob kRegistry[] = {
     {"BGPSIM_TIMER_WHEEL", "1",
      "hierarchical timer-wheel scheduler with batched same-tick MRAI "
      "delivery; 0 = (time, seq) binary heap, for A/B digest checks"},
+    {"BGPSIM_PREFIXES", "256",
+     "prefix-count cap for the multi-prefix bench sweep; sweep points "
+     "above the cap are skipped"},
     {"BGPSIM_POLICY_SIZES", "1000,10000",
      "comma-separated AS-graph node counts for the policy-scale bench; "
      "the default grows by 75000 under BGPSIM_FULL=1"},
@@ -79,6 +82,11 @@ std::size_t fuzz_iters(std::size_t fallback) {
 
 std::size_t snap_cache_capacity() {
   return sim::env_u64_or("BGPSIM_SNAP_CACHE", 32);
+}
+
+std::size_t prefixes_cap() {
+  const std::size_t v = sim::env_u64_or("BGPSIM_PREFIXES", 256);
+  return v == 0 ? 1 : v;
 }
 
 bool path_interning() {

@@ -63,6 +63,11 @@ struct Knob {
 /// warm-start caching. Default 32.
 [[nodiscard]] std::size_t snap_cache_capacity();
 
+/// BGPSIM_PREFIXES: prefix-count cap for the multi-prefix bench sweep
+/// (headline_multiprefix skips sweep points above it) and the fuzzer's
+/// multi-prefix mode. Default 256; 0 is clamped to 1.
+[[nodiscard]] std::size_t prefixes_cap();
+
 /// BGPSIM_PATH_INTERN: per-experiment AS-path interning (bgp::PathStore);
 /// 0 disables (plain structural sharing, for A/B digest checks). Default 1.
 [[nodiscard]] bool path_interning();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -105,6 +107,13 @@ std::uint64_t scenario_prelude_hash(const Scenario& scenario) {
       (scenario.event == EventKind::kTlong ||
        scenario.event == EventKind::kFlap);
   h.mix(link_filter ? 1 : 0);
+  if (scenario.prefixes > 1) {
+    // Mixed only for multi-prefix runs, so every pre-existing
+    // single-prefix prelude hash (and warm-start cache) is unchanged.
+    h.mix(scenario.prefixes);
+    h.mix(scenario.origins.size());
+    for (const net::NodeId o : scenario.origins) h.mix(o);
+  }
   return h.value();
 }
 
@@ -155,19 +164,54 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
                           scenario_rng);
   }
 
+  // ---- Multi-prefix table ----------------------------------------------
+  // prefix 0 always originates at the destination; prefixes >= 1 cycle
+  // over scenario.origins (empty: everything at the destination — the
+  // fully correlated full table).
+  const std::size_t prefix_count = std::max<std::size_t>(scenario.prefixes, 1);
+  const bool multi = prefix_count > 1;
+  std::vector<net::NodeId> prefix_origins;
+  std::vector<net::Prefix> dest_prefixes;  // originated by the destination
+  std::map<net::NodeId, std::vector<net::Prefix>> origin_groups;
+  if (multi) {
+    prefix_origins.assign(prefix_count, destination);
+    for (std::size_t i = 1; i < prefix_count; ++i) {
+      if (!scenario.origins.empty()) {
+        prefix_origins[i] = scenario.origins[(i - 1) % scenario.origins.size()];
+      }
+      if (prefix_origins[i] >= topo.node_count()) {
+        throw std::invalid_argument{
+            "Scenario: prefix origin " + std::to_string(prefix_origins[i]) +
+            " is not a node of the topology"};
+      }
+    }
+    for (std::size_t p = 0; p < prefix_count; ++p) {
+      origin_groups[prefix_origins[p]].push_back(static_cast<net::Prefix>(p));
+      if (prefix_origins[p] == destination) {
+        dest_prefixes.push_back(static_cast<net::Prefix>(p));
+      }
+    }
+  }
+
   sim::Simulator simulator;
   bgp::BgpConfig bgp_config = scenario.bgp;
   if (scenario.policy_routing) bgp_config.policy = &relationships;
+  if (multi) bgp_config.multiprefix = true;
   bgp::BgpNetwork network{simulator, topo, bgp_config, scenario.processing,
                           root};
   metrics::Collector collector;
+  if (multi) collector.enable_prefix_lanes(prefix_count);
   metrics::TraceRecorder* trace = scenario.trace;
   check::Oracle* oracle = scenario.oracle;
   if (oracle) {
-    oracle->arm(check::Context{&topo, bgp_config, kPrefix, destination,
-                               scenario.policy_routing,
-                               scenario.policy_routing ? &relationships
-                                                       : nullptr});
+    check::Context ctx{&topo, bgp_config, kPrefix, destination,
+                       scenario.policy_routing,
+                       scenario.policy_routing ? &relationships : nullptr};
+    if (multi) {
+      ctx.prefix_count = prefix_count;
+      ctx.origins = prefix_origins;
+    }
+    oracle->arm(ctx);
   }
   bgp::Speaker::Hooks hooks;
   hooks.on_update_sent = [&collector, &simulator, trace, oracle](
@@ -218,15 +262,33 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
   network.set_hooks(hooks);
 
   fwd::DataPlane plane{simulator, topo, network.fibs(), destination, kPrefix};
+  if (multi) {
+    for (std::size_t p = 1; p < prefix_count; ++p) {
+      plane.add_destination(static_cast<net::Prefix>(p), prefix_origins[p]);
+    }
+  }
   plane.set_fate_handler([&](const fwd::Packet& p, fwd::PacketFate fate,
                              net::NodeId where, sim::SimTime when) {
     collector.note_fate(p, fate, where, when);
   });
 
-  metrics::LoopDetector detector{topo.node_count()};
-  detector.attach(simulator, network.fibs(), kPrefix);
-  // After attach: the detector replaces all FIB observers, the oracle
-  // subscribes alongside it.
+  // One loop detector per prefix: detector 0 attaches first (replacing any
+  // stale FIB observers), the rest subscribe alongside it.
+  std::vector<std::unique_ptr<metrics::LoopDetector>> detectors;
+  detectors.push_back(
+      std::make_unique<metrics::LoopDetector>(topo.node_count()));
+  detectors.front()->attach(simulator, network.fibs(), kPrefix);
+  if (multi) {
+    for (std::size_t p = 1; p < prefix_count; ++p) {
+      detectors.push_back(
+          std::make_unique<metrics::LoopDetector>(topo.node_count()));
+      detectors.back()->attach_alongside(simulator, network.fibs(),
+                                         static_cast<net::Prefix>(p));
+    }
+  }
+  metrics::LoopDetector& detector = *detectors.front();
+  // After attach: the detectors replace/extend the FIB observers, the
+  // oracle subscribes alongside them.
   if (oracle) oracle->observe_fibs(simulator, network.fibs());
   if (trace) {
     detector.set_observer([trace](const metrics::LoopRecord& r, bool formed) {
@@ -244,11 +306,19 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
     });
   }
 
-  fwd::TrafficGenerator traffic{simulator, plane, scenario.traffic,
+  fwd::TrafficConfig traffic_config = scenario.traffic;
+  if (multi) traffic_config.prefix_count = prefix_count;
+  fwd::TrafficGenerator traffic{simulator, plane, traffic_config,
                                 root.child("traffic")};
   traffic.set_send_hook([&](net::NodeId, sim::SimTime when) {
     collector.note_packet_sent(when);
   });
+  if (multi) {
+    traffic.set_prefix_send_hook(
+        [&](net::NodeId, net::Prefix p, sim::SimTime) {
+          collector.note_packet_sent_for(p);
+        });
+  }
 
   // ---- Phase 1: cold-start convergence or warm start --------------------
   // (For Tup the network starts empty — the origination *is* the event.)
@@ -278,7 +348,17 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
           "re-serializes to a different content hash"};
     }
   } else {
-    if (prelude_originated) {
+    if (multi) {
+      // Non-destination origins always converge in the prelude (they are
+      // background table state); the destination's own prefixes join
+      // unless the origination *is* the event (Tup).
+      simulator.schedule_at(sim::SimTime::zero(), [&] {
+        for (const auto& [origin, group] : origin_groups) {
+          if (origin == destination && !prelude_originated) continue;
+          network.originate_batch(origin, group);
+        }
+      });
+    } else if (prelude_originated) {
       simulator.schedule_at(sim::SimTime::zero(),
                             [&] { network.originate(destination, kPrefix); });
     }
@@ -305,6 +385,17 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
       return network.fibs()[n].next_hop(kPrefix);
     };
     view.origin_up = network.speaker(destination).originates(kPrefix);
+    if (multi) {
+      view.loc_path_for = [&network](net::NodeId n, net::Prefix p) {
+        return network.speaker(n).loc_rib().get(p);
+      };
+      view.fib_next_hop_for = [&network](net::NodeId n, net::Prefix p) {
+        return network.fibs()[n].next_hop(p);
+      };
+      view.origin_up_for = [&network, &prefix_origins](net::Prefix p) {
+        return network.speaker(prefix_origins[p]).originates(p);
+      };
+    }
     return view;
   };
   if (oracle) oracle->at_quiescence(quiescent_view(), simulator.now());
@@ -320,7 +411,8 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
   traffic.start(sources, t_traffic);
 
   simulator.schedule_at(t_event, [&] {
-    detector.clear_history();  // measure only post-event loops
+    // Measure only post-event loops, on every prefix's detector.
+    for (auto& d : detectors) d->clear_history();
     if (trace) {
       trace->record(metrics::TraceEvent{
           simulator.now(), metrics::TraceEventKind::kEventInjected,
@@ -329,13 +421,23 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
     }
     switch (scenario.event) {
       case EventKind::kTdown:
-        network.inject_tdown(destination, kPrefix);
+        // Multi-prefix: the correlated failure — the destination withdraws
+        // its whole originated slice of the table in one batched event.
+        if (multi) {
+          network.inject_tdown_batch(destination, dest_prefixes);
+        } else {
+          network.inject_tdown(destination, kPrefix);
+        }
         break;
       case EventKind::kTlong:
         network.inject_link_failure(*failed_link);
         break;
       case EventKind::kTup:
-        network.originate(destination, kPrefix);
+        if (multi) {
+          network.originate_batch(destination, dest_prefixes);
+        } else {
+          network.originate(destination, kPrefix);
+        }
         break;
       case EventKind::kFlap:
         network.inject_link_failure(*failed_link);
@@ -405,7 +507,7 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
   }
 
   const sim::SimTime end = simulator.now();
-  detector.finalize(end);
+  for (auto& d : detectors) d->finalize(end);
   if (oracle) oracle->at_quiescence(quiescent_view(), end);
 
   // ---- Metrics ---------------------------------------------------------
@@ -454,6 +556,13 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
       t_event, profile_end, sim::SimTime::seconds(1));
 
   m.loops = detector.records();
+  if (multi) {
+    // Headline loop metrics aggregate the whole table, prefix-major.
+    for (std::size_t p = 1; p < prefix_count; ++p) {
+      const auto& recs = detectors[p]->records();
+      m.loops.insert(m.loops.end(), recs.begin(), recs.end());
+    }
+  }
   m.loops_formed = m.loops.size();
   m.loop_stats = metrics::analyze_loops(m.loops, end);
   if (!m.loops.empty()) {
@@ -465,6 +574,22 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
           std::max(m.max_loop_duration_s, loop.duration_seconds(end));
     }
     m.mean_loop_size = size_sum / static_cast<double>(m.loops.size());
+  }
+  if (multi) {
+    m.per_prefix.resize(prefix_count);
+    const auto& lanes = collector.prefix_lanes();
+    for (std::size_t p = 0; p < prefix_count; ++p) {
+      metrics::RunMetrics::PrefixLane& lane = m.per_prefix[p];
+      const auto& recs = detectors[p]->records();
+      lane.loops_formed = recs.size();
+      for (const auto& loop : recs) {
+        lane.max_loop_duration_s =
+            std::max(lane.max_loop_duration_s, loop.duration_seconds(end));
+      }
+      lane.packets_sent = lanes[p].sent;
+      lane.packets_delivered = lanes[p].delivered;
+      lane.ttl_exhaustions = lanes[p].ttl_exhausted;
+    }
   }
   return out;
 }

@@ -109,7 +109,7 @@ void attach_snap_probe(Scenario& scenario, std::uint64_t scenario_seed) {
 
 IterationResult run_checked(std::uint64_t scenario_seed,
                             const FuzzOptions& options) {
-  Scenario scenario = fuzz_scenario(scenario_seed);
+  Scenario scenario = fuzz_scenario(scenario_seed, options.multiprefix);
   if (!options.snap_check) return run_once(scenario, scenario_seed, options);
 
   attach_snap_probe(scenario, scenario_seed);
@@ -149,7 +149,7 @@ IterationResult run_iteration(std::uint64_t scenario_seed,
   // when armed), pinned to the other queue backend for this run only. Its
   // fingerprint — events fired, updates sent, loop metrics, convergence
   // times — must match the default-backend baseline bit for bit.
-  Scenario scenario = fuzz_scenario(scenario_seed);
+  Scenario scenario = fuzz_scenario(scenario_seed, options.multiprefix);
   if (options.snap_check) attach_snap_probe(scenario, scenario_seed);
   const bool wheel_now =
       sim::default_queue_backend() == sim::QueueBackend::kWheel;
@@ -204,7 +204,7 @@ std::uint64_t fuzz_scenario_seed(std::uint64_t campaign_seed,
   return sim::Rng{campaign_seed}.child("fuzz-iter", iter).next_u64();
 }
 
-Scenario fuzz_scenario(std::uint64_t scenario_seed) {
+Scenario fuzz_scenario(std::uint64_t scenario_seed, bool multiprefix) {
   sim::Rng rng = sim::Rng{scenario_seed}.child("fuzz-scenario");
   Scenario s;
 
@@ -264,6 +264,24 @@ Scenario fuzz_scenario(std::uint64_t scenario_seed) {
   s.flap_interval = sim::SimTime::seconds(rng.uniform(2.0, 20.0));
 
   s.seed = rng.next_u64();
+
+  if (multiprefix) {
+    // Appended after the classic draw sequence: with the flag off the
+    // scenario (and the campaign digest) is bit-identical to before.
+    constexpr std::size_t kPrefixChoices[] = {2, 4, 8, 16};
+    s.prefixes = kPrefixChoices[rng.next_below(4)];
+    if (rng.chance(0.5)) {
+      // Scatter some origins over the topology (cycled over prefixes >= 1);
+      // the other half keeps the fully correlated single-origin table.
+      const std::size_t nodes = s.topology.kind == TopologyKind::kBClique
+                                    ? 2 * s.topology.size
+                                    : s.topology.size;
+      const auto n_origins = static_cast<std::size_t>(rng.uniform_int(1, 3));
+      for (std::size_t i = 0; i < n_origins; ++i) {
+        s.origins.push_back(static_cast<net::NodeId>(rng.next_below(nodes)));
+      }
+    }
+  }
   return s;
 }
 

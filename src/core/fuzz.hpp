@@ -49,6 +49,13 @@ struct FuzzOptions {
   /// comparable. The reported digest is always the default-backend one, so
   /// a clean --wheel-check campaign prints the same digest as a plain run.
   bool wheel_check = false;
+  /// Multi-prefix fuzzing (opt-in): every scenario additionally draws a
+  /// prefix count from {2, 4, 8, 16} and, half the time, a set of random
+  /// extra origins — exercising the SoA RIB, batched decision processing,
+  /// and per-prefix oracle paths. The extra draws are appended after the
+  /// single-prefix draw sequence, so with this off every scenario (and the
+  /// campaign digest) is unchanged.
+  bool multiprefix = false;
 };
 
 /// One failing iteration: either armed invariants reported violations, the
@@ -81,8 +88,11 @@ struct FuzzReport {
 
 /// Expand one scenario seed into a runnable Scenario. Pure: no global
 /// state, no entropy beyond the seed. Chain topologies never draw Tlong or
-/// Flap (losing any chain link disconnects the destination).
-[[nodiscard]] Scenario fuzz_scenario(std::uint64_t scenario_seed);
+/// Flap (losing any chain link disconnects the destination). With
+/// `multiprefix`, appends the prefix-count/origin draws (FuzzOptions::
+/// multiprefix); false leaves the classic scenario untouched.
+[[nodiscard]] Scenario fuzz_scenario(std::uint64_t scenario_seed,
+                                     bool multiprefix = false);
 
 /// Run one scenario seed with the oracle armed — the --replay entry point.
 /// Returns the failure record, or nullopt if the run was clean.

@@ -79,6 +79,7 @@ std::string Scenario::label() const {
                         return "BGP";
                       }();
   if (policy_routing) label += " (policy)";
+  if (prefixes > 1) label += " x" + std::to_string(prefixes) + "pfx";
   return label;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "bgp/config.hpp"
 #include "fwd/traffic.hpp"
@@ -146,6 +147,20 @@ struct Scenario {
   /// Root seed: drives jitter, processing delays, traffic stagger, and the
   /// destination / failed-link choice on Internet topologies.
   std::uint64_t seed = 1;
+
+  /// Number of prefixes in the routing table (the full-table workload).
+  /// 1 (the default) runs exactly the paper's single-prefix experiment —
+  /// every multi-prefix code path is gated off. With P > 1, prefix 0
+  /// originates at `destination` and Tdown withdraws *every* prefix the
+  /// destination originates (the correlated-failure event); advertisements
+  /// and withdrawals leave each origin batched per peer, and receivers run
+  /// one decision pass per touched prefix per batch.
+  std::size_t prefixes = 1;
+
+  /// Origin ASes for prefixes 1..P-1, applied cycled (prefix i ≥ 1
+  /// originates at origins[(i-1) % origins.size()]). Empty: every prefix
+  /// originates at `destination` (the fully correlated full table).
+  std::vector<net::NodeId> origins;
 
   /// Destination AS. Default: node 0 for Clique/B-Clique/Chain/Ring (the
   /// paper's convention); a random lowest-degree node for Internet.

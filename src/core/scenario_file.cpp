@@ -60,6 +60,8 @@ Scenario parse_scenario(std::istream& in) {
   Scenario s;
   bool saw_topology = false;
   bool saw_size = false;
+  std::size_t prefixes_line = 0;  // line that set 'prefixes' (0 = unset)
+  std::size_t origins_line = 0;   // line that set 'origins' (0 = unset)
   std::map<std::string, std::size_t> seen_keys;  // key -> first line
 
   std::string raw;
@@ -154,6 +156,31 @@ Scenario parse_scenario(std::istream& in) {
       const double v = to_double(line_no, key, value);
       if (v < 0) fail(line_no, "caution must be non-negative");
       s.bgp.backup_caution = sim::SimTime::seconds(v);
+    } else if (key == "prefixes") {
+      // stoull wraps negatives silently, so reject the sign up front.
+      if (value[0] == '-') {
+        fail(line_no, "prefixes must be a positive count, got: " + value);
+      }
+      const auto n = to_u64(line_no, key, value);
+      if (n == 0) fail(line_no, "prefixes must be at least 1, got: 0");
+      s.prefixes = static_cast<std::size_t>(n);
+      prefixes_line = line_no;
+    } else if (key == "origins") {
+      // Comma-separated origin AS list for prefixes >= 1 (applied cycled).
+      std::string rest = value;
+      while (!rest.empty()) {
+        const auto comma = rest.find(',');
+        const std::string item = trimmed(rest.substr(0, comma));
+        rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+        if (item.empty()) fail(line_no, "empty entry in 'origins' list");
+        if (item[0] == '-') {
+          fail(line_no, "origin AS must be non-negative, got: " + item);
+        }
+        s.origins.push_back(
+            static_cast<net::NodeId>(to_u64(line_no, key, item)));
+      }
+      if (s.origins.empty()) fail(line_no, "empty 'origins' list");
+      origins_line = line_no;
     } else {
       fail(line_no, "unknown key: " + key);
     }
@@ -181,6 +208,28 @@ Scenario parse_scenario(std::istream& in) {
   if (s.processing.min > s.processing.max) {
     throw std::runtime_error{
         "scenario file: processing_min_ms > processing_max_ms"};
+  }
+  if (origins_line != 0 && prefixes_line == 0) {
+    fail(origins_line, "'origins' requires 'prefixes' > 1");
+  }
+  if (origins_line != 0 && s.prefixes < 2) {
+    fail(origins_line, "'origins' needs prefixes >= 2 (prefix 0 always "
+                       "originates at the destination)");
+  }
+  // Origins must name real nodes. The node count is known here for every
+  // sized kind (relfile derives it from the file, so it is checked at
+  // build time instead).
+  if (s.topology.kind != TopologyKind::kRelFile) {
+    const std::size_t n = s.topology.kind == TopologyKind::kBClique
+                              ? 2 * s.topology.size
+                              : s.topology.size;
+    for (const net::NodeId o : s.origins) {
+      if (o >= n) {
+        fail(origins_line, "origin AS " + std::to_string(o) +
+                               " out of range for " +
+                               std::to_string(n) + "-node topology");
+      }
+    }
   }
   return s;
 }
@@ -253,6 +302,19 @@ std::string to_scenario_text(const Scenario& s) {
   out << "traffic_pps = " << 1.0 / s.traffic.interval.as_seconds() << "\n";
   out << "ttl = " << s.traffic.ttl << "\n";
   out << "caution = " << s.bgp.backup_caution.as_seconds() << "\n";
+  // Emitted only for multi-prefix scenarios so single-prefix round-trip
+  // text (and everything hashed from it) is byte-identical to before.
+  if (s.prefixes > 1) {
+    out << "prefixes = " << s.prefixes << "\n";
+    if (!s.origins.empty()) {
+      out << "origins = ";
+      for (std::size_t i = 0; i < s.origins.size(); ++i) {
+        if (i != 0) out << ",";
+        out << s.origins[i];
+      }
+      out << "\n";
+    }
+  }
   return out.str();
 }
 

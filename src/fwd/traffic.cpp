@@ -1,10 +1,20 @@
 #include "fwd/traffic.hpp"
 
+#include <algorithm>
+
 namespace bgpsim::fwd {
 
 void TrafficGenerator::start(const std::vector<net::NodeId>& sources,
                              sim::SimTime start) {
   running_ = true;
+  if (config_.prefix_count > 1 && !sources.empty()) {
+    // Round-robin cursors: source s starts at prefix s % P, so the first
+    // tick of the whole network already spreads over the prefix set.
+    net::NodeId max_src = 0;
+    for (net::NodeId src : sources) max_src = std::max(max_src, src);
+    cursor_.assign(max_src + 1, 0);
+    for (net::NodeId src : sources) cursor_[src] = src % config_.prefix_count;
+  }
   for (net::NodeId src : sources) {
     sim::SimTime first = start;
     if (config_.stagger) {
@@ -18,7 +28,15 @@ void TrafficGenerator::tick(net::NodeId source) {
   if (!running_) return;
   ++sent_;
   if (on_send_) on_send_(source, sim_.now());
-  plane_.inject(source, config_.ttl);
+  if (config_.prefix_count > 1) {
+    const auto prefix =
+        static_cast<net::Prefix>(cursor_[source] % config_.prefix_count);
+    cursor_[source] = prefix + 1;
+    if (on_prefix_send_) on_prefix_send_(source, prefix, sim_.now());
+    plane_.inject_for(prefix, source, config_.ttl);
+  } else {
+    plane_.inject(source, config_.ttl);
+  }
   sim_.schedule_after(config_.interval, [this, source] { tick(source); });
 }
 

@@ -13,7 +13,7 @@ void Collector::note_packet_sent(sim::SimTime when) {
   send_times_.push_back(when);
 }
 
-void Collector::note_fate(const fwd::Packet&, fwd::PacketFate fate,
+void Collector::note_fate(const fwd::Packet& packet, fwd::PacketFate fate,
                           net::NodeId, sim::SimTime when) {
   switch (fate) {
     case fwd::PacketFate::kDelivered:
@@ -29,6 +29,19 @@ void Collector::note_fate(const fwd::Packet&, fwd::PacketFate fate,
       ++link_down_;
       break;
   }
+  if (!lanes_.empty() && packet.prefix < lanes_.size()) {
+    PrefixCounters& lane = lanes_[packet.prefix];
+    if (fate == fwd::PacketFate::kDelivered) ++lane.delivered;
+    if (fate == fwd::PacketFate::kTtlExhausted) ++lane.ttl_exhausted;
+  }
+}
+
+void Collector::enable_prefix_lanes(std::size_t prefix_count) {
+  lanes_.assign(prefix_count, PrefixCounters{});
+}
+
+void Collector::note_packet_sent_for(net::Prefix prefix) {
+  if (prefix < lanes_.size()) ++lanes_[prefix].sent;
 }
 
 std::optional<sim::SimTime> Collector::last_update_at(sim::SimTime from) const {
@@ -121,6 +134,17 @@ void Collector::save_state(snap::Writer& w) const {
   w.u64(delivered_);
   w.u64(no_route_);
   w.u64(link_down_);
+  // Lane section only when lanes are on: single-prefix checkpoint bytes
+  // are unchanged, and lane enablement is a construction-time property
+  // shared by saver and restorer (both sides ran the same scenario).
+  if (!lanes_.empty()) {
+    w.u64(lanes_.size());
+    for (const PrefixCounters& lane : lanes_) {
+      w.u64(lane.sent);
+      w.u64(lane.delivered);
+      w.u64(lane.ttl_exhausted);
+    }
+  }
 }
 
 void Collector::restore_state(snap::Reader& r) {
@@ -131,6 +155,15 @@ void Collector::restore_state(snap::Reader& r) {
   delivered_ = r.u64();
   no_route_ = r.u64();
   link_down_ = r.u64();
+  if (!lanes_.empty()) {
+    const std::uint64_t n = r.u64();
+    lanes_.assign(static_cast<std::size_t>(n), PrefixCounters{});
+    for (PrefixCounters& lane : lanes_) {
+      lane.sent = r.u64();
+      lane.delivered = r.u64();
+      lane.ttl_exhausted = r.u64();
+    }
+  }
 }
 
 }  // namespace bgpsim::metrics

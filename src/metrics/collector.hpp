@@ -26,6 +26,25 @@ class Collector {
   void note_fate(const fwd::Packet& packet, fwd::PacketFate fate,
                  net::NodeId where, sim::SimTime when);
 
+  // ---- per-prefix lanes (multi-prefix runs) ----
+
+  /// Size the per-prefix counter lanes. Off (the single-prefix default)
+  /// the lanes cost nothing and the checkpoint bytes are unchanged.
+  void enable_prefix_lanes(std::size_t prefix_count);
+
+  /// Count one injection against `prefix`'s lane (no-op when lanes are
+  /// off; the time-stamped series still comes from note_packet_sent).
+  void note_packet_sent_for(net::Prefix prefix);
+
+  struct PrefixCounters {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t ttl_exhausted = 0;
+  };
+  [[nodiscard]] const std::vector<PrefixCounters>& prefix_lanes() const {
+    return lanes_;
+  }
+
   // ---- queries ----
 
   [[nodiscard]] std::uint64_t updates_sent_total() const {
@@ -86,6 +105,7 @@ class Collector {
   std::uint64_t delivered_ = 0;
   std::uint64_t no_route_ = 0;
   std::uint64_t link_down_ = 0;
+  std::vector<PrefixCounters> lanes_;  // empty: lanes disabled
 };
 
 }  // namespace bgpsim::metrics

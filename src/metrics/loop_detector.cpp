@@ -36,6 +36,20 @@ void LoopDetector::attach(sim::Simulator& simulator, std::vector<fwd::Fib>& fibs
   }
 }
 
+void LoopDetector::attach_alongside(sim::Simulator& simulator,
+                                    std::vector<fwd::Fib>& fibs,
+                                    net::Prefix prefix) {
+  for (net::NodeId node = 0; node < fibs.size(); ++node) {
+    fibs[node].add_observer(
+        [this, node, prefix, &simulator](net::Prefix p,
+                                         std::optional<net::NodeId> /*old*/,
+                                         std::optional<net::NodeId> now) {
+          if (p != prefix) return;
+          on_next_hop_change(node, now, simulator.now());
+        });
+  }
+}
+
 void LoopDetector::on_next_hop_change(net::NodeId node,
                                       std::optional<net::NodeId> now,
                                       sim::SimTime when) {

@@ -55,6 +55,13 @@ class LoopDetector {
   void attach(sim::Simulator& simulator, std::vector<fwd::Fib>& fibs,
               net::Prefix prefix);
 
+  /// Like attach, but subscribes *alongside* the observers already
+  /// installed — for multi-prefix runs, where one detector per prefix
+  /// shares the same FIBs (the first detector attaches, the rest attach
+  /// alongside it).
+  void attach_alongside(sim::Simulator& simulator, std::vector<fwd::Fib>& fibs,
+                        net::Prefix prefix);
+
   /// Manual feed (for tests / custom wiring): node's next hop changed.
   void on_next_hop_change(net::NodeId node, std::optional<net::NodeId> now,
                           sim::SimTime when);

@@ -38,6 +38,20 @@ struct RunMetrics {
 
   bgp::Speaker::Counters bgp;  // network-wide protocol counters
 
+  // ---- per-prefix lanes (multi-prefix runs; empty when prefixes == 1) ----
+  /// One lane per prefix id. Packet counters are whole-run totals (traffic
+  /// only flows once the prelude has converged, so they are post-event up
+  /// to the 2 s traffic lead); loop fields come from that prefix's own
+  /// detector, post-event only.
+  struct PrefixLane {
+    std::uint64_t loops_formed = 0;
+    double max_loop_duration_s = 0;
+    std::uint64_t ttl_exhaustions = 0;
+    std::uint64_t packets_sent = 0;
+    std::uint64_t packets_delivered = 0;
+  };
+  std::vector<PrefixLane> per_prefix;
+
   // ---- per-loop extension (paper's "next steps") ----
   std::uint64_t loops_formed = 0;
   double max_loop_duration_s = 0;

@@ -68,6 +68,14 @@ class Payload {
     }
   }
 
+  /// True when the stored value is a T. For the one wire where two message
+  /// shapes coexist (bgp::UpdateMsg vs the multi-prefix bgp::UpdateBatch);
+  /// everything else keeps using get<T>() directly.
+  template <typename T>
+  [[nodiscard]] bool is() const noexcept {
+    return vt_ != nullptr && *vt_->type == typeid(T);
+  }
+
  private:
   struct VTable {
     const std::type_info* type;

@@ -40,7 +40,10 @@ namespace bgpsim::snap {
 /// stay out of the stream). Restore verifies the list against the live
 /// queue instead of rebuilding it: closures are not serializable, so a
 /// fresh restore still requires quiescence (zero entries).
-inline constexpr std::uint32_t kFormatVersion = 3;
+/// v4: multi-prefix SoA RIB — the BGP payload gained a shared prefix
+/// table section ahead of the per-node sections, and in-queue update
+/// payloads carry a tag byte (0 = single UpdateMsg, 1 = UpdateBatch).
+inline constexpr std::uint32_t kFormatVersion = 4;
 
 /// Byte offset of the format-version field inside encode() output —
 /// stable across versions (it sits directly behind the magic).

@@ -325,6 +325,9 @@ void write_scenario(Writer& w, const core::Scenario& s) {
   w.time(s.max_sim_time);
   w.u8(static_cast<std::uint8_t>(s.snap_roundtrip));
   w.time(s.snap_roundtrip_after);
+  w.u64(s.prefixes);
+  w.u64(s.origins.size());
+  for (const net::NodeId o : s.origins) w.u32(o);
 }
 
 core::Scenario read_scenario(Reader& r) {
@@ -357,10 +360,21 @@ core::Scenario read_scenario(Reader& r) {
   s.max_sim_time = r.time();
   s.snap_roundtrip = static_cast<core::SnapRoundtrip>(r.u8());
   s.snap_roundtrip_after = r.time();
+  s.prefixes = static_cast<std::size_t>(r.u64());
+  const std::uint64_t n_origins = r.u64();
+  s.origins.reserve(static_cast<std::size_t>(n_origins));
+  for (std::uint64_t i = 0; i < n_origins; ++i) s.origins.push_back(r.u32());
   return s;
 }
 
-void write_outcome(Writer& w, const core::ExperimentOutcome& o) {
+namespace {
+
+/// The shared outcome body. The wire codec always appends the per-prefix
+/// lane section (it is versioned); the digest writer passes
+/// `lanes_even_if_empty = false` so a single-prefix outcome hashes to
+/// exactly its pre-v3 bytes — every historical campaign digest holds.
+void write_outcome_impl(Writer& w, const core::ExperimentOutcome& o,
+                        bool lanes_even_if_empty) {
   const metrics::RunMetrics& m = o.metrics;
   w.f64(m.convergence_time_s);
   w.f64(m.looping_duration_s);
@@ -400,6 +414,22 @@ void write_outcome(Writer& w, const core::ExperimentOutcome& o) {
   if (o.failed_link) w.u32(*o.failed_link);
   w.f64(o.initial_convergence_s);
   w.u64(o.events_fired);
+  if (lanes_even_if_empty || !m.per_prefix.empty()) {
+    w.u64(m.per_prefix.size());
+    for (const metrics::RunMetrics::PrefixLane& lane : m.per_prefix) {
+      w.u64(lane.loops_formed);
+      w.f64(lane.max_loop_duration_s);
+      w.u64(lane.ttl_exhaustions);
+      w.u64(lane.packets_sent);
+      w.u64(lane.packets_delivered);
+    }
+  }
+}
+
+}  // namespace
+
+void write_outcome(Writer& w, const core::ExperimentOutcome& o) {
+  write_outcome_impl(w, o, /*lanes_even_if_empty=*/true);
 }
 
 core::ExperimentOutcome read_outcome(Reader& r) {
@@ -445,13 +475,24 @@ core::ExperimentOutcome read_outcome(Reader& r) {
   if (r.b()) o.failed_link = r.u32();
   o.initial_convergence_s = r.f64();
   o.events_fired = r.u64();
+  const std::uint64_t n_lanes = r.u64();
+  m.per_prefix.resize(static_cast<std::size_t>(n_lanes));
+  for (metrics::RunMetrics::PrefixLane& lane : m.per_prefix) {
+    lane.loops_formed = r.u64();
+    lane.max_loop_duration_s = r.f64();
+    lane.ttl_exhaustions = r.u64();
+    lane.packets_sent = r.u64();
+    lane.packets_delivered = r.u64();
+  }
   return o;
 }
 
 std::uint64_t trialset_digest(const core::TrialSet& set) {
   Writer w;
   w.u64(set.runs.size());
-  for (const core::ExperimentOutcome& o : set.runs) write_outcome(w, o);
+  for (const core::ExperimentOutcome& o : set.runs) {
+    write_outcome_impl(w, o, /*lanes_even_if_empty=*/false);
+  }
   write_summary(w, set.convergence_time_s);
   write_summary(w, set.looping_duration_s);
   write_summary(w, set.ttl_exhaustions);

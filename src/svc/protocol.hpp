@@ -41,7 +41,9 @@ inline constexpr std::uint64_t kMagic = 0x0000637673706762ULL;
 
 /// Bump on any change to the frame envelope or any payload layout.
 /// v2: TopologySpec::rel_file added to the scenario payload.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// v3: multi-prefix — the scenario payload carries prefixes + origins and
+///     the outcome payload carries the per-prefix metric lanes.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /// The version this build speaks — what goes into every frame header, the
 /// svcd journal file header, and admin STATUS lines. One accessor so the

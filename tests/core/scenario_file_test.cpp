@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <vector>
 
 #include "core/experiment.hpp"
 
@@ -215,6 +216,104 @@ TEST(ScenarioFile, RelFileTopologyRequiresThePath) {
 TEST(ScenarioFile, RelFileKeyRequiresRelFileTopology) {
   EXPECT_THROW((void)parse_scenario_string(
                    "topology = clique\nsize = 5\nrel_file = x.txt\n"),
+               std::runtime_error);
+}
+
+TEST(ScenarioFile, ParsesMultiPrefixKeys) {
+  const auto s = parse_scenario_string(
+      "topology = clique\nsize = 6\nprefixes = 8\norigins = 1, 3, 4\n");
+  EXPECT_EQ(s.prefixes, 8u);
+  EXPECT_EQ(s.origins, (std::vector<net::NodeId>{1, 3, 4}));
+}
+
+TEST(ScenarioFile, MultiPrefixRoundTripsThroughText) {
+  Scenario original;
+  original.topology.kind = TopologyKind::kClique;
+  original.topology.size = 6;
+  original.prefixes = 16;
+  original.origins = {2, 5};
+  const auto restored = parse_scenario_string(to_scenario_text(original));
+  EXPECT_EQ(restored.prefixes, 16u);
+  EXPECT_EQ(restored.origins, original.origins);
+}
+
+TEST(ScenarioFile, RejectsDuplicatePrefixesKey) {
+  try {
+    (void)parse_scenario_string(
+        "topology = clique\nsize = 6\nprefixes = 4\nprefixes = 8\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what{e.what()};
+    EXPECT_NE(what.find("duplicate key 'prefixes'"), std::string::npos);
+    EXPECT_NE(what.find("line 4"), std::string::npos);
+    EXPECT_NE(what.find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ScenarioFile, PrefixCountMustBePositive) {
+  try {
+    (void)parse_scenario_string(
+        "topology = clique\nsize = 6\nprefixes = 0\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what{e.what()};
+    EXPECT_NE(what.find("line 3"), std::string::npos);
+    EXPECT_NE(what.find("at least 1"), std::string::npos);
+  }
+  // stoull would silently wrap a negative count to a huge table.
+  try {
+    (void)parse_scenario_string(
+        "topology = clique\nsize = 6\nprefixes = -4\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("positive count"),
+              std::string::npos);
+  }
+}
+
+TEST(ScenarioFile, OriginMustNameATopologyNode) {
+  try {
+    (void)parse_scenario_string(
+        "topology = clique\nsize = 6\nprefixes = 4\norigins = 2, 6\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what{e.what()};
+    EXPECT_NE(what.find("line 4"), std::string::npos);
+    EXPECT_NE(what.find("origin AS 6 out of range"), std::string::npos);
+  }
+  // BClique topologies have 2×size nodes; origin 7 is valid there.
+  const auto s = parse_scenario_string(
+      "topology = bclique\nsize = 4\nprefixes = 4\norigins = 7\n");
+  EXPECT_EQ(s.origins, (std::vector<net::NodeId>{7}));
+  EXPECT_THROW((void)parse_scenario_string(
+                   "topology = bclique\nsize = 4\nprefixes = 4\n"
+                   "origins = 8\n"),
+               std::runtime_error);
+}
+
+TEST(ScenarioFile, OriginsRequireAMultiPrefixTable) {
+  // origins without prefixes, and origins with prefixes = 1, are both
+  // configuration mistakes (prefix 0 always originates at the destination).
+  EXPECT_THROW((void)parse_scenario_string(
+                   "topology = clique\nsize = 6\norigins = 2\n"),
+               std::runtime_error);
+  try {
+    (void)parse_scenario_string(
+        "topology = clique\nsize = 6\nprefixes = 1\norigins = 2\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("prefixes >= 2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioFile, RejectsMalformedOriginLists) {
+  EXPECT_THROW((void)parse_scenario_string(
+                   "topology = clique\nsize = 6\nprefixes = 4\n"
+                   "origins = 1,,2\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_scenario_string(
+                   "topology = clique\nsize = 6\nprefixes = 4\n"
+                   "origins = -1\n"),
                std::runtime_error);
 }
 

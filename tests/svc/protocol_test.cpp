@@ -114,14 +114,16 @@ TEST(SvcProtocolTest, VersionMismatchThrowsBeforeTrustingAnything) {
 TEST(SvcProtocolTest, SharedVersionHelperMatchesTheWireConstant) {
   EXPECT_EQ(protocol_version(), kProtocolVersion);
   EXPECT_NO_THROW(check_protocol_version(kProtocolVersion, "frame header"));
+  const std::uint32_t future = kProtocolVersion + 1;
   try {
-    check_protocol_version(3, "journal header");
+    check_protocol_version(future, "journal header");
     FAIL() << "future protocol version accepted";
   } catch (const snap::FormatError& e) {
     const std::string what = e.what();
     // The one message every cross-version surface (frames, journals)
     // reports: the version seen, where, and what this build speaks.
-    EXPECT_NE(what.find("unsupported svc protocol version 3"),
+    EXPECT_NE(what.find("unsupported svc protocol version " +
+                        std::to_string(future)),
               std::string::npos)
         << what;
     EXPECT_NE(what.find("journal header"), std::string::npos) << what;
@@ -132,14 +134,16 @@ TEST(SvcProtocolTest, SharedVersionHelperMatchesTheWireConstant) {
 TEST(SvcProtocolTest, EncodeFrameVersionOverrideRoundTripsTheField) {
   // encode_frame's version parameter exists so tests can forge frames
   // from other-version peers; the decoder must refuse them precisely.
+  const std::uint32_t future = kProtocolVersion + 1;
   const std::vector<std::uint8_t> bytes =
-      encode_frame(encode_hello(Hello{7, 1234}), 3);
+      encode_frame(encode_hello(Hello{7, 1234}), future);
   std::uint64_t payload_len = 0;
   try {
     (void)decode_frame_header(bytes, payload_len);
-    FAIL() << "v3 frame accepted by a v2 decoder";
+    FAIL() << "future-version frame accepted by this build's decoder";
   } catch (const snap::FormatError& e) {
-    EXPECT_NE(std::string{e.what()}.find("unsupported svc protocol version 3"),
+    EXPECT_NE(std::string{e.what()}.find("unsupported svc protocol version " +
+                                         std::to_string(future)),
               std::string::npos)
         << e.what();
   }

@@ -169,9 +169,9 @@ TEST(SvcdDaemonTest, TcpWorkerJoinsMidCampaign) {
 }
 
 TEST(SvcdDaemonTest, ProtocolViolatorIsFailedAndCampaignCompletes) {
-  // An impostor joins over TCP and speaks protocol version 3. The daemon
-  // must fail that connection with a precise protocol error, requeue any
-  // unit it held, and finish the campaign on the real worker.
+  // An impostor joins over TCP and speaks a future protocol version. The
+  // daemon must fail that connection with a precise protocol error,
+  // requeue any unit it held, and finish the campaign on the real worker.
   const svc::CampaignSpec spec = small_sweep();
   const std::uint64_t expected = serial_digest(spec);
 
@@ -191,7 +191,8 @@ TEST(SvcdDaemonTest, ProtocolViolatorIsFailedAndCampaignCompletes) {
       hello.pid = static_cast<std::uint64_t>(::getpid());
       // A well-formed Hello stamped with a future protocol version.
       const std::vector<std::uint8_t> bytes =
-          svc::encode_frame(svc::encode_hello(hello), 3);
+          svc::encode_frame(svc::encode_hello(hello),
+                            svc::kProtocolVersion + 1);
       (void)!::write(conn.fd(), bytes.data(), bytes.size());
       // Linger until the daemon hangs up on us.
       (void)conn.recv_frame();
@@ -359,7 +360,10 @@ TEST(SvcdDaemonTest, AdminSocketStatusSubmitCancel) {
   client.join();
 
   EXPECT_NE(status_first.find("workers 2"), std::string::npos) << status_first;
-  EXPECT_NE(status_first.find("version 2"), std::string::npos) << status_first;
+  EXPECT_NE(status_first.find("version " +
+                              std::to_string(svc::kProtocolVersion)),
+            std::string::npos)
+      << status_first;
   EXPECT_NE(submit1.find("OK id=1"), std::string::npos) << submit1;
   EXPECT_NE(submit2.find("OK id=2"), std::string::npos) << submit2;
   EXPECT_EQ(cancel_bogus.rfind("ERR", 0), 0u) << cancel_bogus;

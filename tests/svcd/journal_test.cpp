@@ -222,18 +222,21 @@ TEST_F(SvcdJournalTest, StaleJournalFormatVersionIsRejected) {
 }
 
 TEST_F(SvcdJournalTest, CrossProtocolVersionJournalIsRejected) {
-  // A journal written by a hypothetical protocol-v3 build must be refused
-  // with the shared check_protocol_version message, not half-parsed.
+  // A journal written by a hypothetical future-protocol build must be
+  // refused with the shared check_protocol_version message, not
+  // half-parsed.
   write_partial_campaign();
   std::vector<std::uint8_t> bytes = slurp();
-  bytes[12] = 3;  // u32 svc protocol version field
+  const std::uint8_t future = svc::kProtocolVersion + 1;
+  bytes[12] = future;  // u32 svc protocol version field
   dump(bytes);
   try {
     (void)replay_journal(path_, TornTail::kRecover);
     FAIL() << "cross-version journal must throw";
   } catch (const snap::FormatError& e) {
     const std::string what = e.what();
-    EXPECT_NE(what.find("unsupported svc protocol version 3"),
+    EXPECT_NE(what.find("unsupported svc protocol version " +
+                        std::to_string(future)),
               std::string::npos)
         << what;
     EXPECT_NE(what.find("journal header"), std::string::npos) << what;
