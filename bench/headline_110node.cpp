@@ -47,10 +47,11 @@ int main() {
 
   // Convergence hot-loop wall clock: the same headline scenario, timed
   // cold (no prelude cache), stepping through the performance levers —
-  // shared paths on the heap scheduler, interned paths on the heap, and
-  // interned paths on the timer wheel. All three runs are bit-identical
-  // in output (checked below), so the wall-clock deltas are pure engine
-  // speed — the numbers the BENCH_ artifact tracks over time.
+  // shared paths on the heap scheduler, interned paths on the heap,
+  // interned paths on the timer wheel, and finally the ring-backed data
+  // plane on top. All four runs are bit-identical in output (checked
+  // below), so the wall-clock deltas are pure engine speed — the numbers
+  // the BENCH_ artifact tracks over time.
   std::printf("\nconvergence hot-loop wall clock (1 cold trial):\n");
   core::Scenario hot;
   hot.topology.kind = core::TopologyKind::kInternet;
@@ -59,13 +60,14 @@ int main() {
   hot.event = core::EventKind::kTdown;
   hot.bgp.mrai = sim::SimTime::seconds(30.0);
   hot.seed = 3;
-  const auto timed = [&](bool interning, bool wheel) {
+  const auto timed = [&](bool interning, bool wheel, bool rings) {
     core::RunOptions options;
     options.trials = 1;
     options.jobs = 1;
     options.snap_cache = false;
     options.path_interning = interning;
     options.timer_wheel = wheel;
+    options.dataplane_rings = rings;
     const auto start = std::chrono::steady_clock::now();
     core::TrialSet result = core::run_trials(hot, options);
     const double wall_s =
@@ -73,9 +75,10 @@ int main() {
             .count();
     return std::pair{wall_s, std::move(result)};
   };
-  const auto [plain_s, plain] = timed(false, false);
-  const auto [interned_s, interned] = timed(true, false);
-  const auto [wheel_s, wheel] = timed(true, true);
+  const auto [plain_s, plain] = timed(false, false, false);
+  const auto [interned_s, interned] = timed(true, false, false);
+  const auto [wheel_s, wheel] = timed(true, true, false);
+  const auto [rings_s, rings] = timed(true, true, true);
 
   core::Table hot_table{
       {"config", "wall clock (s)", "convergence (s)", "events fired"}};
@@ -88,6 +91,7 @@ int main() {
   hot_row("shared paths + heap", plain_s, plain);
   hot_row("interned paths + heap", interned_s, interned);
   hot_row("interned paths + wheel", wheel_s, wheel);
+  hot_row("interned paths + wheel + ring plane", rings_s, rings);
   hot_table.print(std::cout);
   emit_table(hot_table, "convergence hot-loop wall clock");
 
@@ -99,5 +103,7 @@ int main() {
         "interning is output-invariant on the headline scenario");
   check(invariant(wheel),
         "the timer wheel is output-invariant on the headline scenario");
+  check(invariant(rings),
+        "the ring data plane is output-invariant on the headline scenario");
   return 0;
 }

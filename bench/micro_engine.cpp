@@ -167,9 +167,9 @@ void BM_PacketForwardingThroughput(benchmark::State& state) {
     for (net::NodeId v = 1; v < topo.node_count(); ++v) {
       fibs[v].set_next_hop(0, v - 1);
     }
-    fwd::DataPlane plane{sim, topo, fibs, 0, 0};
+    fwd::DataPlane plane{sim, topo, fibs, fwd::DataPlaneOptions::single(0)};
     state.ResumeTiming();
-    for (int i = 0; i < 64; ++i) plane.inject(15);
+    for (int i = 0; i < 64; ++i) plane.inject(fwd::Injection{.source = 15});
     sim.run();
     benchmark::DoNotOptimize(plane.counters().delivered);
   }
@@ -177,6 +177,45 @@ void BM_PacketForwardingThroughput(benchmark::State& state) {
                           15);
 }
 BENCHMARK(BM_PacketForwardingThroughput);
+
+void BM_DataPlaneHop(benchmark::State& state) {
+  // A/B over the hop-store backend: range(0) = 0 binary heap, 1 per-tick
+  // FIFO rings. A looping 2-node FIB keeps `n` packets bouncing until TTL
+  // exhaustion, so the measurement is almost pure hop machinery: hop-store
+  // push/pop plus one FIB decision per (node, prefix) cohort under rings,
+  // per packet under the heap.
+  const auto backend = state.range(0) != 0 ? fwd::PlaneBackend::kRings
+                                           : fwd::PlaneBackend::kHeap;
+  const auto n = static_cast<int>(state.range(1));
+  auto topo = topo::make_chain(4);
+  std::uint64_t hops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    std::vector<fwd::Fib> fibs(topo.node_count());
+    fibs[3].set_next_hop(0, 2);
+    fibs[2].set_next_hop(0, 3);  // 2 <-> 3 loop: every packet dies by TTL
+    fwd::DataPlaneOptions options = fwd::DataPlaneOptions::single(0);
+    options.backend = backend;
+    fwd::DataPlane plane{sim, topo, fibs, std::move(options)};
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) {
+      plane.inject(fwd::Injection{.source = 3, .ttl = 64});
+    }
+    sim.run();
+    hops += plane.counters().ttl_exhausted * 63;
+    benchmark::DoNotOptimize(plane.counters().ttl_exhausted);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hops));
+}
+BENCHMARK(BM_DataPlaneHop)
+    ->Name("BM_DataPlaneHop/heap")
+    ->Args({0, 64})
+    ->Args({0, 1024});
+BENCHMARK(BM_DataPlaneHop)
+    ->Name("BM_DataPlaneHop/ring")
+    ->Args({1, 64})
+    ->Args({1, 1024});
 
 /// Console output as usual, plus every result row captured into a
 /// core::Table so bench::emit_table can drop the bgpsim-bench-1 artifact.

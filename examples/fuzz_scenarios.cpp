@@ -2,9 +2,9 @@
 // settings, every run checked by the full invariant oracle.
 //
 //   fuzz_scenarios [--iters N] [--seed S] [--verbose] [--snap-check]
-//                  [--wheel-check] [--multiprefix]
+//                  [--wheel-check] [--dataplane-check] [--multiprefix]
 //   fuzz_scenarios --replay SCENARIO_SEED [--snap-check] [--wheel-check]
-//                  [--multiprefix]
+//                  [--dataplane-check] [--multiprefix]
 //   fuzz_scenarios --canary [...]     # arm a deliberately wrong invariant
 //                                     # to demonstrate the failure path
 //
@@ -16,6 +16,11 @@
 // scheduler (timer wheel vs binary heap, BGPSIM_TIMER_WHEEL) and fails if
 // the fingerprints differ; a clean campaign prints the same digest as a
 // plain run.
+//
+// --dataplane-check does the same for the data-plane hop store (per-tick
+// FIFO rings vs binary heap, BGPSIM_DATAPLANE_RINGS): every clean
+// iteration re-runs under the opposite backend and must fingerprint
+// identically.
 //
 // --multiprefix additionally draws a prefix count from {2, 4, 8, 16} (and
 // sometimes scattered origins) per scenario, fuzzing the SoA RIB and
@@ -66,7 +71,7 @@ class CanaryInvariant final : public check::Invariant {
   std::fprintf(stderr,
                "usage: %s [--iters N] [--seed S] [--replay SCENARIO_SEED] "
                "[--verbose] [--canary] [--snap-check] [--wheel-check] "
-               "[--multiprefix]\n",
+               "[--dataplane-check] [--multiprefix]\n",
                argv0);
   std::exit(2);
 }
@@ -97,6 +102,8 @@ int main(int argc, char** argv) {
       options.snap_check = true;
     } else if (arg == "--wheel-check") {
       options.wheel_check = true;
+    } else if (arg == "--dataplane-check") {
+      options.dataplane_check = true;
     } else if (arg == "--multiprefix") {
       options.multiprefix = true;
     } else {

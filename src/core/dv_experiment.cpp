@@ -154,11 +154,9 @@ ExperimentOutcome run_dv_experiment(const DvScenario& scenario) {
     return simulator.now() - last_change > stability_window;
   };
 
-  fwd::DataPlane plane{simulator, topo, network.fibs(), destination, kPrefix};
-  plane.set_fate_handler([&](const fwd::Packet& p, fwd::PacketFate fate,
-                             net::NodeId where, sim::SimTime when) {
-    collector.note_fate(p, fate, where, when);
-  });
+  fwd::DataPlane plane{simulator, topo, network.fibs(),
+                       fwd::DataPlaneOptions::single(destination)};
+  plane.set_fate_sink(&collector);
 
   metrics::LoopDetector detector{topo.node_count()};
   detector.attach(simulator, network.fibs(), kPrefix);
@@ -181,7 +179,7 @@ ExperimentOutcome run_dv_experiment(const DvScenario& scenario) {
 
   fwd::TrafficGenerator traffic{simulator, plane, scenario.traffic,
                                 root.child("traffic")};
-  traffic.set_send_hook([&](net::NodeId, sim::SimTime when) {
+  traffic.set_send_hook([&](net::NodeId, net::Prefix, sim::SimTime when) {
     collector.note_packet_sent(when);
   });
 

@@ -78,6 +78,12 @@ struct Knob {
 /// bit-identical either way. Default 1.
 [[nodiscard]] bool timer_wheel();
 
+/// BGPSIM_DATAPLANE_RINGS: per-tick FIFO ring hop store in the data plane
+/// with batched per-(node, prefix) FIB decisions; 0 falls back to the
+/// (time, seq) binary-heap hop store (per-event reference, for A/B digest
+/// checks). Outputs are bit-identical either way. Default 1.
+[[nodiscard]] bool dataplane_rings();
+
 /// BGPSIM_JOURNAL_DIR: directory where bgpsimd and run_campaign --journal
 /// place campaign journals when given a bare file name instead of a path.
 /// nullptr when unset.

@@ -261,16 +261,12 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
   }
   network.set_hooks(hooks);
 
-  fwd::DataPlane plane{simulator, topo, network.fibs(), destination, kPrefix};
-  if (multi) {
-    for (std::size_t p = 1; p < prefix_count; ++p) {
-      plane.add_destination(static_cast<net::Prefix>(p), prefix_origins[p]);
-    }
-  }
-  plane.set_fate_handler([&](const fwd::Packet& p, fwd::PacketFate fate,
-                             net::NodeId where, sim::SimTime when) {
-    collector.note_fate(p, fate, where, when);
-  });
+  fwd::DataPlaneOptions plane_options =
+      multi ? fwd::DataPlaneOptions{.destinations = prefix_origins}
+            : fwd::DataPlaneOptions::single(destination);
+  fwd::DataPlane plane{simulator, topo, network.fibs(),
+                       std::move(plane_options)};
+  plane.set_fate_sink(&collector);
 
   // One loop detector per prefix: detector 0 attaches first (replacing any
   // stale FIB observers), the rest subscribe alongside it.
@@ -310,15 +306,10 @@ ExperimentOutcome run_experiment(const Scenario& scenario) {
   if (multi) traffic_config.prefix_count = prefix_count;
   fwd::TrafficGenerator traffic{simulator, plane, traffic_config,
                                 root.child("traffic")};
-  traffic.set_send_hook([&](net::NodeId, sim::SimTime when) {
+  traffic.set_send_hook([&](net::NodeId, net::Prefix p, sim::SimTime when) {
     collector.note_packet_sent(when);
+    collector.note_packet_sent_for(p);  // no-op unless lanes are enabled
   });
-  if (multi) {
-    traffic.set_prefix_send_hook(
-        [&](net::NodeId, net::Prefix p, sim::SimTime) {
-          collector.note_packet_sent_for(p);
-        });
-  }
 
   // ---- Phase 1: cold-start convergence or warm start --------------------
   // (For Tup the network starts empty — the origination *is* the event.)

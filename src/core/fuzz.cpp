@@ -5,6 +5,7 @@
 
 #include "core/experiment.hpp"
 #include "core/run_options.hpp"
+#include "fwd/engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 
@@ -143,40 +144,79 @@ IterationResult run_checked(std::uint64_t scenario_seed,
 IterationResult run_iteration(std::uint64_t scenario_seed,
                               const FuzzOptions& options) {
   IterationResult baseline = run_checked(scenario_seed, options);
-  if (!options.wheel_check || baseline.failure) return baseline;
+  if (baseline.failure) return baseline;
 
-  // Opposite-scheduler pass: the identical scenario (same snap-check probe
-  // when armed), pinned to the other queue backend for this run only. Its
-  // fingerprint — events fired, updates sent, loop metrics, convergence
-  // times — must match the default-backend baseline bit for bit.
-  Scenario scenario = fuzz_scenario(scenario_seed, options.multiprefix);
-  if (options.snap_check) attach_snap_probe(scenario, scenario_seed);
-  const bool wheel_now =
-      sim::default_queue_backend() == sim::QueueBackend::kWheel;
-  IterationResult other;
-  {
-    detail::TimerWheelGuard backend{!wheel_now};
-    other = run_once(scenario, scenario_seed, options);
+  if (options.wheel_check) {
+    // Opposite-scheduler pass: the identical scenario (same snap-check
+    // probe when armed), pinned to the other queue backend for this run
+    // only. Its fingerprint — events fired, updates sent, loop metrics,
+    // convergence times — must match the default-backend baseline bit for
+    // bit.
+    Scenario scenario = fuzz_scenario(scenario_seed, options.multiprefix);
+    if (options.snap_check) attach_snap_probe(scenario, scenario_seed);
+    const bool wheel_now =
+        sim::default_queue_backend() == sim::QueueBackend::kWheel;
+    IterationResult other;
+    {
+      detail::TimerWheelGuard backend{!wheel_now};
+      other = run_once(scenario, scenario_seed, options);
+    }
+    if (other.failure) {
+      other.failure->error =
+          "wheel-check (opposite-scheduler pass): " +
+          (other.failure->error.empty() ? std::string{"invariant violations"}
+                                        : other.failure->error);
+      other.fingerprint = baseline.fingerprint;
+      return other;
+    }
+    if (other.fingerprint != baseline.fingerprint) {
+      FuzzFailure failure;
+      failure.scenario_seed = scenario_seed;
+      failure.label = scenario.label();
+      failure.error =
+          "scheduler divergence: " +
+          std::string{wheel_now ? "heap" : "wheel"} +
+          " re-run changed the outcome (baseline fingerprint " +
+          std::to_string(baseline.fingerprint) + ", opposite-scheduler " +
+          "fingerprint " + std::to_string(other.fingerprint) + ")";
+      baseline.failure = std::move(failure);
+      return baseline;
+    }
   }
-  if (other.failure) {
-    other.failure->error =
-        "wheel-check (opposite-scheduler pass): " +
-        (other.failure->error.empty() ? std::string{"invariant violations"}
-                                      : other.failure->error);
-    other.fingerprint = baseline.fingerprint;
-    return other;
-  }
-  if (other.fingerprint != baseline.fingerprint) {
-    FuzzFailure failure;
-    failure.scenario_seed = scenario_seed;
-    failure.label = scenario.label();
-    failure.error =
-        "scheduler divergence: " +
-        std::string{wheel_now ? "heap" : "wheel"} +
-        " re-run changed the outcome (baseline fingerprint " +
-        std::to_string(baseline.fingerprint) + ", opposite-scheduler " +
-        "fingerprint " + std::to_string(other.fingerprint) + ")";
-    baseline.failure = std::move(failure);
+
+  if (options.dataplane_check) {
+    // Opposite-hop-store pass, same contract as the wheel check: pin the
+    // data plane to the other backend (rings vs heap) and require the
+    // fingerprint to match the baseline exactly.
+    Scenario scenario = fuzz_scenario(scenario_seed, options.multiprefix);
+    if (options.snap_check) attach_snap_probe(scenario, scenario_seed);
+    const bool rings_now =
+        fwd::default_plane_backend() == fwd::PlaneBackend::kRings;
+    IterationResult other;
+    {
+      detail::DataPlaneRingsGuard backend{!rings_now};
+      other = run_once(scenario, scenario_seed, options);
+    }
+    if (other.failure) {
+      other.failure->error =
+          "dataplane-check (opposite-hop-store pass): " +
+          (other.failure->error.empty() ? std::string{"invariant violations"}
+                                        : other.failure->error);
+      other.fingerprint = baseline.fingerprint;
+      return other;
+    }
+    if (other.fingerprint != baseline.fingerprint) {
+      FuzzFailure failure;
+      failure.scenario_seed = scenario_seed;
+      failure.label = scenario.label();
+      failure.error =
+          "data-plane divergence: " +
+          std::string{rings_now ? "heap" : "ring"} +
+          " re-run changed the outcome (baseline fingerprint " +
+          std::to_string(baseline.fingerprint) + ", opposite-hop-store " +
+          "fingerprint " + std::to_string(other.fingerprint) + ")";
+      baseline.failure = std::move(failure);
+    }
   }
   return baseline;
 }

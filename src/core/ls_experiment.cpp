@@ -110,18 +110,16 @@ ExperimentOutcome run_ls_experiment(const LsScenario& scenario) {
       .on_route_changed = nullptr,
   });
 
-  fwd::DataPlane plane{simulator, topo, network.fibs(), destination, kPrefix};
-  plane.set_fate_handler([&](const fwd::Packet& p, fwd::PacketFate fate,
-                             net::NodeId where, sim::SimTime when) {
-    collector.note_fate(p, fate, where, when);
-  });
+  fwd::DataPlane plane{simulator, topo, network.fibs(),
+                       fwd::DataPlaneOptions::single(destination)};
+  plane.set_fate_sink(&collector);
 
   metrics::LoopDetector detector{topo.node_count()};
   detector.attach(simulator, network.fibs(), kPrefix);
 
   fwd::TrafficGenerator traffic{simulator, plane, scenario.traffic,
                                 root.child("traffic")};
-  traffic.set_send_hook([&](net::NodeId, sim::SimTime when) {
+  traffic.set_send_hook([&](net::NodeId, net::Prefix, sim::SimTime when) {
     collector.note_packet_sent(when);
   });
 

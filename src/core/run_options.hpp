@@ -56,6 +56,14 @@ struct RunOptions {
   /// delivery — the A/B lever. true still requires BGPSIM_TIMER_WHEEL != 0.
   bool timer_wheel = true;
 
+  /// Per-tick FIFO ring hop store in the data plane with batched
+  /// per-(node, prefix) FIB decisions (fwd::PlaneBackend::kRings). Outputs
+  /// are bit-identical either way (the data-plane digest-equality suite
+  /// enforces this); false falls back to the (time, seq) binary-heap hop
+  /// store with a per-packet FIB lookup — the A/B lever. true still
+  /// requires BGPSIM_DATAPLANE_RINGS != 0.
+  bool dataplane_rings = true;
+
   /// Caller-owned route-change trace sink, applied to every trial (forces
   /// serial execution and bypasses the prelude cache). Overrides
   /// Scenario::trace when non-null.
@@ -99,6 +107,21 @@ class TimerWheelGuard {
   ~TimerWheelGuard();
   TimerWheelGuard(const TimerWheelGuard&) = delete;
   TimerWheelGuard& operator=(const TimerWheelGuard&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// RAII: pin the data-plane hop-store backend
+/// (fwd::set_plane_backend_override) for the duration of a run, restoring
+/// the exact previous override on exit. Out-of-line so this header stays
+/// free of fwd/ includes.
+class DataPlaneRingsGuard {
+ public:
+  explicit DataPlaneRingsGuard(bool on);
+  ~DataPlaneRingsGuard();
+  DataPlaneRingsGuard(const DataPlaneRingsGuard&) = delete;
+  DataPlaneRingsGuard& operator=(const DataPlaneRingsGuard&) = delete;
 
  private:
   int prev_;

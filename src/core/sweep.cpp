@@ -136,6 +136,10 @@ TrialSet run_trials(const Scenario& base, const RunOptions& options) {
   // Same gating for the scheduler backend: every Simulator constructed
   // under this run (worker threads included) resolves it at construction.
   detail::TimerWheelGuard wheel{options.timer_wheel && env::timer_wheel()};
+  // And for the data-plane hop store: every DataPlane constructed under
+  // this run resolves its backend from the override at construction.
+  detail::DataPlaneRingsGuard rings{options.dataplane_rings &&
+                                    env::dataplane_rings()};
 
   const std::size_t trials = options.trials;
   const std::size_t jobs = options.jobs == 0 ? default_jobs() : options.jobs;

@@ -1,39 +1,108 @@
 #include "fwd/engine.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <utility>
 
+#include "sim/env.hpp"
+
 namespace bgpsim::fwd {
 
+namespace {
+// -1 = no override (fall back to the env knob on each read).
+std::atomic<int> g_plane_backend_override{-1};
+}  // namespace
+
+void set_plane_backend_override(int backend) {
+  g_plane_backend_override.store(backend, std::memory_order_release);
+}
+
+int plane_backend_override() {
+  return g_plane_backend_override.load(std::memory_order_acquire);
+}
+
+PlaneBackend default_plane_backend() {
+  const int o = plane_backend_override();
+  if (o >= 0) return o != 0 ? PlaneBackend::kRings : PlaneBackend::kHeap;
+  return sim::env_u64_or("BGPSIM_DATAPLANE_RINGS", 1) != 0
+             ? PlaneBackend::kRings
+             : PlaneBackend::kHeap;
+}
+
+namespace {
+
+/// Adapter behind the deprecated set_fate_handler: unrolls each batch
+/// into the legacy per-packet callback.
+class LegacyFateAdapter final : public FateSink {
+ public:
+  explicit LegacyFateAdapter(DataPlane::FateHandler handler)
+      : handler_{std::move(handler)} {}
+  void on_fates(std::span<const FateRecord> batch) override {
+    for (const FateRecord& r : batch) {
+      handler_(r.packet, r.fate, r.where, r.when);
+    }
+  }
+
+ private:
+  DataPlane::FateHandler handler_;
+};
+
+}  // namespace
+
 DataPlane::DataPlane(sim::Simulator& simulator, const net::Topology& topology,
-                     std::vector<Fib>& fibs, net::NodeId destination,
-                     net::Prefix prefix)
+                     std::vector<Fib>& fibs, DataPlaneOptions options)
     : sim_{simulator},
       topo_{topology},
       fibs_{fibs},
-      primary_prefix_{prefix},
-      primary_destination_{destination} {
+      destinations_{std::move(options.destinations)},
+      backend_{options.backend} {
   assert(fibs_.size() == topo_.node_count());
-  destinations_.emplace(prefix, destination);
+  assert(!destinations_.empty());
   sim_.set_external_handler([this] {
     bridge_armed_ = false;
     drain_due();
     rearm();
+    flush_fates();
   });
 }
 
-void DataPlane::add_destination(net::Prefix prefix, net::NodeId node) {
+DataPlane::DataPlane(sim::Simulator& simulator, const net::Topology& topology,
+                     std::vector<Fib>& fibs, net::NodeId destination,
+                     net::Prefix prefix)
+    : DataPlane{simulator, topology, fibs, [&] {
+                  DataPlaneOptions o;
+                  o.destinations.assign(prefix + 1, net::kInvalidNode);
+                  o.destinations[prefix] = destination;
+                  return o;
+                }()} {
+  legacy_primary_ = prefix;
+}
+
+void DataPlane::register_destination(net::Prefix prefix, net::NodeId node) {
+  if (prefix >= destinations_.size()) {
+    destinations_.resize(prefix + 1, net::kInvalidNode);
+  }
   destinations_[prefix] = node;
-  if (prefix == primary_prefix_) primary_destination_ = node;
+  // The destination table has no version counter; drop the whole decision
+  // cache instead (registration happens at setup, never per hop).
+  cache_.clear();
+  cache_stride_ = 0;
 }
 
-std::uint64_t DataPlane::inject(net::NodeId source, int ttl) {
-  return inject_for(primary_prefix_, source, ttl);
+void DataPlane::set_fate_handler(FateHandler h) {
+  legacy_adapter_ = std::make_unique<LegacyFateAdapter>(std::move(h));
+  sink_ = legacy_adapter_.get();
 }
 
-std::uint64_t DataPlane::inject_for(net::Prefix prefix, net::NodeId source,
-                                    int ttl) {
-  assert(destinations_.contains(prefix));
+std::uint64_t DataPlane::inject(const Injection& injection) {
+  return inject_impl(injection.prefix, injection.source, injection.ttl);
+}
+
+std::uint64_t DataPlane::inject_impl(net::Prefix prefix, net::NodeId source,
+                                     int ttl) {
+  assert(prefix < destinations_.size() &&
+         destinations_[prefix] != net::kInvalidNode);
   Packet p;
   p.id = next_packet_id_++;
   p.source = source;
@@ -44,33 +113,65 @@ std::uint64_t DataPlane::inject_for(net::Prefix prefix, net::NodeId source,
   ++in_flight_;
   // The packet "arrives" at its own source with no delay.
   arrive(source, p);
+  flush_fates();
   return p.id;
 }
 
-void DataPlane::arrive(net::NodeId node, Packet packet) {
-  // Single-destination scenarios (the study's setting) never touch the
-  // map: every packet is for the primary prefix.
-  if (packet.prefix == primary_prefix_) {
-    if (node == primary_destination_) {
-      finish(packet, PacketFate::kDelivered, node);
-      return;
-    }
-  } else {
-    auto dest = destinations_.find(packet.prefix);
-    if (dest != destinations_.end() && node == dest->second) {
-      finish(packet, PacketFate::kDelivered, node);
-      return;
-    }
+DataPlane::Decision DataPlane::decide(net::NodeId node,
+                                      net::Prefix prefix) const {
+  Decision d;
+  if (prefix < destinations_.size() && destinations_[prefix] == node) {
+    d.kind = Decision::Kind::kDeliver;
+    return d;
   }
-  const std::optional<net::NodeId> nh = fibs_[node].next_hop(packet.prefix);
+  const std::optional<net::NodeId> nh = fibs_[node].next_hop(prefix);
   if (!nh) {
-    finish(packet, PacketFate::kNoRoute, node);
-    return;
+    d.kind = Decision::Kind::kNoRoute;
+    return d;
   }
   const auto link = topo_.link_between(node, *nh);
   if (!link || !topo_.link(*link).up) {
-    finish(packet, PacketFate::kLinkDown, node);
-    return;
+    d.kind = Decision::Kind::kLinkDown;
+    return d;
+  }
+  d.kind = Decision::Kind::kForward;
+  d.next_hop = *nh;
+  d.delay = topo_.link(*link).delay;
+  return d;
+}
+
+const DataPlane::Decision& DataPlane::cached_decide(net::NodeId node,
+                                                    net::Prefix prefix) const {
+  if (cache_stride_ != destinations_.size()) {
+    cache_stride_ = destinations_.size();
+    cache_.assign(topo_.node_count() * cache_stride_, CachedDecision{});
+  }
+  CachedDecision& e = cache_[node * cache_stride_ + prefix];
+  const std::uint64_t fib_now = fibs_[node].version();
+  const std::uint64_t topo_now = topo_.state_version();
+  if (e.fib_stamp != fib_now || e.topo_stamp != topo_now) {
+    e.d = decide(node, prefix);
+    e.fib_stamp = fib_now;
+    e.topo_stamp = topo_now;
+  }
+  return e.d;
+}
+
+void DataPlane::arrive(net::NodeId node, Packet packet) {
+  const Decision& d = cached_decide(node, packet.prefix);
+
+  switch (d.kind) {
+    case Decision::Kind::kDeliver:
+      finish(packet, PacketFate::kDelivered, node);
+      return;
+    case Decision::Kind::kNoRoute:
+      finish(packet, PacketFate::kNoRoute, node);
+      return;
+    case Decision::Kind::kLinkDown:
+      finish(packet, PacketFate::kLinkDown, node);
+      return;
+    case Decision::Kind::kForward:
+      break;
   }
   // One TTL decrement per AS hop (the study's loop indicator).
   if (--packet.ttl <= 0) {
@@ -79,7 +180,7 @@ void DataPlane::arrive(net::NodeId node, Packet packet) {
   }
   ++packet.hops_taken;
   ++counters_.hops;
-  push_hop(sim_.now() + topo_.link(*link).delay, *nh, std::move(packet));
+  push_hop(sim_.now() + d.delay, d.next_hop, std::move(packet));
 }
 
 void DataPlane::finish(const Packet& p, PacketFate fate, net::NodeId where) {
@@ -99,10 +200,19 @@ void DataPlane::finish(const Packet& p, PacketFate fate, net::NodeId where) {
       ++counters_.link_down;
       break;
   }
-  if (on_fate_) on_fate_(p, fate, where, sim_.now());
+  if (sink_ != nullptr) {
+    batch_.push_back(FateRecord{p, fate, where, sim_.now()});
+  }
+}
+
+void DataPlane::flush_fates() {
+  if (batch_.empty()) return;
+  sink_->on_fates(batch_);
+  batch_.clear();
 }
 
 void DataPlane::save_state(snap::Writer& w) const {
+  assert(batch_.empty());  // saves run from control events, never mid-drain
   w.u64(next_seq_);
   w.u64(next_packet_id_);
   w.u64(in_flight_);
@@ -114,10 +224,7 @@ void DataPlane::save_state(snap::Writer& w) const {
   w.u64(counters_.hops);
   w.b(bridge_armed_);
   w.time(bridge_time_);
-  auto heap = heap_;  // drain a copy: ascending, deterministic order
-  w.u64(heap.size());
-  while (!heap.empty()) {
-    const HopEvent& ev = heap.top();
+  const auto write_event = [&w](const HopEvent& ev) {
     w.time(ev.at);
     w.u64(ev.seq);
     w.u32(ev.node);
@@ -127,7 +234,26 @@ void DataPlane::save_state(snap::Writer& w) const {
     w.i64(ev.packet.ttl);
     w.time(ev.packet.sent_at);
     w.i64(ev.packet.hops_taken);
-    heap.pop();
+  };
+  if (backend_ == PlaneBackend::kRings) {
+    // Rings are already ascending by (at, seq): tick cohorts are sorted
+    // and each cohort holds its packets in seq order — the same canonical
+    // bytes the heap path writes.
+    std::uint64_t n = 0;
+    for (const TickRing& r : rings_) n += r.items.size() - r.head;
+    w.u64(n);
+    for (const TickRing& r : rings_) {
+      for (std::size_t i = r.head; i < r.items.size(); ++i) {
+        write_event(r.items[i]);
+      }
+    }
+  } else {
+    auto heap = heap_;  // drain a copy: ascending, deterministic order
+    w.u64(heap.size());
+    while (!heap.empty()) {
+      write_event(heap.top());
+      heap.pop();
+    }
   }
 }
 
@@ -144,6 +270,7 @@ void DataPlane::restore_state(snap::Reader& r) {
   bridge_armed_ = r.b();
   bridge_time_ = r.time();
   heap_ = {};
+  rings_.clear();
   const std::uint64_t n = r.u64();
   for (std::uint64_t i = 0; i < n; ++i) {
     HopEvent ev;
@@ -156,28 +283,108 @@ void DataPlane::restore_state(snap::Reader& r) {
     ev.packet.ttl = static_cast<int>(r.i64());
     ev.packet.sent_at = r.time();
     ev.packet.hops_taken = static_cast<int>(r.i64());
-    heap_.push(std::move(ev));
+    if (backend_ == PlaneBackend::kRings) {
+      ring_insert(std::move(ev));
+    } else {
+      heap_.push(std::move(ev));
+    }
   }
 }
 
 void DataPlane::push_hop(sim::SimTime at, net::NodeId node, Packet packet) {
-  heap_.push(HopEvent{at, next_seq_++, node, std::move(packet)});
+  if (backend_ == PlaneBackend::kRings) {
+    // Steady-state fast path: construct the HopEvent once, directly in
+    // its final cohort slot.
+    std::vector<HopEvent>* items;
+    if (!rings_.empty() && at == rings_.back().at) {
+      items = &rings_.back().items;
+    } else if (rings_.empty() || at > rings_.back().at) {
+      rings_.push_back(TickRing{at, 0, pooled_items()});
+      items = &rings_.back().items;
+    } else {
+      ring_insert(HopEvent{at, next_seq_++, node, std::move(packet)});
+      rearm();
+      return;
+    }
+    items->push_back(HopEvent{at, next_seq_++, node, std::move(packet)});
+  } else {
+    heap_.push(HopEvent{at, next_seq_++, node, std::move(packet)});
+  }
   rearm();
 }
 
+std::vector<DataPlane::HopEvent> DataPlane::pooled_items() {
+  if (ring_pool_.empty()) return {};
+  std::vector<HopEvent> v = std::move(ring_pool_.back());
+  ring_pool_.pop_back();
+  return v;
+}
+
+void DataPlane::ring_insert(HopEvent ev) {
+  // Uniform link delays make the back cohort the overwhelmingly common
+  // target; anything else walks back from the end (heterogeneous delays
+  // stay correct, they just pay a short scan).
+  if (!rings_.empty() && ev.at == rings_.back().at) {
+    rings_.back().items.push_back(std::move(ev));
+    return;
+  }
+  if (rings_.empty() || ev.at > rings_.back().at) {
+    rings_.push_back(TickRing{ev.at, 0, pooled_items()});
+    rings_.back().items.push_back(std::move(ev));
+    return;
+  }
+  auto it = rings_.end();
+  while (it != rings_.begin() && std::prev(it)->at > ev.at) --it;
+  if (it != rings_.begin() && std::prev(it)->at == ev.at) {
+    std::prev(it)->items.push_back(std::move(ev));
+    return;
+  }
+  TickRing fresh{ev.at, 0, pooled_items()};
+  fresh.items.push_back(std::move(ev));
+  rings_.insert(it, std::move(fresh));
+}
+
+const sim::SimTime* DataPlane::next_pending_at() const {
+  if (backend_ == PlaneBackend::kRings) {
+    // Only the front cohort can be part-drained; skip it once exhausted.
+    for (const TickRing& r : rings_) {
+      if (r.head < r.items.size()) return &r.at;
+    }
+    return nullptr;
+  }
+  return heap_.empty() ? nullptr : &heap_.top().at;
+}
+
 void DataPlane::rearm() {
-  if (heap_.empty()) return;
-  const sim::SimTime next = heap_.top().at;
-  if (bridge_armed_ && bridge_time_ <= next) return;  // armed early enough
+  const sim::SimTime* next = next_pending_at();
+  if (next == nullptr) return;
+  if (bridge_armed_ && bridge_time_ <= *next) return;  // armed early enough
   // arm_external replaces any previous arming with a fresh tie-break seq
   // — exactly the ordering the old cancel-and-reschedule produced.
   bridge_armed_ = true;
-  bridge_time_ = next;
-  sim_.arm_external(next);
+  bridge_time_ = *next;
+  sim_.arm_external(*next);
 }
 
 void DataPlane::drain_due() {
   const sim::SimTime now = sim_.now();
+  if (backend_ == PlaneBackend::kRings) {
+    while (!rings_.empty() && rings_.front().at <= now) {
+      TickRing& front = rings_.front();
+      if (front.head >= front.items.size()) {
+        // Recycle the cohort's storage before retiring it.
+        front.items.clear();
+        ring_pool_.push_back(std::move(front.items));
+        rings_.pop_front();
+        continue;
+      }
+      // Copy out before advancing; arrive() may grow this cohort's vector
+      // (zero-delay links) or insert new cohorts.
+      HopEvent ev = std::move(front.items[front.head++]);
+      arrive(ev.node, std::move(ev.packet));
+    }
+    return;
+  }
   while (!heap_.empty() && heap_.top().at <= now) {
     // Copy out before pop; arrive() may push new hops.
     HopEvent ev = heap_.top();

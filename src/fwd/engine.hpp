@@ -2,10 +2,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <queue>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fwd/fib.hpp"
@@ -16,42 +18,116 @@
 
 namespace bgpsim::fwd {
 
+/// In-flight hop store backend. kRings (the default) keeps packets in
+/// flat per-arrival-tick FIFO rings; kHeap is the (time, seq)
+/// binary-heap reference. Pop order,
+/// seq assignment, bridge arming, and trial digests are bit-identical
+/// either way — the A/B lever behind BGPSIM_DATAPLANE_RINGS.
+enum class PlaneBackend : std::uint8_t { kHeap = 0, kRings = 1 };
+
+/// Resolve the backend for a new DataPlane: the process-wide override if
+/// set, else the BGPSIM_DATAPLANE_RINGS environment knob (default rings).
+[[nodiscard]] PlaneBackend default_plane_backend();
+
+/// Process-wide backend override: 0 = heap, 1 = rings, -1 = clear (fall
+/// back to the env knob). Mirrors sim::set_queue_backend_override — the
+/// RunOptions engine drives it around a run via core::detail::
+/// DataPlaneRingsGuard.
+void set_plane_backend_override(int backend);
+[[nodiscard]] int plane_backend_override();
+
+/// Construction-time configuration of a DataPlane.
+struct DataPlaneOptions {
+  /// Dense prefix-indexed destination table: packets for prefix p
+  /// terminate at destinations[p]. net::kInvalidNode marks a hole (no
+  /// destination registered for that prefix).
+  std::vector<net::NodeId> destinations;
+  /// Hop-store backend; resolved from the override/env knob when the
+  /// options object is built.
+  PlaneBackend backend = default_plane_backend();
+
+  /// The study's setting: one prefix (0), one destination.
+  [[nodiscard]] static DataPlaneOptions single(net::NodeId destination) {
+    DataPlaneOptions o;
+    o.destinations.push_back(destination);
+    return o;
+  }
+};
+
+/// One packet origination request — the single inject() entry point.
+struct Injection {
+  net::NodeId source = net::kInvalidNode;
+  net::Prefix prefix = 0;
+  int ttl = kDefaultTtl;
+};
+
 /// Forwards packets hop by hop against the per-node FIBs.
 ///
 /// Per the study: no nodal delay for data packets (slow packet rate keeps
 /// queueing negligible), one TTL decrement per AS hop, 2 ms per link.
 ///
 /// Because a scenario moves millions of packet hops, the engine keeps its
-/// own flat binary heap of packet events and surfaces only the earliest one
+/// own store of in-flight hop events and surfaces only the earliest one
 /// to the shared Simulator through its external event slot ("bridge").
-/// A hop then costs one local heap push/pop; arming the bridge is a few
-/// stores — no event-queue traffic, no allocation. The slot draws its
-/// FIFO tie-break seq from the simulator's counter, so firing order
-/// against control-plane events is identical to scheduling a real event.
+/// The slot draws its FIFO tie-break seq from the simulator's counter, so
+/// firing order against control-plane events is identical to scheduling a
+/// real event. Two interchangeable stores exist (PlaneBackend): the ring
+/// store appends each hop to the FIFO ring of its arrival tick (O(1), no
+/// percolation) and drains whole tick cohorts in order; the heap store is
+/// the per-event reference. Forwarding decisions are served from a
+/// (node, prefix) cache stamp-validated against the FIB and topology
+/// version counters, so the full FIB/link lookup runs once per routing
+/// change instead of once per hop. Both stores reproduce the same
+/// bridge-arming sequence (including the heap's re-arm-at-now while due
+/// packets remain), so events_fired and every digest are bit-identical
+/// across backends.
 class DataPlane {
  public:
+  /// Legacy per-packet fate callback (see set_fate_handler).
   using FateHandler = std::function<void(const Packet&, PacketFate,
                                          net::NodeId where, sim::SimTime when)>;
 
-  /// Single-destination plane (the study's setting): packets for `prefix`
-  /// terminate at `destination`.
   DataPlane(sim::Simulator& simulator, const net::Topology& topology,
-            std::vector<Fib>& fibs, net::NodeId destination,
-            net::Prefix prefix);
+            std::vector<Fib>& fibs, DataPlaneOptions options);
 
-  /// Register a further destination prefix (multi-destination scenarios).
-  void add_destination(net::Prefix prefix, net::NodeId node);
+  [[deprecated("use DataPlane(sim, topo, fibs, DataPlaneOptions) — "
+               "DataPlaneOptions::single(destination) for the one-prefix "
+               "case")]] DataPlane(sim::Simulator& simulator,
+                                  const net::Topology& topology,
+                                  std::vector<Fib>& fibs,
+                                  net::NodeId destination, net::Prefix prefix);
 
-  /// Invoked once per packet at its terminal event.
-  void set_fate_handler(FateHandler h) { on_fate_ = std::move(h); }
+  [[deprecated("pass every destination in DataPlaneOptions::destinations "
+               "at construction")]] void
+  add_destination(net::Prefix prefix, net::NodeId node) {
+    register_destination(prefix, node);
+  }
 
-  /// Originate a fresh packet at `source` for the primary prefix.
-  std::uint64_t inject(net::NodeId source, int ttl = kDefaultTtl);
+  /// Attach the (non-owning) terminal-fate consumer: one on_fates call
+  /// per drained tick. Null detaches.
+  void set_fate_sink(FateSink* sink) { sink_ = sink; }
 
-  /// Originate a fresh packet at `source` for an arbitrary registered
-  /// prefix. Returns its id.
+  [[deprecated("implement FateSink and use set_fate_sink — fates now "
+               "arrive batched per drained tick")]] void
+  set_fate_handler(FateHandler h);
+
+  /// Originate a fresh packet; returns its id. The injection's prefix
+  /// must have a registered destination.
+  std::uint64_t inject(const Injection& injection);
+
+  [[deprecated("use inject(Injection{.source = ..., .ttl = ...})")]]
+  std::uint64_t inject(net::NodeId source, int ttl = kDefaultTtl) {
+    return inject_impl(legacy_primary_, source, ttl);
+  }
+
+  [[deprecated("use inject(Injection{.source = ..., .prefix = ..., "
+               ".ttl = ...})")]]
   std::uint64_t inject_for(net::Prefix prefix, net::NodeId source,
-                           int ttl = kDefaultTtl);
+                           int ttl = kDefaultTtl) {
+    return inject_impl(prefix, source, ttl);
+  }
+
+  [[nodiscard]] PlaneBackend backend() const { return backend_; }
 
   /// Packets created but not yet terminated.
   [[nodiscard]] std::size_t in_flight() const { return in_flight_; }
@@ -66,13 +142,16 @@ class DataPlane {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
-  /// Checkpoint packet-event heap, id/seq counters, packet counters, and
-  /// the bridge bookkeeping (sorted heap order: deterministic bytes).
+  /// Checkpoint the hop store, id/seq counters, packet counters, and the
+  /// bridge bookkeeping. Events are written in ascending (at, seq) order,
+  /// so the bytes are identical under either backend (snapshots are
+  /// backend-portable both ways).
   void save_state(snap::Writer& w) const;
 
-  /// Inverse of save_state, replacing the heap contents. Valid in place
-  /// (the bridge closure, if armed, is still scheduled and unchanged) or
-  /// into a fresh plane restored at quiescence (empty heap, bridge unarmed).
+  /// Inverse of save_state, replacing the hop-store contents. Valid in
+  /// place (the bridge closure, if armed, is still scheduled and
+  /// unchanged) or into a fresh plane restored at quiescence (empty
+  /// store, bridge unarmed).
   void restore_state(snap::Reader& r);
 
  private:
@@ -87,26 +166,72 @@ class DataPlane {
     }
   };
 
+  /// All packets arriving at one exact timestamp, in push (= seq) order.
+  /// head marks the next undelivered packet during a drain.
+  struct TickRing {
+    sim::SimTime at;
+    std::size_t head = 0;
+    std::vector<HopEvent> items;
+  };
+
+  /// One routing decision for a (node, prefix) pair.
+  struct Decision {
+    enum class Kind : std::uint8_t { kDeliver, kNoRoute, kLinkDown, kForward };
+    Kind kind = Kind::kNoRoute;
+    net::NodeId next_hop = net::kInvalidNode;
+    sim::SimTime delay;
+  };
+
+  /// A memoized Decision, valid while the owning node's FIB version and
+  /// the topology's state version both still match. Zero stamps (the
+  /// fresh-cache state) can never validate — both counters start at 1.
+  struct CachedDecision {
+    std::uint64_t fib_stamp = 0;
+    std::uint64_t topo_stamp = 0;
+    Decision d;
+  };
+
+  void register_destination(net::Prefix prefix, net::NodeId node);
+  std::uint64_t inject_impl(net::Prefix prefix, net::NodeId source, int ttl);
   void arrive(net::NodeId node, Packet packet);
+  Decision decide(net::NodeId node, net::Prefix prefix) const;
+  const Decision& cached_decide(net::NodeId node, net::Prefix prefix) const;
   void finish(const Packet& p, PacketFate fate, net::NodeId where);
+  void flush_fates();
   void push_hop(sim::SimTime at, net::NodeId node, Packet packet);
+  std::vector<HopEvent> pooled_items();
+  void ring_insert(HopEvent ev);
+  [[nodiscard]] const sim::SimTime* next_pending_at() const;
   void rearm();
   void drain_due();
 
   sim::Simulator& sim_;
   const net::Topology& topo_;
   std::vector<Fib>& fibs_;
-  std::unordered_map<net::Prefix, net::NodeId> destinations_;
-  net::Prefix primary_prefix_;
-  FateHandler on_fate_;
+  std::vector<net::NodeId> destinations_;  // prefix-indexed, dense
+  net::Prefix legacy_primary_ = 0;         // deprecated inject()'s prefix
+  FateSink* sink_ = nullptr;
+  std::unique_ptr<FateSink> legacy_adapter_;  // owns set_fate_handler's shim
+  std::vector<FateRecord> batch_;             // fates of the current tick
 
+  PlaneBackend backend_;
   std::priority_queue<HopEvent, std::vector<HopEvent>, std::greater<>> heap_;
+  std::deque<TickRing> rings_;
+  /// Retired cohort storage, recycled so the steady-state ring insert
+  /// never allocates (cohorts are frequently size 1 — every fresh vector
+  /// would otherwise be a malloc per hop).
+  std::vector<std::vector<HopEvent>> ring_pool_;
+  /// (node × prefix) decision cache, stamp-validated against the FIB and
+  /// topology version counters; rebuilt whenever the destination table
+  /// grows. Shared by both backends, so it cannot skew the A/B.
+  mutable std::vector<CachedDecision> cache_;
+  mutable std::size_t cache_stride_ = 0;  // == destinations_.size()
+
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_packet_id_ = 1;
   std::size_t in_flight_ = 0;
   Counters counters_;
 
-  net::NodeId primary_destination_ = net::kInvalidNode;
   bool bridge_armed_ = false;
   sim::SimTime bridge_time_;
 };

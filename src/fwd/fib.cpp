@@ -11,6 +11,7 @@ bool Fib::set_next_hop(net::Prefix prefix, net::NodeId next_hop) {
   const std::optional<net::NodeId> previous =
       inserted ? std::nullopt : std::optional{it->second};
   it->second = next_hop;
+  ++version_;
   if (hot_valid_ && hot_prefix_ == prefix) hot_next_hop_ = next_hop;
   notify(prefix, previous, next_hop);
   return true;
@@ -21,6 +22,7 @@ bool Fib::clear_route(net::Prefix prefix) {
   if (it == routes_.end()) return false;
   const net::NodeId previous = it->second;
   routes_.erase(it);
+  ++version_;
   if (hot_valid_ && hot_prefix_ == prefix) hot_valid_ = false;
   notify(prefix, previous, std::nullopt);
   return true;

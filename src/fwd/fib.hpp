@@ -1,6 +1,7 @@
 // Forwarding Information Base: per-node next-hop table.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <unordered_map>
@@ -34,6 +35,12 @@ class Fib {
 
   [[nodiscard]] std::size_t route_count() const { return routes_.size(); }
 
+  /// Monotonic counter bumped by every route change (a no-op write keeps
+  /// it still). Readers — the data plane's decision cache — compare
+  /// stamps; the value is a process-local cache artifact and is never
+  /// serialized.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
   /// Replace every observer with `obs` (the historical single-observer
   /// behaviour — metrics::LoopDetector::attach relies on it).
   void set_observer(Observer obs) {
@@ -61,6 +68,8 @@ class Fib {
 
   std::unordered_map<net::Prefix, net::NodeId> routes_;
   std::vector<Observer> observers_;
+  /// Starts above 0 so a zero-initialized cache stamp can never validate.
+  std::uint64_t version_ = 1;
   /// One-entry lookup cache. The data plane asks for the same (single)
   /// prefix on every packet hop; this skips the hash probe. Mutators keep
   /// it coherent, so it is invisible to observers and checkpoints.

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "net/types.hpp"
 #include "sim/time.hpp"
@@ -44,5 +45,27 @@ enum class PacketFate : std::uint8_t {
   }
   return "?";
 }
+
+/// One terminal packet outcome: the packet in its final state (TTL and hop
+/// count at the drop point), where and when it terminated, and why.
+struct FateRecord {
+  Packet packet;
+  PacketFate fate = PacketFate::kDelivered;
+  net::NodeId where = net::kInvalidNode;
+  sim::SimTime when;
+};
+
+/// Batch consumer of terminal packet fates. The data plane collects every
+/// fate of one drained tick (they all share `when`) and hands them over in
+/// a single call — one virtual dispatch per tick instead of one
+/// `std::function` invocation per packet. Synchronously terminating
+/// injections arrive as their own (usually one-record) batch before
+/// `inject` returns. Records are ordered by termination (FIFO within the
+/// tick) and the span is only valid for the duration of the call.
+class FateSink {
+ public:
+  virtual ~FateSink() = default;
+  virtual void on_fates(std::span<const FateRecord> batch) = 0;
+};
 
 }  // namespace bgpsim::fwd

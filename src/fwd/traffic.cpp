@@ -27,16 +27,14 @@ void TrafficGenerator::start(const std::vector<net::NodeId>& sources,
 void TrafficGenerator::tick(net::NodeId source) {
   if (!running_) return;
   ++sent_;
-  if (on_send_) on_send_(source, sim_.now());
+  net::Prefix prefix = 0;
   if (config_.prefix_count > 1) {
-    const auto prefix =
-        static_cast<net::Prefix>(cursor_[source] % config_.prefix_count);
+    prefix = static_cast<net::Prefix>(cursor_[source] % config_.prefix_count);
     cursor_[source] = prefix + 1;
-    if (on_prefix_send_) on_prefix_send_(source, prefix, sim_.now());
-    plane_.inject_for(prefix, source, config_.ttl);
-  } else {
-    plane_.inject(source, config_.ttl);
   }
+  if (on_send_) on_send_(source, prefix, sim_.now());
+  plane_.inject(Injection{.source = source, .prefix = prefix,
+                          .ttl = config_.ttl});
   sim_.schedule_after(config_.interval, [this, source] { tick(source); });
 }
 

@@ -35,21 +35,31 @@ struct TrafficConfig {
 /// Drives a set of CBR sources injecting into a DataPlane.
 class TrafficGenerator {
  public:
-  /// Reports every injection (time-stamped packet-sent record).
-  using SendHook = std::function<void(net::NodeId source, sim::SimTime when)>;
-  /// Prefix-aware injection report (multi-prefix runs). Fires alongside
-  /// SendHook so existing single-prefix wiring keeps working untouched.
-  using PrefixSendHook =
-      std::function<void(net::NodeId source, net::Prefix prefix,
-                         sim::SimTime when)>;
+  /// Reports every injection (time-stamped packet-sent record). The one
+  /// prefix-aware hook: single-prefix runs always report prefix 0.
+  using SendHook = std::function<void(net::NodeId source, net::Prefix prefix,
+                                      sim::SimTime when)>;
+  /// Legacy prefix-blind hook signature (see the deprecated overload).
+  using LegacySendHook =
+      std::function<void(net::NodeId source, sim::SimTime when)>;
 
   TrafficGenerator(sim::Simulator& simulator, DataPlane& plane,
                    TrafficConfig config, sim::Rng rng)
       : sim_{simulator}, plane_{plane}, config_{config}, rng_{std::move(rng)} {}
 
   void set_send_hook(SendHook h) { on_send_ = std::move(h); }
-  void set_prefix_send_hook(PrefixSendHook h) {
-    on_prefix_send_ = std::move(h);
+
+  [[deprecated("the send hook is prefix-aware now — take (source, prefix, "
+               "when); single-prefix runs report prefix 0")]] void
+  set_send_hook(LegacySendHook h) {
+    on_send_ = [h = std::move(h)](net::NodeId source, net::Prefix,
+                                  sim::SimTime when) { h(source, when); };
+  }
+
+  [[deprecated("use set_send_hook — the one hook carries the prefix "
+               "now")]] void
+  set_prefix_send_hook(SendHook h) {
+    on_send_ = std::move(h);
   }
 
   /// Begin sending from every node in `sources` at time `start`.
@@ -94,7 +104,6 @@ class TrafficGenerator {
   TrafficConfig config_;
   sim::Rng rng_;
   SendHook on_send_;
-  PrefixSendHook on_prefix_send_;
   bool running_ = false;
   std::uint64_t sent_ = 0;
   /// Per-source round-robin position over the prefix set (multi-prefix

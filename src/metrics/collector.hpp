@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "fwd/packet.hpp"
@@ -17,7 +18,10 @@ namespace bgpsim::metrics {
 /// timestamps, and answers windowed queries afterwards. All recorded series
 /// are appended in nondecreasing time order (simulation time is monotone),
 /// so queries are binary searches.
-class Collector {
+///
+/// The collector is a fwd::FateSink: hand it to DataPlane::set_fate_sink
+/// and it absorbs one batch of terminal fates per drained tick.
+class Collector : public fwd::FateSink {
  public:
   // ---- recording hooks (wire to Speaker::Hooks / DataPlane / Traffic) ----
 
@@ -25,6 +29,13 @@ class Collector {
   void note_packet_sent(sim::SimTime when);
   void note_fate(const fwd::Packet& packet, fwd::PacketFate fate,
                  net::NodeId where, sim::SimTime when);
+
+  /// FateSink: fold a whole tick's terminal fates into the series.
+  void on_fates(std::span<const fwd::FateRecord> batch) override {
+    for (const fwd::FateRecord& r : batch) {
+      note_fate(r.packet, r.fate, r.where, r.when);
+    }
+  }
 
   // ---- per-prefix lanes (multi-prefix runs) ----
 

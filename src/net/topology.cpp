@@ -48,6 +48,7 @@ LinkId Topology::add_link(NodeId a, NodeId b, sim::SimTime delay) {
     throw std::invalid_argument{"Topology::add_link: duplicate link"};
   }
   const auto id = static_cast<LinkId>(links_.size());
+  ++version_;
   links_.push_back(Link{a, b, delay, true});
   adjacency_[a].push_back(Adjacency{b, id});
   adjacency_[b].push_back(Adjacency{a, id});
@@ -100,6 +101,7 @@ bool Topology::set_link_state(LinkId id, bool up) {
   Link& l = links_.at(id);
   if (l.up == up) return false;
   l.up = up;
+  ++version_;
   return true;
 }
 

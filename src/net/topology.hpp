@@ -73,6 +73,12 @@ class Topology {
   /// Mark a link down / up. Returns false if it already was in that state.
   bool set_link_state(LinkId id, bool up);
 
+  /// Monotonic counter bumped by every mutation that can change a
+  /// forwarding decision (adding a link, flipping link state). Readers —
+  /// the data plane's decision cache — compare stamps; the value is a
+  /// process-local cache artifact and is never serialized.
+  [[nodiscard]] std::uint64_t state_version() const { return version_; }
+
   /// All links attached to `n`.
   [[nodiscard]] std::vector<LinkId> links_of(NodeId n) const;
 
@@ -105,6 +111,8 @@ class Topology {
   static constexpr std::int32_t kNoLink = -1;
   std::vector<std::int32_t> matrix_;          // dense regime; stride = n
   std::vector<std::vector<Adjacency>> sorted_;  // sparse regime
+  /// Starts above 0 so a zero-initialized cache stamp can never validate.
+  std::uint64_t version_ = 1;
 };
 
 }  // namespace bgpsim::net

@@ -43,7 +43,12 @@ namespace bgpsim::snap {
 /// v4: multi-prefix SoA RIB — the BGP payload gained a shared prefix
 /// table section ahead of the per-node sections, and in-queue update
 /// payloads carry a tag byte (0 = single UpdateMsg, 1 = UpdateBatch).
-inline constexpr std::uint32_t kFormatVersion = 4;
+/// v5: redesigned fwd API — the data plane's hop events are serialized in
+/// ascending (time µs, seq) order as an explicit backend-invariant
+/// contract (ring cohorts or binary heap, BGPSIM_DATAPLANE_RINGS), so
+/// snapshots are portable across hop-store backends; the bump fences off
+/// v4 builds whose data plane cannot restore into a ring store.
+inline constexpr std::uint32_t kFormatVersion = 5;
 
 /// Byte offset of the format-version field inside encode() output —
 /// stable across versions (it sits directly behind the magic).

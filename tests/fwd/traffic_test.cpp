@@ -18,7 +18,7 @@ class TrafficTest : public ::testing::Test {
   TrafficTest()
       : topo_{topo::make_chain(3)},
         fibs_(topo_.node_count()),
-        plane_{sim_, topo_, fibs_, 0, kPrefix} {
+        plane_{sim_, topo_, fibs_, DataPlaneOptions::single(0)} {
     for (net::NodeId n = 1; n < topo_.node_count(); ++n) {
       fibs_[n].set_next_hop(kPrefix, n - 1);
     }
@@ -53,7 +53,7 @@ TEST_F(TrafficTest, StaggerOffsetsWithinOneInterval) {
   cfg.stagger = true;
   auto gen = make(cfg);
   std::vector<sim::SimTime> first_sends;
-  gen.set_send_hook([&](net::NodeId, sim::SimTime when) {
+  gen.set_send_hook([&](net::NodeId, net::Prefix, sim::SimTime when) {
     first_sends.push_back(when);
   });
   gen.start({1, 2}, sim::SimTime::millis(500));
@@ -72,12 +72,18 @@ TEST_F(TrafficTest, SendHookSeesEveryInjection) {
   cfg.stagger = false;
   auto gen = make(cfg);
   std::map<net::NodeId, int> per_source;
-  gen.set_send_hook([&](net::NodeId src, sim::SimTime) { ++per_source[src]; });
+  std::map<net::Prefix, int> per_prefix;
+  gen.set_send_hook([&](net::NodeId src, net::Prefix prefix, sim::SimTime) {
+    ++per_source[src];
+    ++per_prefix[prefix];
+  });
   gen.start({1, 2}, sim::SimTime::zero());
   sim_.schedule_at(sim::SimTime::millis(250), [&] { gen.stop(); });
   sim_.run();
   EXPECT_EQ(per_source[1], 3);  // t = 0, 100, 200
   EXPECT_EQ(per_source[2], 3);
+  // Single-prefix planes report prefix 0 on every send.
+  EXPECT_EQ(per_prefix[kPrefix], 6);
 }
 
 TEST_F(TrafficTest, StopPreventsFurtherInjections) {

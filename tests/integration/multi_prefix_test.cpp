@@ -19,10 +19,9 @@ class MultiPrefixTest : public ::testing::Test {
                                             sim::SimTime::millis(1),
                                             sim::SimTime::millis(1)},
                  sim::Rng{9}},
-        plane_{sim_, topo_, network_.fibs(), /*destination=*/0,
-               /*prefix=*/0} {
-    plane_.add_destination(1, 3);  // prefix 1 lives at node 3
-  }
+        // prefix 0 lives at node 0, prefix 1 at node 3
+        plane_{sim_, topo_, network_.fibs(),
+               fwd::DataPlaneOptions{.destinations = {0, 3}}} {}
 
   static bgp::BgpConfig config() {
     bgp::BgpConfig c;
@@ -57,8 +56,8 @@ TEST_F(MultiPrefixTest, BothPrefixesConvergeIndependently) {
 
 TEST_F(MultiPrefixTest, DataPlaneRoutesPerPrefix) {
   converge_both();
-  plane_.inject_for(0, 5);  // toward node 0
-  plane_.inject_for(1, 5);  // toward node 3
+  plane_.inject(fwd::Injection{.source = 5, .prefix = 0});  // toward node 0
+  plane_.inject(fwd::Injection{.source = 5, .prefix = 1});  // toward node 3
   sim_.run();
   EXPECT_EQ(plane_.counters().delivered, 2u);
   EXPECT_EQ(plane_.counters().injected, 2u);
@@ -79,8 +78,8 @@ TEST_F(MultiPrefixTest, TdownOnOnePrefixLeavesOtherIntact) {
     }
   }
   // Data plane: prefix 0 black-holes, prefix 1 still delivers.
-  plane_.inject_for(0, 5);
-  plane_.inject_for(1, 5);
+  plane_.inject(fwd::Injection{.source = 5, .prefix = 0});
+  plane_.inject(fwd::Injection{.source = 5, .prefix = 1});
   sim_.run();
   EXPECT_EQ(plane_.counters().delivered, 1u);
   EXPECT_EQ(plane_.counters().no_route, 1u);
